@@ -1,0 +1,28 @@
+"""Figures 10-11: reuse distance of counter/MAC accesses (fdtd2d)."""
+
+from conftest import PARTITIONS, emit, HORIZON, WARMUP
+
+from repro.analysis.report import render_series_table
+from repro.experiments import figures
+from repro.experiments.runner import Runner
+
+
+def test_bench_fig10_11_reuse(benchmark):
+    runner = Runner(horizon=HORIZON, warmup=WARMUP, benchmarks=["fdtd2d"])
+    out = benchmark.pedantic(
+        figures.fig10_11, args=(runner, PARTITIONS), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 10 — reuse distance of fdtd2d counter accesses, partition 0 "
+        "(paper: mass at distance 0; unified shifts mass from [1,8] to [65,512])",
+        render_series_table("", out["fig10_ctr"], value_format="{:.0f}"),
+    )
+    emit(
+        "Figure 11 — reuse distance of fdtd2d MAC accesses, partition 0",
+        render_series_table("", out["fig11_mac"], value_format="{:.0f}"),
+    )
+    for figure in out.values():
+        for org in ("separate", "unified"):
+            histogram = figure[org]
+            reused = {k: v for k, v in histogram.items() if k != "cold"}
+            assert histogram["0"] == max(reused.values())

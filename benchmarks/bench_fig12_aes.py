@@ -1,0 +1,21 @@
+"""Figure 12: 1 vs 2 AES engines per memory partition."""
+
+from conftest import PARTITIONS, emit
+
+from repro.analysis.report import render_series_table
+from repro.experiments import figures
+from repro.workloads.suite import BENCHMARK_ORDER
+
+
+def test_bench_fig12_aes(benchmark, paper_runner):
+    table = benchmark.pedantic(
+        figures.fig12, args=(paper_runner, PARTITIONS), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 12 — AES engines per partition "
+        "(paper: one engine is enough; metadata traffic, not AES "
+        "throughput, is the bottleneck)",
+        render_series_table("", table, row_order=BENCHMARK_ORDER + ["Gmean"]),
+    )
+    gmean = table["Gmean"]
+    assert gmean["aes_1"] > 0.9 * gmean["aes_2"]

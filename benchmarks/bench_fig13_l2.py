@@ -1,0 +1,20 @@
+"""Figure 13: secureMem IPC with the L2 shrunk for security hardware."""
+
+from conftest import PARTITIONS, emit
+
+from repro.analysis.report import render_series_table
+from repro.experiments import figures
+from repro.workloads.suite import BENCHMARK_ORDER
+
+
+def test_bench_fig13_l2(benchmark, paper_runner):
+    table = benchmark.pedantic(
+        figures.fig13, args=(paper_runner, PARTITIONS), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 13 — normalized IPC vs L2 capacity (paper-scale 4..6 MB; "
+        "paper: most benchmarks insensitive, medium-intensity ones degrade)",
+        render_series_table("", table, row_order=BENCHMARK_ORDER + ["Gmean"]),
+    )
+    gmean = table["Gmean"]
+    assert gmean["secureMem_4MB"] <= gmean["secureMem_6MB"] * 1.05

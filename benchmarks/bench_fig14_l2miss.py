@@ -1,0 +1,20 @@
+"""Figure 14: baseline L2 miss rates."""
+
+from conftest import PARTITIONS, emit
+
+from repro.analysis.report import render_series_table
+from repro.experiments import figures
+from repro.workloads.suite import BENCHMARK_ORDER
+
+
+def test_bench_fig14_l2miss(benchmark, paper_runner):
+    table = benchmark.pedantic(
+        figures.fig14, args=(paper_runner, PARTITIONS), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 14 — baseline L2 miss rate (paper: streaming memory-"
+        "intensive benchmarks near 100%, e.g. streamcluster 97%)",
+        render_series_table("", table, row_order=BENCHMARK_ORDER),
+    )
+    assert table["streamcluster"]["l2_miss_rate"] > 0.9
+    assert table["b+tree"]["l2_miss_rate"] < 0.7

@@ -1,0 +1,23 @@
+"""Figure 15: direct encryption at 40/80/160-cycle AES latency."""
+
+from conftest import PARTITIONS, emit
+
+from repro.analysis.report import render_series_table
+from repro.experiments import figures
+from repro.workloads.suite import BENCHMARK_ORDER
+
+
+def test_bench_fig15_direct(benchmark, paper_runner):
+    table = benchmark.pedantic(
+        figures.fig15, args=(paper_runner, PARTITIONS), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 15 — direct encryption latency sweep "
+        "(paper: 1.3% / 3.0% / 5.9% mean slowdown at 40/80/160 cycles; "
+        "GPUs tolerate the exposed latency)",
+        render_series_table("", table, row_order=BENCHMARK_ORDER + ["Gmean"]),
+    )
+    gmean = table["Gmean"]
+    assert gmean["direct_40"] > 0.85
+    assert gmean["direct_160"] <= gmean["direct_40"] + 0.02
+    assert gmean["direct_160"] > 0.75

@@ -1,0 +1,22 @@
+"""Figure 16: direct vs counter-mode encryption (confidentiality only)."""
+
+from conftest import PARTITIONS, emit
+
+from repro.analysis.report import render_series_table
+from repro.experiments import figures
+from repro.workloads.suite import BENCHMARK_ORDER
+
+
+def test_bench_fig16_vs(benchmark, paper_runner):
+    table = benchmark.pedantic(
+        figures.fig16, args=(paper_runner, PARTITIONS), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 16 — direct_40 vs ctr vs ctr_bmt "
+        "(paper: direct ~free; ctr costs 33.1% on average, up to 66% for "
+        "lbm; adding the BMT raises it to 43.9%)",
+        render_series_table("", table, row_order=BENCHMARK_ORDER + ["Gmean"]),
+    )
+    gmean = table["Gmean"]
+    assert gmean["direct_40"] > gmean["ctr"]
+    assert gmean["ctr"] >= gmean["ctr_bmt"]

@@ -1,0 +1,25 @@
+"""Figure 17: full integrity protection under a fixed 6KB cache budget."""
+
+from conftest import PARTITIONS, emit
+
+from repro.analysis.bars import render_bar_chart
+from repro.analysis.report import render_series_table
+from repro.experiments import figures
+from repro.workloads.suite import BENCHMARK_ORDER
+
+
+def test_bench_fig17_integrity(benchmark, paper_runner):
+    table = benchmark.pedantic(
+        figures.fig17, args=(paper_runner, PARTITIONS), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 17 — integrity protection comparison "
+        "(paper mean slowdowns: ctr_mac_bmt 63.5%, direct_mac 42.7%, "
+        "direct_mac_mt 71.9% — direct+MAC wins, the MT is the costly part)",
+        render_series_table("", table, row_order=BENCHMARK_ORDER + ["Gmean"])
+        + "\n\n"
+        + render_bar_chart({"Gmean": table["Gmean"]}, peak=1.0),
+    )
+    gmean = table["Gmean"]
+    assert gmean["direct_mac"] > gmean["ctr_mac_bmt"]
+    assert gmean["direct_mac"] > gmean["direct_mac_mt"]

@@ -1,0 +1,27 @@
+"""Figure 3: counter-mode + BMT overhead and idealized designs."""
+
+from conftest import PARTITIONS, emit
+
+from repro.analysis.bars import render_bar_chart
+from repro.analysis.report import render_series_table
+from repro.experiments import figures
+from repro.workloads.suite import BENCHMARK_ORDER
+
+
+def test_bench_fig3_overhead(benchmark, paper_runner):
+    table = benchmark.pedantic(
+        figures.fig3, args=(paper_runner, PARTITIONS), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 3 — normalized IPC of counter-mode + BMT "
+        "(paper: secureMem Gmean ~0.34, up to 91% loss for lbm; "
+        "0_crypto does not help; perf/large metadata caches ~ baseline)",
+        render_series_table("", table, row_order=BENCHMARK_ORDER + ["Gmean"])
+        + "\n\n"
+        + render_bar_chart({"Gmean": table["Gmean"]}, peak=1.0),
+    )
+    gmean = table["Gmean"]
+    assert gmean["secureMem"] < 0.7
+    assert abs(gmean["0_crypto"] - gmean["secureMem"]) < 0.1
+    assert gmean["perf_mdc"] > 0.9
+    assert gmean["large_mdc"] > 0.75

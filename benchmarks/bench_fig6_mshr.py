@@ -1,0 +1,21 @@
+"""Figure 6: normalized IPC vs metadata-cache MSHR count."""
+
+from conftest import PARTITIONS, emit
+
+from repro.analysis.report import render_series_table
+from repro.experiments import figures
+from repro.workloads.suite import BENCHMARK_ORDER
+
+
+def test_bench_fig6_mshr(benchmark, paper_runner):
+    table = benchmark.pedantic(
+        figures.fig6, args=(paper_runner, PARTITIONS), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 6 — normalized IPC vs metadata MSHRs "
+        "(paper: monotone improvement, 64 MSHRs the sweet spot)",
+        render_series_table("", table, row_order=BENCHMARK_ORDER + ["Gmean"]),
+    )
+    gmean = table["Gmean"]
+    assert gmean["mshr_64"] > gmean["mshr_0"]
+    assert gmean["mshr_32"] >= gmean["mshr_0"]

@@ -1,0 +1,19 @@
+"""Figure 8: unified vs separate metadata caches (IPC)."""
+
+from conftest import PARTITIONS, emit
+
+from repro.analysis.report import render_series_table
+from repro.experiments import figures
+from repro.workloads.suite import BENCHMARK_ORDER
+
+
+def test_bench_fig8_unified(benchmark, paper_runner):
+    table = benchmark.pedantic(
+        figures.fig8, args=(paper_runner, PARTITIONS), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 8 — separate vs unified metadata caches "
+        "(paper: separate wins on GPUs, the opposite of the CPU result)",
+        render_series_table("", table, row_order=BENCHMARK_ORDER + ["Gmean"]),
+    )
+    assert table["Gmean"]["separate"] > table["Gmean"]["unified"]

@@ -1,0 +1,24 @@
+"""Extension: latency tolerance vs occupancy (the mechanism of Fig. 15)."""
+
+from conftest import HORIZON, PARTITIONS, WARMUP, emit
+
+from repro.analysis.report import render_series_table
+from repro.experiments import figures
+from repro.experiments.runner import Runner
+
+
+def test_bench_occupancy(benchmark):
+    runner = Runner(horizon=HORIZON, warmup=WARMUP, benchmarks=["streamcluster"])
+    table = benchmark.pedantic(
+        figures.occupancy_study, args=(runner, PARTITIONS), rounds=1, iterations=1
+    )
+    emit(
+        "Occupancy study — direct-encryption (160-cycle) slowdown vs "
+        "warps/SM on streamcluster. The paper attributes direct "
+        "encryption's low cost to TLP; this shows the tolerance emerging "
+        "as occupancy grows.",
+        render_series_table("", table),
+    )
+    few = table["warps_2"]["normalized"]
+    many = table[max(table, key=lambda k: int(k.split("_")[1]))]["normalized"]
+    assert many > few  # more warps -> more latency hiding

@@ -1,0 +1,17 @@
+"""Table II: metadata organization and storage overheads (exact)."""
+
+from conftest import emit
+
+from repro.analysis.report import render_series_table
+from repro.experiments import figures
+
+
+def test_bench_table2_storage(benchmark):
+    table = benchmark.pedantic(figures.table2, rounds=1, iterations=1)
+    emit(
+        "Table II — metadata storage over the 4 GB protected range "
+        "(paper: 32 + 256 + 2.14 = 290.14 MB ctr-mode; 256 + 17.1 = 273.1 MB direct)",
+        render_series_table("", table, value_format="{:.2f}"),
+    )
+    assert abs(table["total"]["counter_mode_MB"] - 290.14) < 0.2
+    assert abs(table["total"]["direct_MB"] - 273.1) < 0.2

@@ -1,0 +1,21 @@
+"""Table IV: baseline bandwidth utilization and IPC per workload."""
+
+from conftest import PARTITIONS, emit
+
+from repro.analysis.report import render_series_table
+from repro.experiments import figures
+from repro.workloads.suite import BENCHMARK_ORDER
+
+
+def test_bench_table4_baseline(benchmark, paper_runner):
+    table = benchmark.pedantic(
+        figures.table4, args=(paper_runner, PARTITIONS), rounds=1, iterations=1
+    )
+    emit(
+        "Table IV — baseline characterization (measured vs paper bands; "
+        "ipc_%peak = thread IPC / peak thread IPC)",
+        render_series_table("", table, value_format="{:.1f}", row_order=BENCHMARK_ORDER),
+    )
+    # category structure must hold
+    assert table["lbm"]["bw_util_%"] > 40
+    assert table["heartwall"]["bw_util_%"] < 20

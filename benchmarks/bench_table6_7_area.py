@@ -1,0 +1,20 @@
+"""Tables VI-VII: die-area model and L2 displacement (exact)."""
+
+from conftest import emit
+
+from repro.analysis.area import AreaModel
+from repro.analysis.report import render_series_table
+from repro.experiments import figures
+
+
+def test_bench_table6_7_area(benchmark):
+    table = benchmark.pedantic(figures.table6_7, rounds=1, iterations=1)
+    model = AreaModel()
+    emit(
+        "Tables VI-VII — AES/cache die area scaled to 12nm "
+        "(paper: AES 0.0036 mm^2; security hardware displaces ~1526 KB "
+        "= 24.84% of the 6 MB L2)",
+        render_series_table("", table, value_format="{:.5f}"),
+    )
+    assert abs(table["AES engine"]["scaled_12nm_mm2"] - 0.0036) < 1e-4
+    assert abs(model.l2_reduction_fraction() - 0.2484) < 0.01

@@ -1,0 +1,33 @@
+"""Shared fixtures for the paper-regeneration benchmark harness.
+
+Every ``bench_*.py`` regenerates one table or figure of the paper at the
+benchmark scale (2 partitions, 5k-cycle measured window after a 6k-cycle
+warmup, all 14 workloads) and prints the same rows/series the paper
+reports.  Results are cached on disk, so repeated invocations and figures
+sharing design points (e.g. the baseline) only simulate once.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import Runner
+
+#: benchmark-harness scale; EXPERIMENTS.md is regenerated at a larger one.
+PARTITIONS = 2
+HORIZON = 8_000
+WARMUP = 20_000
+
+
+@pytest.fixture(scope="session")
+def paper_runner():
+    cache = Path(__file__).parent / "_cache" / f"results_p{PARTITIONS}_h{HORIZON}.json"
+    return Runner(horizon=HORIZON, warmup=WARMUP, cache_path=cache)
+
+
+def emit(title: str, text: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}\n")

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Attack demonstration on the functional secure memory.
+
+Plays the paper's threat model (Section II-B) against a real encrypted
+byte store: bus snooping, data tampering, ciphertext splicing, counter
+manipulation, and replay — and shows which protection level catches which
+attack.  This is the semantic justification for the metadata whose *cost*
+the timing model measures.
+
+Run:  python examples/attack_demo.py
+"""
+
+from repro.secure.functional import IntegrityError, SecureMemory, SecureMemoryMode
+
+KB = 1024
+
+
+def attempt(label: str, memory: SecureMemory, attack) -> str:
+    attack(memory)
+    try:
+        memory.read(0, 32)
+        return f"  {label:34s} NOT detected (silent corruption or success)"
+    except IntegrityError as exc:
+        return f"  {label:34s} DETECTED ({type(exc).__name__})"
+
+
+def tamper_data(memory):
+    memory.tamper(4, b"\xff\xff")
+
+
+def tamper_mac(memory):
+    lo, _ = memory._mac_slot(0)
+    memory.tamper(lo, bytes(8))
+
+
+def tamper_counter(memory):
+    if memory.mode.counter_mode:
+        memory.tamper(memory.layout.counter_block_addr(0) + 16, b"\x07")
+
+
+def splice_lines(memory):
+    line0 = bytes(memory.store[0:128])
+    line1 = bytes(memory.store[128:256])
+    memory.tamper(0, line1)
+    memory.tamper(128, line0)
+
+
+def main() -> None:
+    print("=== Confidentiality: what the bus snooper sees ===")
+    memory = SecureMemory(protected_bytes=16 * KB, mode=SecureMemoryMode.CTR)
+    secret = b"credit-card=4242424242424242"
+    memory.write(0, secret)
+    stored = bytes(memory.store[0:64])
+    print(f"  plaintext:  {secret!r}")
+    print(f"  on the bus: {stored[:28].hex()}")
+    assert secret not in bytes(memory.store)
+    print("  plaintext never appears in DRAM: OK\n")
+
+    print("=== Tampering and splicing, per protection level ===")
+    for mode in SecureMemoryMode:
+        print(f"mode = {mode.value}")
+        for label, attack in [
+            ("flip data bits", tamper_data),
+            ("overwrite stored MAC", tamper_mac),
+            ("bump a counter", tamper_counter),
+            ("splice two ciphertext lines", splice_lines),
+        ]:
+            if attack is tamper_counter and not mode.counter_mode:
+                continue
+            memory = SecureMemory(protected_bytes=16 * KB, mode=mode)
+            memory.write(0, b"A" * 64)
+            memory.write(128, b"B" * 64)
+            print(attempt(label, memory, attack))
+        print()
+
+    print("=== Replay: restoring yesterday's memory image ===")
+    for mode in (
+        SecureMemoryMode.DIRECT_MAC,
+        SecureMemoryMode.DIRECT_MAC_MT,
+        SecureMemoryMode.CTR_MAC_BMT,
+    ):
+        memory = SecureMemory(protected_bytes=16 * KB, mode=mode)
+        memory.write(0, b"balance=100")
+        stale = memory.snapshot()
+        memory.write(0, b"balance=000")
+        memory.restore(stale)  # attacker puts the old image back
+        try:
+            value = memory.read(0, 11)
+            print(f"  {mode.value:14s} replay SUCCEEDED, read {value!r}")
+        except IntegrityError:
+            print(f"  {mode.value:14s} replay DETECTED")
+    print(
+        "\nConclusion (paper Section VI-C): MACs alone cannot stop replay —"
+        "\na tree (BMT over counters, or MT over MACs) anchored in an"
+        "\non-chip root register is required, and that tree is exactly the"
+        "\nmetadata whose traffic the timing experiments show to be costly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Metadata cache design study: MSHRs, capacity, and organization.
+
+Reproduces the paper's Section V narrative on one workload: why sectored
+L2 caches make MSHRs essential (Figs. 5-6), what capacity buys (Fig. 7),
+and why separate metadata caches beat a unified one on GPUs (Figs. 8-9).
+
+Run:  python examples/metadata_cache_study.py [benchmark-name]
+"""
+
+import sys
+
+from repro import MetadataKind, simulate
+from repro.experiments import designs
+from repro.workloads.suite import get_benchmark
+
+HORIZON = 8_000
+WARMUP = 25_000
+PARTITIONS = 4
+
+
+def run(workload, secure):
+    config = designs.build_gpu(secure, num_partitions=PARTITIONS)
+    return simulate(config, workload, horizon=HORIZON, warmup=WARMUP)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "fdtd2d"
+    workload = get_benchmark(name)
+    base = run(workload, designs.baseline())
+    print(f"workload {name}: baseline IPC {base.ipc:.1f}\n")
+
+    print("--- 1. why MSHRs matter (sectored L2 => secondary misses) ---")
+    no_mshr = run(workload, designs.secure_mem(0))
+    for kind in MetadataKind:
+        if no_mshr.metadata[kind]["misses"]:
+            print(
+                f"  {kind.value:4s}: {no_mshr.secondary_miss_ratio(kind):6.1%} of "
+                f"misses are secondary (same line already in flight)"
+            )
+    print(f"  without MSHRs every one becomes a redundant 128B fetch:")
+    for count in (0, 16, 32, 64, 128):
+        result = run(workload, designs.mshr_x(count))
+        print(
+            f"    {count:4d} MSHRs: normalized IPC {result.ipc / base.ipc:6.3f}, "
+            f"metadata traffic {result.metadata_fraction():6.1%}"
+        )
+
+    print("\n--- 2. what capacity buys (and what it cannot) ---")
+    for kb in (2, 4, 8, 16, 32, 64):
+        result = run(workload, designs.mdc_size(kb * 1024))
+        print(
+            f"    {kb:3d}KB/kind: normalized IPC {result.ipc / base.ipc:6.3f}, "
+            f"ctr miss {result.metadata_miss_rate(MetadataKind.COUNTER):6.1%}, "
+            f"mac miss {result.metadata_miss_rate(MetadataKind.MAC):6.1%}"
+        )
+
+    print("\n--- 3. separate vs unified (same 6KB per partition) ---")
+    for label, secure in (("separate 3x2KB", designs.separate()),
+                          ("unified 6KB", designs.unified())):
+        result = run(workload, secure)
+        rates = "  ".join(
+            f"{kind.value}={result.metadata_miss_rate(kind):5.1%}"
+            for kind in MetadataKind
+        )
+        print(
+            f"    {label:15s}: normalized IPC {result.ipc / base.ipc:6.3f}, "
+            f"miss rates {rates}"
+        )
+    print(
+        "\nStreaming workloads thrash the unified cache: newly fetched"
+        "\nblocks of one kind evict the still-useful blocks of the others,"
+        "\nso separate caches win on GPUs (the opposite of Lehman et al.'s"
+        "\nCPU conclusion)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: measure the cost of GPU secure memory on one workload.
+
+Builds a scaled GPU (paper Table I ratios), runs the `fdtd2d` proxy on the
+insecure baseline and on counter-mode + MAC + Bonsai-Merkle-Tree secure
+memory, and prints what the paper's Figures 3 and 4 would show for it.
+
+Run:  python examples/quickstart.py [benchmark-name]
+"""
+
+import sys
+
+from repro import (
+    EncryptionMode,
+    GpuConfig,
+    IntegrityMode,
+    MetadataKind,
+    SecureMemoryConfig,
+    get_benchmark,
+    simulate,
+)
+
+HORIZON = 10_000
+WARMUP = 30_000
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "fdtd2d"
+    workload = get_benchmark(name)
+
+    baseline_gpu = GpuConfig.scaled(num_partitions=4)
+    secure_gpu = GpuConfig.scaled(
+        num_partitions=4,
+        secure=SecureMemoryConfig(
+            encryption=EncryptionMode.COUNTER,
+            integrity=IntegrityMode.MAC_TREE,
+        ).with_metadata_mshrs(64),
+    )
+
+    print(f"workload: {name}  (category: {workload.category})")
+    print(f"GPU: {baseline_gpu.num_sms} SMs, {baseline_gpu.num_partitions} partitions, "
+          f"{baseline_gpu.total_bandwidth_gbps:.0f} GB/s\n")
+
+    base = simulate(baseline_gpu, workload, horizon=HORIZON, warmup=WARMUP)
+    secure = simulate(secure_gpu, workload, horizon=HORIZON, warmup=WARMUP)
+
+    print(f"baseline IPC:        {base.ipc:8.1f}  "
+          f"(bandwidth {base.bandwidth_utilization:5.1%}, "
+          f"L2 miss {base.l2_miss_rate:5.1%})")
+    print(f"secure-memory IPC:   {secure.ipc:8.1f}  "
+          f"(bandwidth {secure.bandwidth_utilization:5.1%})")
+    print(f"normalized IPC:      {secure.ipc / base.ipc:8.3f}  "
+          f"(slowdown {1 - secure.ipc / base.ipc:5.1%})\n")
+
+    print("DRAM traffic breakdown under secure memory (Fig. 4 view):")
+    for category, share in secure.traffic_fractions().items():
+        print(f"  {category:5s} {share:6.1%}")
+
+    print("\nmetadata cache behaviour:")
+    for kind in MetadataKind:
+        stats = secure.metadata[kind]
+        if not stats["accesses"]:
+            continue
+        print(
+            f"  {kind.value:4s} miss rate {secure.metadata_miss_rate(kind):6.1%}, "
+            f"secondary-miss share {secure.secondary_miss_ratio(kind):6.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: every table and figure, paper vs. measured.
+
+Runs the full experiment matrix at the documentation scale (4 partitions /
+10 SMs, 10k-cycle measured window after a 30k-cycle warmup — large enough
+for steady-state L2 churn) and writes the paper-vs-measured record the
+repository ships.  A JSON cache under ``results/`` makes re-runs
+incremental.
+
+Usage:  python scripts/regenerate_experiments.py [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+from repro.analysis.report import render_series_table
+from repro.experiments import figures
+from repro.experiments.runner import Runner
+from repro.workloads.suite import BENCHMARK_ORDER
+
+PARTITIONS = 4
+HORIZON = 10_000
+WARMUP = 30_000
+
+ORDER = BENCHMARK_ORDER + ["Gmean", "Average"]
+
+#: (title, paper-expectation text) per experiment, in paper order.
+NARRATIVE = {
+    "table2": (
+        "Table II — metadata organization and storage",
+        "Paper: counters 32 MB, MACs 256 MB, BMT 2.14 MB (total 290.14 MB "
+        "counter-mode); MACs 256 MB + MT 17.1 MB (total 273.1 MB direct). "
+        "Exact arithmetic — matches to rounding.",
+    ),
+    "table4": (
+        "Table IV — baseline characterization",
+        "Paper bands reproduced per benchmark (bw_util within or near each "
+        "band; relative IPC structure preserved: lavaMD fastest, nw/kmeans "
+        "slowest, three clean intensity categories).",
+    ),
+    "fig3": (
+        "Figure 3 — counter-mode + BMT overhead, idealized designs",
+        "Paper: secureMem loses 65.9% on average (up to 91% for lbm); "
+        "0_crypto does not help; perfect/unlimited metadata caches recover "
+        "nearly all of it. Shape check: secureMem << large_mdc ~ perf_mdc "
+        "~ 1.0, 0_crypto ~= secureMem.",
+    ),
+    "fig4": (
+        "Figure 4 — memory-request distribution under secureMem",
+        "Paper: MACs 25.6% and counters 21.8% of traffic on average; "
+        "non-memory-intensive benchmarks show 62-75% metadata traffic yet "
+        "no slowdown (bandwidth headroom).",
+    ),
+    "fig5": (
+        "Figure 5 — secondary misses in metadata caches",
+        "Paper: 65.0% / 59.7% / 85.6% of ctr/MAC/BMT misses are secondary; "
+        ">90% for streaming workloads like streamcluster.",
+    ),
+    "fig6": (
+        "Figure 6 — IPC vs metadata-cache MSHRs",
+        "Paper: monotone improvement, 64 MSHRs a good cost/performance "
+        "point.",
+    ),
+    "fig7": (
+        "Figure 7 — IPC vs metadata cache size",
+        "Paper: bigger helps, but 46.2% mean loss remains at 64 KB/kind "
+        "(6 MB total): kmeans/srad_v2/lbm stay heavily degraded.",
+    ),
+    "fig8": (
+        "Figure 8 — unified vs separate metadata caches",
+        "Paper: separate wins on GPUs (streaming thrash), the opposite of "
+        "the CPU conclusion of Lehman et al.",
+    ),
+    "fig9": (
+        "Figure 9 — metadata miss rates, unified vs separate",
+        "Paper: unified raises every kind's miss rate (ctr 22.8->24.0%, "
+        "mac 31.75->31.82%, bmt 4.0->5.9%) and produces 1.47x the metadata "
+        "writebacks. At our scaled per-partition pressure ctr/mac run "
+        "near-saturated in both organizations; the BMT rate and the "
+        "writeback traffic carry the signal.",
+    ),
+    "fig10_11": (
+        "Figures 10-11 — reuse distance of fdtd2d counter/MAC accesses",
+        "Paper: mass concentrates at distance 0 (sectored-L2 bursts); the "
+        "unified cache shifts reuse from short [1,8] distances toward "
+        "[65,512], i.e. it needs more capacity to catch the same reuse.",
+    ),
+    "fig12": (
+        "Figure 12 — 1 vs 2 AES engines per partition",
+        "Paper: one pipelined engine per partition is enough; metadata "
+        "traffic, not AES throughput, is the bottleneck.",
+    ),
+    "fig13": (
+        "Figure 13 — L2 capacity sensitivity (die-area tradeoff)",
+        "Paper: shrinking L2 from 6 MB to 4 MB barely moves most "
+        "benchmarks; medium-intensity ones with L2-resident hot sets "
+        "degrade most.",
+    ),
+    "fig14": (
+        "Figure 14 — baseline L2 miss rate",
+        "Paper: streaming memory-intensive benchmarks near 100% (e.g. "
+        "streamcluster 97%); compute/tiled ones low.",
+    ),
+    "fig15": (
+        "Figure 15 — direct-encryption latency sweep",
+        "Paper: 1.33% / 3.02% / 5.93% mean slowdown at 40/80/160 cycles; "
+        "nw, b+tree and streamcluster exceed 10% at 160.",
+    ),
+    "fig16": (
+        "Figure 16 — direct vs counter-mode (confidentiality only)",
+        "Paper: direct is nearly free; ctr costs 33.1% on average (66.4% "
+        "for lbm); ctr+BMT 43.9%.",
+    ),
+    "fig17": (
+        "Figure 17 — integrity protection comparison (6 KB budget)",
+        "Paper mean slowdowns: ctr_mac_bmt 63.5%, direct_mac 42.7%, "
+        "direct_mac_mt 71.9% — direct+MAC wins; the 7-level MT is what "
+        "makes full direct-mode integrity expensive. Measured deviation: "
+        "direct_mac_mt lands at ~ctr_mac_bmt rather than clearly below it; "
+        "the scaled per-partition MT is one level shallower than the "
+        "paper's global tree, muting the tree-height penalty.",
+    ),
+    "ablations": (
+        "Extension — ablations of the adopted design choices",
+        "Beyond the paper: speculative verification and lazy update are "
+        "nearly free on GPUs (latency tolerance absorbs blocking checks); "
+        "selective encryption (Zuo et al.) scales the cost smoothly with "
+        "the protected fraction; and on a non-sectored L2 (normalized to a "
+        "non-sectored baseline) much of the secondary-miss amplification "
+        "disappears — confirming Section V-B's causal mechanism.",
+    ),
+    "occupancy": (
+        "Extension — latency tolerance vs occupancy (mechanism of Fig. 15)",
+        "Direct encryption's 160-cycle latency on streamcluster, at "
+        "different warps-per-SM caps: the slowdown shrinks as occupancy "
+        "grows, the TLP argument made explicit.",
+    ),
+    "table6_7": (
+        "Tables VI-VII — die area and L2 displacement",
+        "Paper: AES 0.0036 mm^2 at 12 nm; security hardware displaces "
+        "~1526 KB (24.84%) of the 6 MB L2. Exact arithmetic.",
+    ),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--fast", action="store_true", help="small windows (smoke run)")
+    parser.add_argument("--output", default=str(ROOT / "EXPERIMENTS.md"))
+    args = parser.parse_args()
+
+    horizon, warmup = (3000, 6000) if args.fast else (HORIZON, WARMUP)
+    cache = ROOT / "results" / f"experiments_p{PARTITIONS}_h{horizon}_w{warmup}.json"
+    runner = Runner(horizon=horizon, warmup=warmup, cache_path=cache)
+
+    sections = []
+    started = time.time()
+
+    def render(table, fmt="{:.3f}"):
+        rows = [r for r in ORDER if r in table]
+        rows += [r for r in table if r not in ORDER]
+        return render_series_table("", table, value_format=fmt, row_order=rows)
+
+    for key, (title, expectation) in NARRATIVE.items():
+        t0 = time.time()
+        if key == "table2":
+            body = render(figures.table2(), fmt="{:.2f}")
+        elif key == "table6_7":
+            body = render(figures.table6_7(), fmt="{:.5f}")
+        elif key == "fig10_11":
+            out = figures.fig10_11(runner, PARTITIONS)
+            body = (
+                render_series_table("counters (Fig 10):", out["fig10_ctr"], "{:.0f}")
+                + "\n\n"
+                + render_series_table("MACs (Fig 11):", out["fig11_mac"], "{:.0f}")
+            )
+        elif key == "fig9":
+            body = render(figures.fig9(runner, PARTITIONS), fmt="{:.4f}")
+        elif key == "table4":
+            body = render(figures.table4(runner, PARTITIONS), fmt="{:.1f}")
+        elif key == "occupancy":
+            body = render(figures.occupancy_study(runner, PARTITIONS), fmt="{:.3f}")
+        else:
+            body = render(figures.ALL_FIGURES[key](runner, PARTITIONS))
+        elapsed = time.time() - t0
+        print(f"[{elapsed:7.1f}s] {title}", flush=True)
+        sections.append(f"## {title}\n\n{expectation}\n\n```\n{body}\n```\n")
+
+    header = f"""# EXPERIMENTS — paper vs. measured
+
+Generated by `python scripts/regenerate_experiments.py` on a scaled GPU
+({PARTITIONS} memory partitions / {PARTITIONS * 80 // 32} SMs, preserving the paper's
+per-partition bandwidth, L2 share, metadata caches and SM:partition ratio),
+measuring a {horizon:,}-cycle window after a {warmup:,}-cycle cache warmup.
+Workloads are the calibrated proxies of `repro.workloads.suite` (see
+DESIGN.md for the substitution rationale).  Normalized-IPC tables are
+relative to the insecure baseline GPU at the same scale; `Gmean` is the
+geometric mean the paper uses.
+
+Absolute numbers are not expected to match the paper (different substrate,
+different scale); the claim reproduced is the *shape*: who wins, by
+roughly what factor, and where the crossovers fall.  Each section states
+the paper's result next to the measured table.
+
+Total regeneration time: {{TOTAL}} minutes.
+"""
+
+    text = header + "\n" + "\n".join(sections)
+    total_min = (time.time() - started) / 60
+    text = text.replace("{TOTAL}", f"{total_min:.1f}")
+    Path(args.output).write_text(text)
+    print(f"wrote {args.output} in {total_min:.1f} min")
+
+
+if __name__ == "__main__":
+    main()

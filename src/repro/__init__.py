@@ -1,0 +1,50 @@
+"""repro — reproduction of "Analyzing Secure Memory Architecture for GPUs".
+
+(S. Yuan, A. W. B. Yudha, Y. Solihin, H. Zhou — ISPASS 2021.)
+
+Public API quick tour::
+
+    from repro import GpuConfig, SecureMemoryConfig, simulate, get_benchmark
+    from repro.common.config import EncryptionMode, IntegrityMode
+
+    secure = SecureMemoryConfig(encryption=EncryptionMode.COUNTER,
+                                integrity=IntegrityMode.MAC_TREE)
+    config = GpuConfig.scaled(num_partitions=4, secure=secure)
+    result = simulate(config, get_benchmark("fdtd2d"), horizon=20_000)
+    print(result.ipc, result.traffic_fractions())
+
+The named design points of the paper's Tables V and VIII live in
+:mod:`repro.experiments.designs`; per-figure drivers in
+:mod:`repro.experiments.figures`.
+"""
+
+from repro.common.config import (
+    CacheConfig,
+    DramConfig,
+    EncryptionMode,
+    GpuConfig,
+    IntegrityMode,
+    MetadataCacheConfig,
+    MetadataKind,
+    SecureMemoryConfig,
+)
+from repro.sim.gpu import Gpu, SimulationResult, simulate
+from repro.workloads.suite import BENCHMARKS, get_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARKS",
+    "CacheConfig",
+    "DramConfig",
+    "EncryptionMode",
+    "Gpu",
+    "GpuConfig",
+    "IntegrityMode",
+    "MetadataCacheConfig",
+    "MetadataKind",
+    "SecureMemoryConfig",
+    "SimulationResult",
+    "get_benchmark",
+    "simulate",
+]

@@ -1,0 +1,6 @@
+"""Post-processing: reuse-distance analysis, die-area model, reporting."""
+
+from repro.analysis.area import AreaModel
+from repro.analysis.reuse import reuse_distance_histogram, stack_distances
+
+__all__ = ["AreaModel", "reuse_distance_histogram", "stack_distances"]

@@ -1,0 +1,114 @@
+"""Die-area model (Section V-F, Tables VI and VII).
+
+The paper takes published AES-engine areas, scales the most recent (14 nm)
+design to the GPU's 12 nm node, estimates metadata-cache area with CACTI's
+32 nm numbers scaled the same way, and asks how much L2 capacity must be
+sacrificed to fit the security hardware.  Area scales with the square of
+the feature size, which reproduces the paper's numbers exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common import params
+
+
+def scale_area(area_mm2: float, from_nm: float, to_nm: float) -> float:
+    """Quadratic technology scaling of a die area."""
+    if from_nm <= 0 or to_nm <= 0:
+        raise ValueError("feature sizes must be positive")
+    return area_mm2 * (to_nm / from_nm) ** 2
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Security-hardware area and the L2 capacity it displaces."""
+
+    num_partitions: int = params.PAPER_NUM_PARTITIONS
+    target_nm: float = 12.0
+    aes_area_mm2_14nm: float = params.AES_AREA_MM2_14NM
+    cache64_area_mm2_32nm: float = params.CACHE_64KB_AREA_MM2_32NM
+    cache96_area_mm2_32nm: float = params.CACHE_96KB_AREA_MM2_32NM
+
+    @property
+    def aes_area_mm2(self) -> float:
+        """One AES engine at the target node (Table VII: 0.0036 mm^2)."""
+        return scale_area(self.aes_area_mm2_14nm, 14.0, self.target_nm)
+
+    @property
+    def cache64_area_mm2(self) -> float:
+        """A 64 KB cache at the target node (Table VII: 0.01769 mm^2)."""
+        return scale_area(self.cache64_area_mm2_32nm, 32.0, self.target_nm)
+
+    @property
+    def cache96_area_mm2(self) -> float:
+        """A 96 KB (one L2 bank) cache at the target node (0.01801 mm^2)."""
+        return scale_area(self.cache96_area_mm2_32nm, 32.0, self.target_nm)
+
+    # ------------------------------------------------------------------
+
+    def aes_total_area(self, engines_per_partition: int) -> float:
+        """All AES engines on the chip (0.1152 / 0.2304 mm^2 for 1 / 2)."""
+        return self.aes_area_mm2 * engines_per_partition * self.num_partitions
+
+    def metadata_cache_area(self, kinds: int = 3) -> float:
+        """Aggregated metadata caches: 64 KB total per kind across partitions.
+
+        The paper sizes each kind at 2 KB x 32 partitions = 64 KB and uses
+        CACTI's 64 KB estimate per kind (CACTI cannot model 2 KB caches).
+        """
+        return self.cache64_area_mm2 * kinds
+
+    def l2_equivalent_kb(self, area_mm2: float) -> float:
+        """How many KB of L2 the given area corresponds to."""
+        return area_mm2 / self.cache96_area_mm2 * 96.0
+
+    def l2_reduction_kb(
+        self, aes_engines_per_partition: int = 1, mac_units_per_partition: int = 1
+    ) -> float:
+        """Total L2 capacity displaced by AES engines, MAC units and caches.
+
+        The paper assumes MAC units match AES engines in area, yielding
+        614 + 614 + ~283 KB (~1.5 MB, 24.84% of the 6 MB L2) for one engine
+        and one MAC unit per partition.
+        """
+        aes_kb = self.l2_equivalent_kb(self.aes_total_area(aes_engines_per_partition))
+        mac_kb = self.l2_equivalent_kb(self.aes_total_area(mac_units_per_partition))
+        cache_kb = self.l2_equivalent_kb(self.metadata_cache_area())
+        return aes_kb + mac_kb + cache_kb
+
+    def l2_reduction_fraction(self, **kwargs) -> float:
+        total_kb = params.PAPER_L2_TOTAL / 1024
+        return self.l2_reduction_kb(**kwargs) / total_kb
+
+    # ------------------------------------------------------------------
+
+    def table6(self) -> Dict[str, Dict[str, float]]:
+        """The published AES-engine datapoints (Table VI)."""
+        return {
+            "JSSC'11": {"tech_nm": 45, "area_mm2": 0.15},
+            "JSSC'19": {"tech_nm": 130, "area_mm2": 13241e-6},
+            "JSSC'20": {"tech_nm": 14, "area_mm2": params.AES_AREA_MM2_14NM},
+        }
+
+    def table7(self) -> Dict[str, Dict[str, float]]:
+        """Scaled-to-12nm areas (Table VII)."""
+        return {
+            "AES engine": {
+                "native_mm2": self.aes_area_mm2_14nm,
+                "native_nm": 14,
+                "scaled_mm2": self.aes_area_mm2,
+            },
+            "64KB cache": {
+                "native_mm2": self.cache64_area_mm2_32nm,
+                "native_nm": 32,
+                "scaled_mm2": self.cache64_area_mm2,
+            },
+            "96KB cache": {
+                "native_mm2": self.cache96_area_mm2_32nm,
+                "native_nm": 32,
+                "scaled_mm2": self.cache96_area_mm2,
+            },
+        }

@@ -1,0 +1,49 @@
+"""ASCII bar charts, for figure-shaped terminal output.
+
+The paper's figures are bar charts; :func:`render_bar_chart` gives the
+benchmark harness a visual rendition next to the numeric tables, e.g.::
+
+    fdtd2d     secureMem |#####                                   | 0.148
+               large_mdc |###################################     | 0.886
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+DEFAULT_WIDTH = 40
+
+
+def render_bar(value: float, peak: float, width: int = DEFAULT_WIDTH) -> str:
+    """One bar scaled so that *peak* fills *width* characters."""
+    if peak <= 0:
+        filled = 0
+    else:
+        filled = max(0, min(width, round(width * value / peak)))
+    return "#" * filled + " " * (width - filled)
+
+
+def render_bar_chart(
+    series: Mapping[str, Mapping[str, float]],
+    peak: float | None = None,
+    width: int = DEFAULT_WIDTH,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Grouped bars for ``{row: {column: value}}`` (the figure shape)."""
+    values = [v for row in series.values() for v in row.values()]
+    if not values:
+        return "(empty)"
+    scale = peak if peak is not None else max(values)
+    row_width = max((len(r) for r in series), default=0)
+    col_width = max((len(c) for row in series.values() for c in row), default=0)
+    lines = []
+    for row_name, row in series.items():
+        for i, (column, value) in enumerate(row.items()):
+            label = row_name if i == 0 else ""
+            bar = render_bar(value, scale, width)
+            lines.append(
+                f"{label:<{row_width}} {column:<{col_width}} |{bar}| "
+                + value_format.format(value)
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

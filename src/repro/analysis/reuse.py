@@ -1,0 +1,103 @@
+"""Reuse-distance (LRU stack distance) analysis for metadata traces.
+
+Section V-D studies the reuse distance of counter and MAC accesses (Figures
+10 and 11): the number of *distinct* cache blocks referenced between two
+accesses to the same block.  A distance of 0 means back-to-back accesses to
+the same metadata line — the dominant case on GPUs because of streaming plus
+sectored L2 misses.
+
+The implementation is the classic Fenwick-tree stack-distance algorithm,
+O(n log n) over the trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: the paper's histogram buckets: [x, y] of Figures 10-11.
+DEFAULT_BUCKETS: Tuple[Tuple[int, int], ...] = (
+    (0, 0),
+    (1, 8),
+    (9, 64),
+    (65, 512),
+    (513, 4096),
+)
+
+
+class _Fenwick:
+    """Binary indexed tree over trace positions."""
+
+    def __init__(self, n: int) -> None:
+        self._tree = [0] * (n + 1)
+        self._n = n
+
+    def add(self, i: int, delta: int) -> None:
+        i += 1
+        while i <= self._n:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, i: int) -> int:
+        i += 1
+        total = 0
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum over positions in [lo, hi]."""
+        if hi < lo:
+            return 0
+        return self.prefix(hi) - (self.prefix(lo - 1) if lo > 0 else 0)
+
+
+def stack_distances(trace: Sequence[int]) -> List[Optional[int]]:
+    """LRU stack distance for each access; ``None`` for first accesses.
+
+    ``trace`` is a sequence of block identifiers (e.g. metadata block
+    addresses).  The distance of access *i* to block *b* is the number of
+    distinct blocks touched strictly between *i* and the previous access to
+    *b*.
+    """
+    n = len(trace)
+    tree = _Fenwick(n)
+    last_pos: Dict[int, int] = {}
+    distances: List[Optional[int]] = []
+    for i, block in enumerate(trace):
+        prev = last_pos.get(block)
+        if prev is None:
+            distances.append(None)
+        else:
+            distances.append(tree.range_sum(prev + 1, i - 1))
+            tree.add(prev, -1)
+        tree.add(i, 1)
+        last_pos[block] = i
+    return distances
+
+
+def reuse_distance_histogram(
+    trace: Sequence[int],
+    buckets: Iterable[Tuple[int, int]] = DEFAULT_BUCKETS,
+) -> Dict[str, int]:
+    """Bucketed reuse-distance counts, plus ``cold`` and ``>max`` bins."""
+    buckets = tuple(buckets)
+    histogram: Dict[str, int] = {_label(lo, hi): 0 for lo, hi in buckets}
+    top = max(hi for _, hi in buckets)
+    histogram[f">{top}"] = 0
+    histogram["cold"] = 0
+    for distance in stack_distances(trace):
+        if distance is None:
+            histogram["cold"] += 1
+            continue
+        for lo, hi in buckets:
+            if lo <= distance <= hi:
+                histogram[_label(lo, hi)] += 1
+                break
+        else:
+            histogram[f">{top}"] += 1
+    return histogram
+
+
+def _label(lo: int, hi: int) -> str:
+    return str(lo) if lo == hi else f"[{lo},{hi}]"

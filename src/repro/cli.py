@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``      simulate one workload on one design and print the result
+``sweep``    run all 14 workloads on one design (optionally normalized)
+``figure``   regenerate one paper figure/table and print it
+``designs``  list the named design points
+``attack``   run the functional-security attack demonstration
+``storage``  print Table II's metadata storage arithmetic
+``area``     print Tables VI-VII's die-area arithmetic
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import render_series_table
+from repro.common.config import MetadataKind
+from repro.experiments import designs as design_mod
+from repro.experiments import figures
+from repro.experiments.runner import Runner
+from repro.sim.gpu import simulate
+from repro.workloads.suite import BENCHMARK_ORDER, get_benchmark
+
+#: name -> zero-argument design factory (GPU-level ablations excluded).
+DESIGNS = {
+    "baseline": design_mod.baseline,
+    "secureMem": lambda: design_mod.secure_mem(0),
+    "secureMem_mshr64": lambda: design_mod.secure_mem(64),
+    "0_crypto": lambda: design_mod.zero_crypto(0),
+    "perf_mdc": lambda: design_mod.perfect_mdc(0),
+    "large_mdc": lambda: design_mod.large_mdc(0),
+    "separate": design_mod.separate,
+    "unified": design_mod.unified,
+    "ctr": design_mod.ctr,
+    "ctr_bmt": design_mod.ctr_bmt,
+    "ctr_mac_bmt": design_mod.ctr_mac_bmt,
+    "direct_40": lambda: design_mod.direct(40),
+    "direct_80": lambda: design_mod.direct(80),
+    "direct_160": lambda: design_mod.direct(160),
+    "direct_mac": design_mod.direct_mac,
+    "direct_mac_mt": design_mod.direct_mac_mt,
+    "aes_1": lambda: design_mod.aes_engines(1),
+    "blocking_verify": design_mod.blocking_verification,
+    "eager_update": design_mod.eager_update,
+    "selective_50": lambda: design_mod.selective(0.5),
+    "selective_25": lambda: design_mod.selective(0.25),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Analyzing Secure Memory Architecture for GPUs'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scale(p):
+        p.add_argument("--partitions", type=int, default=4)
+        p.add_argument("--horizon", type=float, default=10_000)
+        p.add_argument("--warmup", type=float, default=30_000)
+
+    run = sub.add_parser("run", help="simulate one workload on one design")
+    run.add_argument("workload", choices=BENCHMARK_ORDER)
+    run.add_argument("--design", choices=sorted(DESIGNS), default="secureMem_mshr64")
+    add_scale(run)
+
+    sweep = sub.add_parser("sweep", help="all 14 workloads on one design")
+    sweep.add_argument("--design", choices=sorted(DESIGNS), default="secureMem_mshr64")
+    sweep.add_argument(
+        "--normalize", action="store_true", help="report IPC relative to the baseline"
+    )
+    add_scale(sweep)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure/table")
+    figure.add_argument(
+        "name",
+        choices=sorted(set(figures.ALL_FIGURES) | {"fig10_11", "table2", "table6_7"}),
+    )
+    add_scale(figure)
+
+    sub.add_parser("designs", help="list the named design points")
+    sub.add_parser("attack", help="run the functional-security attack demo")
+    sub.add_parser("storage", help="print Table II metadata storage")
+    sub.add_parser("area", help="print Tables VI-VII die areas")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    secure = DESIGNS[args.design]()
+    config = design_mod.build_gpu(secure, num_partitions=args.partitions)
+    result = simulate(
+        config, get_benchmark(args.workload), horizon=args.horizon, warmup=args.warmup
+    )
+    print(f"workload          {args.workload}")
+    print(f"design            {args.design}")
+    print(f"IPC               {result.ipc:.2f}")
+    print(f"bandwidth util    {result.bandwidth_utilization:.1%}")
+    print(f"L2 miss rate      {result.l2_miss_rate:.1%}")
+    for category, share in result.traffic_fractions().items():
+        print(f"traffic {category:5s}     {share:.1%}")
+    for kind in MetadataKind:
+        if result.metadata[kind]["accesses"]:
+            print(
+                f"{kind.value} miss rate     {result.metadata_miss_rate(kind):.1%} "
+                f"(secondary {result.secondary_miss_ratio(kind):.1%})"
+            )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    runner = Runner(horizon=args.horizon, warmup=args.warmup)
+    secure = DESIGNS[args.design]()
+    config = design_mod.build_gpu(secure, num_partitions=args.partitions)
+    if args.normalize:
+        base = design_mod.build_gpu(None, num_partitions=args.partitions)
+        series = runner.normalized_sweep(config, base)
+        table = {name: {"norm_ipc": value} for name, value in series.items()}
+    else:
+        table = {
+            name: {
+                "ipc": result.ipc,
+                "bw_util": result.bandwidth_utilization,
+                "l2_miss": result.l2_miss_rate,
+            }
+            for name, result in runner.sweep(config).items()
+        }
+    print(render_series_table(f"design: {args.design}", table))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    runner = Runner(horizon=args.horizon, warmup=args.warmup)
+    if args.name == "fig10_11":
+        out = figures.fig10_11(runner, args.partitions)
+        for title, table in out.items():
+            print(render_series_table(title, table, value_format="{:.0f}"))
+        return 0
+    if args.name == "table2":
+        print(render_series_table("table2 (MB)", figures.table2(), "{:.2f}"))
+        return 0
+    if args.name == "table6_7":
+        print(render_series_table("tables 6-7", figures.table6_7(), "{:.5f}"))
+        return 0
+    table = figures.ALL_FIGURES[args.name](runner, args.partitions)
+    print(render_series_table(args.name, table))
+    return 0
+
+
+def _cmd_designs() -> int:
+    for name in sorted(DESIGNS):
+        factory = DESIGNS[name]
+        secure = factory()
+        if secure is None:
+            print(f"{name:18s} insecure baseline")
+            continue
+        print(
+            f"{name:18s} enc={secure.encryption.value:7s} "
+            f"integrity={secure.integrity.value:8s} "
+            f"mshrs={secure.counter_cache.num_mshrs}"
+        )
+    return 0
+
+
+def _cmd_attack() -> int:
+    from repro.secure.functional import IntegrityError, SecureMemory, SecureMemoryMode
+
+    size = 16 * 1024
+    print("attack matrix (16 KB functional secure memory):\n")
+    print(f"{'mode':14s} {'tamper':>10s} {'splice':>10s} {'replay':>10s}")
+    for mode in SecureMemoryMode:
+        outcomes = []
+        for attack in ("tamper", "splice", "replay"):
+            memory = SecureMemory(protected_bytes=size, mode=mode)
+            memory.write(0, b"A" * 64)
+            memory.write(128, b"B" * 64)
+            if attack == "tamper":
+                memory.tamper(4, b"\xff\xff")
+            elif attack == "splice":
+                line0 = bytes(memory.store[0:128])
+                memory.tamper(0, bytes(memory.store[128:256]))
+                memory.tamper(128, line0)
+            else:
+                stale = memory.snapshot()
+                memory.write(0, b"C" * 64)
+                memory.restore(stale)
+            try:
+                memory.read(0, 64)
+                outcomes.append("missed")
+            except IntegrityError:
+                outcomes.append("DETECTED")
+        print(f"{mode.value:14s} {outcomes[0]:>10s} {outcomes[1]:>10s} {outcomes[2]:>10s}")
+    print(
+        "\nencryption-only modes miss everything; MACs catch tampering and"
+        "\nsplicing; only a tree (BMT/MT) catches replay."
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "designs":
+        return _cmd_designs()
+    if args.command == "attack":
+        return _cmd_attack()
+    if args.command == "storage":
+        print(render_series_table("Table II (MB)", figures.table2(), "{:.2f}"))
+        return 0
+    if args.command == "area":
+        print(render_series_table("Tables VI-VII", figures.table6_7(), "{:.5f}"))
+        return 0
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Shared configuration, constants and statistics infrastructure."""
+
+from repro.common.config import (
+    CacheConfig,
+    DramConfig,
+    GpuConfig,
+    MetadataCacheConfig,
+    SecureMemoryConfig,
+)
+from repro.common.stats import StatGroup
+
+__all__ = [
+    "CacheConfig",
+    "DramConfig",
+    "GpuConfig",
+    "MetadataCacheConfig",
+    "SecureMemoryConfig",
+    "StatGroup",
+]

@@ -1,0 +1,94 @@
+"""Named constants taken directly from the paper (Tables I-III and Section IV).
+
+Everything size-like is in bytes unless the name says otherwise; everything
+latency-like is in core cycles unless the name says otherwise.
+"""
+
+# --- Data geometry (Section II-A, IV) -------------------------------------
+
+CACHE_LINE_BYTES = 128
+SECTOR_BYTES = 32
+SECTORS_PER_LINE = CACHE_LINE_BYTES // SECTOR_BYTES  # 4
+
+#: Size of the protected device-memory range ("a range of 4GB device memory
+#: is protected").
+PROTECTED_MEMORY_BYTES = 4 * 1024**3
+
+# --- Baseline GPU (Table I) ------------------------------------------------
+
+PAPER_NUM_SMS = 80
+PAPER_CORE_CLOCK_MHZ = 1132
+PAPER_REGISTER_FILE_PER_SM = 256 * 1024
+PAPER_L1_SIZE = 32 * 1024
+PAPER_SHARED_MEM_PER_SM = 96 * 1024
+PAPER_L2_BANKS_PER_PARTITION = 2
+PAPER_L2_BANK_SIZE = 96 * 1024
+PAPER_L2_TOTAL = 6 * 1024 * 1024
+PAPER_DRAM_CLOCK_MHZ = 850
+PAPER_DRAM_BANDWIDTH_GBPS = 868.0
+PAPER_NUM_PARTITIONS = 32
+
+# --- Counter geometry (Section IV) -----------------------------------------
+#
+# "each counter cache line maintains one 128-bit major counter (shared by
+#  data blocks within a 16KB memory chunk) and 128 7-bit per block minor
+#  counters, thereby covering 128 lines of data"
+
+MAJOR_COUNTER_BITS = 128
+MINOR_COUNTER_BITS = 7
+MINOR_COUNTERS_PER_BLOCK = 128
+DATA_PER_COUNTER_BLOCK = MINOR_COUNTERS_PER_BLOCK * CACHE_LINE_BYTES  # 16 KB
+COUNTER_STORAGE_RATIO = DATA_PER_COUNTER_BLOCK // CACHE_LINE_BYTES  # 128
+
+# --- MAC geometry (Section IV) ---------------------------------------------
+#
+# "Using a 64-bit MAC for each 128B data ... we use truncated MAC, i.e.,
+#  16-bit MAC for each 32B sector."
+
+MAC_BITS_PER_LINE = 64
+MAC_BYTES_PER_LINE = MAC_BITS_PER_LINE // 8  # 8
+MAC_BITS_PER_SECTOR = 16
+MAC_BYTES_PER_SECTOR = MAC_BITS_PER_SECTOR // 8  # 2
+DATA_PER_MAC_BLOCK = (CACHE_LINE_BYTES // MAC_BYTES_PER_LINE) * CACHE_LINE_BYTES  # 2 KB
+MACS_PER_BLOCK = CACHE_LINE_BYTES // MAC_BYTES_PER_LINE  # 16 data lines per MAC line
+
+# --- Integrity trees (Section IV, Table II) ---------------------------------
+
+TREE_ARITY = 16
+BMT_LEVELS = 6  # counter-mode: BMT over the counter blocks
+MT_LEVELS = 7   # direct: MT over the MAC blocks
+
+# --- Secure engine (Section IV, Table III) ----------------------------------
+
+#: A pipelined AES-128 engine produces 16B per memory-clock cycle.
+AES_BYTES_PER_MEM_CYCLE = 16
+DEFAULT_AES_ENGINES_PER_PARTITION = 2
+DEFAULT_AES_LATENCY = 40
+DEFAULT_MAC_LATENCY = 40
+
+DEFAULT_METADATA_CACHE_SIZE = 2 * 1024
+DEFAULT_METADATA_MSHRS = 64
+UNIFIED_METADATA_CACHE_SIZE = 6 * 1024
+UNIFIED_METADATA_MSHRS = 192
+
+#: Maximum merged requests per MSHR entry for counter / MAC / BMT caches
+#: (Section V-B: "each MSHR entry can merge at most 512/64/64 requests").
+MSHR_MERGE_CAP_COUNTER = 512
+MSHR_MERGE_CAP_MAC = 64
+MSHR_MERGE_CAP_BMT = 64
+
+# --- Storage overheads reported in Table II (for verification) --------------
+
+TABLE2_COUNTER_STORAGE = 32 * 1024**2        # 32 MB
+TABLE2_MAC_STORAGE = 256 * 1024**2           # 256 MB
+TABLE2_BMT_STORAGE_MB = 2.14                 # ~2.14 MB (excl. leaf counters)
+TABLE2_MT_STORAGE_MB = 17.1                  # ~17.1 MB (excl. leaf MACs)
+
+# --- Die area constants (Tables VI-VII) --------------------------------------
+
+AES_AREA_MM2_14NM = 0.0049
+AES_AREA_MM2_12NM = 0.0036
+CACHE_64KB_AREA_MM2_32NM = 0.125821
+CACHE_96KB_AREA_MM2_32NM = 0.128101
+CACHE_64KB_AREA_MM2_12NM = 0.01769
+CACHE_96KB_AREA_MM2_12NM = 0.01801

@@ -1,0 +1,6 @@
+"""Experiment drivers: one function per paper table/figure."""
+
+from repro.experiments import designs, figures
+from repro.experiments.runner import Runner
+
+__all__ = ["Runner", "designs", "figures"]

@@ -1,0 +1,144 @@
+"""Experiment executor with result caching.
+
+Figures share many simulation points (every figure needs the insecure
+baseline, several share ``secureMem``); the :class:`Runner` memoizes
+results by (workload, configuration, window) so a full paper regeneration
+runs each distinct point exactly once.  An optional JSON cache file makes
+re-runs across processes incremental.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import math
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.config import GpuConfig, MetadataKind
+from repro.sim.gpu import SimulationResult, simulate
+from repro.workloads.suite import BENCHMARK_ORDER, get_benchmark
+
+
+def _jsonable(obj):
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(obj).items()}
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    return obj
+
+
+def config_key(config: GpuConfig) -> str:
+    """A stable digest of every field of a GPU configuration."""
+    blob = json.dumps(_jsonable(config), sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:20]
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    return {
+        "workload": result.workload,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "ipc": result.ipc,
+        "bandwidth_utilization": result.bandwidth_utilization,
+        "dram_txn": result.dram_txn,
+        "l2_accesses": result.l2_accesses,
+        "l2_misses": result.l2_misses,
+        "counter_overflows": result.counter_overflows,
+        "metadata": {k.value: dict(v) for k, v in result.metadata.items()},
+    }
+
+
+def result_from_dict(data: dict) -> SimulationResult:
+    return SimulationResult(
+        workload=data["workload"],
+        cycles=data["cycles"],
+        instructions=data["instructions"],
+        ipc=data["ipc"],
+        bandwidth_utilization=data["bandwidth_utilization"],
+        dram_txn=dict(data["dram_txn"]),
+        l2_accesses=data["l2_accesses"],
+        l2_misses=data["l2_misses"],
+        counter_overflows=data.get("counter_overflows", 0.0),
+        metadata={MetadataKind(k): dict(v) for k, v in data["metadata"].items()},
+    )
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean, the paper's cross-benchmark aggregate."""
+    values = [max(v, 1e-12) for v in values]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class Runner:
+    """Runs (workload, config) points once and remembers the answers."""
+
+    def __init__(
+        self,
+        horizon: float = 12_000,
+        warmup: float = 18_000,
+        benchmarks: Optional[List[str]] = None,
+        cache_path: Optional[str | Path] = None,
+    ) -> None:
+        self.horizon = horizon
+        self.warmup = warmup
+        self.benchmarks = list(benchmarks) if benchmarks is not None else list(BENCHMARK_ORDER)
+        self._memory: Dict[Tuple[str, str], SimulationResult] = {}
+        self._cache_path = Path(cache_path) if cache_path else None
+        self._disk: Dict[str, dict] = {}
+        if self._cache_path and self._cache_path.exists():
+            self._disk = json.loads(self._cache_path.read_text())
+
+    # ------------------------------------------------------------------
+
+    def run(self, workload_name: str, config: GpuConfig) -> SimulationResult:
+        key = (workload_name, config_key(config))
+        if key in self._memory:
+            return self._memory[key]
+        disk_key = f"{workload_name}:{key[1]}:{self.horizon}:{self.warmup}"
+        if disk_key in self._disk:
+            result = result_from_dict(self._disk[disk_key])
+        else:
+            result = simulate(
+                config, get_benchmark(workload_name), horizon=self.horizon, warmup=self.warmup
+            )
+            if self._cache_path is not None:
+                self._disk[disk_key] = result_to_dict(result)
+                self._flush()
+        self._memory[key] = result
+        return result
+
+    def _flush(self) -> None:
+        self._cache_path.parent.mkdir(parents=True, exist_ok=True)
+        self._cache_path.write_text(json.dumps(self._disk))
+
+    # ------------------------------------------------------------------
+
+    def sweep(self, config: GpuConfig) -> Dict[str, SimulationResult]:
+        """Run every benchmark on one configuration."""
+        return {name: self.run(name, config) for name in self.benchmarks}
+
+    def normalized_ipc(
+        self, workload_name: str, config: GpuConfig, baseline: GpuConfig
+    ) -> float:
+        secure = self.run(workload_name, config)
+        base = self.run(workload_name, baseline)
+        return secure.ipc / base.ipc if base.ipc else 0.0
+
+    def normalized_sweep(
+        self, config: GpuConfig, baseline: GpuConfig
+    ) -> Dict[str, float]:
+        """Normalized IPC per benchmark plus the paper's Gmean aggregate."""
+        series = {
+            name: self.normalized_ipc(name, config, baseline) for name in self.benchmarks
+        }
+        series["Gmean"] = gmean(series.values())
+        return series

@@ -1,0 +1,19 @@
+"""Secure memory architecture models.
+
+This package contains the paper's subject matter:
+
+* :mod:`repro.secure.geometry` — counter/MAC block geometry (Section IV),
+* :mod:`repro.secure.merkle` — BMT/MT shape and node addressing,
+* :mod:`repro.secure.layout` — the off-chip metadata address-space layout,
+* :mod:`repro.secure.aes` — pipelined AES engine throughput/latency model,
+* :mod:`repro.secure.engine` — the per-memory-controller secure engine
+  timing model (counter-mode and direct encryption paths),
+* :mod:`repro.secure.functional` — a functional (real-crypto, non-timing)
+  secure memory used to validate the security semantics.
+"""
+
+from repro.secure.geometry import CounterGeometry, MacGeometry
+from repro.secure.layout import MetadataLayout
+from repro.secure.merkle import TreeGeometry
+
+__all__ = ["CounterGeometry", "MacGeometry", "MetadataLayout", "TreeGeometry"]

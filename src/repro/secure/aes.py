@@ -1,0 +1,98 @@
+"""Pipelined AES engine bank and MAC unit timing models (Section IV).
+
+A pipelined AES-128 engine emits 16 B of keystream/ciphertext per *memory*
+clock cycle, i.e. 13.6 GB/s at 850 MHz.  Two engines per partition match the
+per-partition DRAM bandwidth (868/32 = 27.1 GB/s); one engine halves the
+crypto throughput (the Figure 12 experiment).  Latency and throughput are
+independent: latency is the pipeline depth (hidden in counter mode,
+exposed in direct mode), throughput is the issue rate.
+"""
+
+from __future__ import annotations
+
+from repro.common import params
+from repro.common.stats import StatGroup
+from repro.sim.resource import ThroughputResource
+
+
+class AesEngineBank:
+    """All AES engines of one memory partition, modeled as one fast server."""
+
+    def __init__(
+        self,
+        num_engines: int,
+        latency: int,
+        core_clock_mhz: float,
+        dram_clock_mhz: float,
+        stats: StatGroup | None = None,
+    ) -> None:
+        if num_engines < 1:
+            raise ValueError("need at least one AES engine")
+        self.num_engines = num_engines
+        self.latency = latency
+        self.dram_clock_mhz = dram_clock_mhz
+        self.stats = stats if stats is not None else StatGroup("aes")
+        #: core cycles for the bank to stream one byte.
+        clock_ratio = core_clock_mhz / dram_clock_mhz
+        self.cycles_per_byte = clock_ratio / (params.AES_BYTES_PER_MEM_CYCLE * num_engines)
+        self._pipe = ThroughputResource("aes-bank")
+
+    def process(self, now: float, nbytes: int, available: float | None = None) -> float:
+        """Encrypt/decrypt *nbytes*; returns completion time.
+
+        Completion = queueing for an engine slot + streaming occupancy +
+        pipeline latency.  *available* is when the input data arrives (e.g.
+        the counter or the ciphertext): the engine slot is reserved at *now*
+        (keeping the FCFS resource's arrival order monotone) but processing
+        cannot finish before the data has streamed through.
+        """
+        occupancy = nbytes * self.cycles_per_byte
+        start = self._pipe.acquire(now, occupancy)
+        if available is not None:
+            start = max(start, available)
+        self.stats.add("ops")
+        self.stats.add("bytes", nbytes)
+        return start + occupancy + self.latency
+
+    def utilization(self, elapsed: float) -> float:
+        return self._pipe.utilization(elapsed)
+
+    @property
+    def throughput_gbps(self) -> float:
+        """Aggregate engine throughput in GB/s (13.6 per engine at 850 MHz)."""
+        bytes_per_second = (
+            params.AES_BYTES_PER_MEM_CYCLE * self.num_engines * self.dram_clock_mhz * 1e6
+        )
+        return bytes_per_second / 1e9
+
+
+class MacUnit:
+    """Pipelined MAC/hash unit: fixed latency, generous throughput."""
+
+    def __init__(
+        self,
+        latency: int,
+        core_clock_mhz: float,
+        dram_clock_mhz: float,
+        stats: StatGroup | None = None,
+    ) -> None:
+        self.latency = latency
+        self.stats = stats if stats is not None else StatGroup("mac_unit")
+        clock_ratio = core_clock_mhz / dram_clock_mhz
+        self.cycles_per_op = clock_ratio  # one 32B-sector MAC per memory cycle
+        self._pipe = ThroughputResource("mac-unit")
+
+    def process(self, now: float, n_ops: int = 1, available: float | None = None) -> float:
+        """Compute *n_ops* MACs/hashes; returns completion time.
+
+        As with the AES bank, the unit is reserved at *now* and *available*
+        only floors the completion time.
+        """
+        start = self._pipe.acquire(now, n_ops * self.cycles_per_op)
+        if available is not None:
+            start = max(start, available)
+        self.stats.add("ops", n_ops)
+        return start + n_ops * self.cycles_per_op + self.latency
+
+    def utilization(self, elapsed: float) -> float:
+        return self._pipe.utilization(elapsed)

@@ -1,0 +1,505 @@
+"""Timing model of the per-memory-controller secure engine (Sections IV-VI).
+
+One :class:`SecureEngine` sits between the L2 bank(s) and the DRAM channel
+of a memory partition.  It implements both encryption modes and every design
+point of Tables V and VIII:
+
+* **counter-mode** — data and counter fetches proceed in parallel; the
+  one-time pad is generated from the counter (AES occupancy + latency) and
+  XORed with the arriving ciphertext, so AES latency is off the critical
+  path unless the counter misses.  Counter integrity is verified by walking
+  the BMT; data integrity by stateful MACs.  Verification is *speculative*
+  (does not delay the data response) and tree updates are *lazy* (a parent
+  is updated only when its dirty child is evicted) — Section IV.
+* **direct** — data is decrypted after it arrives (AES latency exposed).
+  MACs protect data integrity, and a Merkle Tree over the MAC blocks
+  protects against replay.
+
+Metadata caches follow Table III: 128 B lines, allocate-on-fill, optional
+MSHRs with per-kind merge caps.  All DRAM traffic is tagged so Figure 4's
+breakdown and Figure 5's secondary-miss ratios come from the stats.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common import params
+from repro.common.config import (
+    EncryptionMode,
+    GpuConfig,
+    MetadataKind,
+    SecureMemoryConfig,
+)
+from repro.common.stats import StatGroup
+from repro.secure.aes import AesEngineBank, MacUnit
+from repro.secure.layout import MetadataLayout
+from repro.sim.cache import AccessResult, Eviction, InfiniteCache, SectoredCache
+from repro.sim.dram import (
+    CAT_COUNTER,
+    CAT_DATA_READ,
+    CAT_DATA_WRITE,
+    CAT_MAC,
+    CAT_METADATA_WB,
+    CAT_TREE,
+    DramChannel,
+)
+from repro.sim.event import EventQueue
+from repro.sim.mshr import MshrTable
+
+_KIND_TO_CATEGORY = {
+    MetadataKind.COUNTER: CAT_COUNTER,
+    MetadataKind.MAC: CAT_MAC,
+    MetadataKind.TREE: CAT_TREE,
+}
+
+#: outcome of a metadata cache access, used to steer verification walks.
+_HIT = "hit"
+_PRIMARY = "primary"
+_SECONDARY = "secondary"
+
+
+class _Inflight:
+    """Bookkeeping for one outstanding metadata line fill."""
+
+    __slots__ = ("ready_time", "dirty")
+
+    def __init__(self, ready_time: float, dirty: bool) -> None:
+        self.ready_time = ready_time
+        self.dirty = dirty
+
+
+class SecureEngine:
+    """Secure-memory pipeline of one memory partition."""
+
+    def __init__(
+        self,
+        config: SecureMemoryConfig,
+        gpu_config: GpuConfig,
+        dram: DramChannel,
+        events: EventQueue,
+        layout: MetadataLayout,
+        stats: StatGroup,
+        trace_hook: Optional[Callable[[MetadataKind, int], None]] = None,
+    ) -> None:
+        self.config = config
+        self.dram = dram
+        self.events = events
+        self.layout = layout
+        self.stats = stats
+        #: optional callback invoked with (kind, block_addr) on every
+        #: metadata cache access — the reuse-distance experiments tap this.
+        self.trace_hook = trace_hook
+
+        aes_latency = 0 if config.zero_crypto_latency else config.aes_latency
+        mac_latency = 0 if config.zero_crypto_latency else config.mac_latency
+        self.aes = AesEngineBank(
+            num_engines=config.aes_engines,
+            latency=aes_latency,
+            core_clock_mhz=gpu_config.core_clock_mhz,
+            dram_clock_mhz=gpu_config.dram_clock_mhz,
+            stats=stats.child("aes"),
+        )
+        self.mac_unit = MacUnit(
+            latency=mac_latency,
+            core_clock_mhz=gpu_config.core_clock_mhz,
+            dram_clock_mhz=gpu_config.dram_clock_mhz,
+            stats=stats.child("mac_unit"),
+        )
+
+        self._kind_stats = {kind: stats.child(kind.value) for kind in MetadataKind}
+        self._caches: Dict[MetadataKind, object] = {}
+        self._mshrs: Dict[MetadataKind, MshrTable] = {}
+        self._merge_caps: Dict[MetadataKind, int] = {
+            MetadataKind.COUNTER: config.counter_cache.mshr_merge_cap,
+            MetadataKind.MAC: config.mac_cache.mshr_merge_cap,
+            MetadataKind.TREE: config.tree_cache.mshr_merge_cap,
+        }
+        self._build_caches()
+        self._inflight: Dict[MetadataKind, Dict[int, _Inflight]] = {
+            kind: {} for kind in MetadataKind
+        }
+        #: per-(counter block, minor index) write counts for overflow modeling.
+        self._minor_counts: Dict[Tuple[int, int], int] = {}
+        self._hit_latency = config.counter_cache.hit_latency
+
+    def _build_caches(self) -> None:
+        cfg = self.config
+        if cfg.perfect_metadata_cache:
+            return  # accesses never reach a cache object
+        if cfg.infinite_metadata_cache:
+            for kind in MetadataKind:
+                self._caches[kind] = InfiniteCache(self._kind_stats[kind].child("cache"))
+        elif cfg.unified_metadata_cache:
+            unified = SectoredCache(
+                cfg.unified_cache.to_cache_config(),
+                StatGroup("unified"),
+            )
+            for kind in MetadataKind:
+                self._caches[kind] = unified
+            table = MshrTable(cfg.unified_cache.num_mshrs, cfg.unified_cache.mshr_merge_cap)
+            for kind in MetadataKind:
+                self._mshrs[kind] = table
+            return
+        else:
+            specs = {
+                MetadataKind.COUNTER: cfg.counter_cache,
+                MetadataKind.MAC: cfg.mac_cache,
+                MetadataKind.TREE: cfg.tree_cache,
+            }
+            for kind, spec in specs.items():
+                self._caches[kind] = SectoredCache(
+                    spec.to_cache_config(), self._kind_stats[kind].child("cache")
+                )
+                self._mshrs[kind] = MshrTable(spec.num_mshrs, spec.mshr_merge_cap)
+            return
+        # infinite caches share the configured MSHR setup per kind
+        for kind in MetadataKind:
+            spec = {
+                MetadataKind.COUNTER: cfg.counter_cache,
+                MetadataKind.MAC: cfg.mac_cache,
+                MetadataKind.TREE: cfg.tree_cache,
+            }[kind]
+            self._mshrs[kind] = MshrTable(spec.num_mshrs, spec.mshr_merge_cap)
+
+    # ------------------------------------------------------------------
+    # public interface used by the memory partition
+    # ------------------------------------------------------------------
+
+    #: granularity of selective protection: every window of this many
+    #: lines has ``protected_fraction`` of its lines covered.
+    _SELECTIVE_WINDOW = 64
+
+    def _is_protected(self, addr: int) -> bool:
+        """Selective encryption: a ``protected_fraction`` of all lines,
+        spread uniformly, goes through the secure path (the sensitive-data
+        subset of Zuo et al.'s proposal)."""
+        fraction = self.config.protected_fraction
+        if fraction >= 1.0:
+            return True
+        line = addr // params.CACHE_LINE_BYTES
+        return (line % self._SELECTIVE_WINDOW) < fraction * self._SELECTIVE_WINDOW
+
+    def read_sector(self, now: float, addr: int, nbytes: int = params.SECTOR_BYTES) -> float:
+        """Fetch *nbytes* of data from DRAM through the secure pipeline.
+
+        *nbytes* is one 32 B sector for the GPU's sectored L2, or a whole
+        128 B line for the non-sectored ablation.  Returns the time the
+        plaintext is available to fill the L2.
+        """
+        self.stats.add("reads")
+        cfg = self.config
+        if not cfg.enabled or not self._is_protected(addr):
+            return self.dram.read(now, nbytes, CAT_DATA_READ, addr)
+
+        data_ready = self.dram.read(now, nbytes, CAT_DATA_READ, addr)
+        verify_done = now
+        if cfg.encryption is EncryptionMode.COUNTER:
+            # OTP generation starts once the counter is on chip and overlaps
+            # the data fetch — counter-mode's whole point.
+            ctr_ready, walk_done = self._counter_access(now, addr, is_write=False)
+            otp_ready = self.aes.process(now, nbytes, available=ctr_ready)
+            ready = max(data_ready, otp_ready) + 1  # the XOR
+            verify_done = max(verify_done, walk_done)
+        elif cfg.encryption is EncryptionMode.DIRECT:
+            # decryption can only start after the ciphertext arrives: the
+            # AES latency lands on the load critical path.
+            ready = self.aes.process(now, nbytes, available=data_ready)
+        else:
+            ready = data_ready
+
+        if cfg.uses_macs:
+            mac_ready, walk_done = self._mac_access(now, addr, is_write=False)
+            check_done = self.mac_unit.process(
+                now, n_ops=max(1, nbytes // params.SECTOR_BYTES),
+                available=max(mac_ready, data_ready),
+            )
+            verify_done = max(verify_done, walk_done, check_done)
+        if not cfg.speculative_verification:
+            # blocking verification: the load waits for every check.
+            ready = max(ready, verify_done)
+        return ready
+
+    def write_sector(self, now: float, addr: int, nbytes: int = params.SECTOR_BYTES) -> float:
+        """Write back *nbytes* of dirty data through the secure pipeline."""
+        self.stats.add("writes")
+        cfg = self.config
+        if not cfg.enabled or not self._is_protected(addr):
+            return self.dram.write(now, nbytes, CAT_DATA_WRITE, addr)
+
+        if cfg.encryption is EncryptionMode.COUNTER:
+            self._counter_access(now, addr, is_write=True)
+            self.aes.process(now, nbytes)
+        elif cfg.encryption is EncryptionMode.DIRECT:
+            self.aes.process(now, nbytes)
+        if cfg.uses_macs:
+            self._mac_access(now, addr, is_write=True)
+            self.mac_unit.process(now, n_ops=max(1, nbytes // params.SECTOR_BYTES))
+        # the write sits in the controller's write queue until encrypted;
+        # channel occupancy is charged now (what later accesses observe).
+        return self.dram.write(now, nbytes, CAT_DATA_WRITE, addr)
+
+    def finalize(self) -> None:
+        """Flush dirty metadata (accounting only, at the end of a run)."""
+        # Intentionally a no-op for timing: the paper measures a fixed
+        # simulation window.  Kept as an explicit hook for symmetry with the
+        # functional model.
+
+    # ------------------------------------------------------------------
+    # metadata access machinery
+    # ------------------------------------------------------------------
+
+    def _counter_access(self, now: float, data_addr: int, is_write: bool) -> Tuple[float, float]:
+        """Access the counter covering *data_addr*; returns (ready, walk_done)."""
+        block = self.layout.counter_block_addr(data_addr)
+        ready, outcome = self._metadata_cache_access(now, MetadataKind.COUNTER, block, is_write)
+        walk_done = now
+        if outcome is _PRIMARY and self.config.uses_tree:
+            walk_done = self._tree_walk(now, self.layout.bmt_path_addrs(data_addr)[:-1])
+        if is_write:
+            self._note_counter_increment(now, data_addr)
+            if self.config.uses_tree and not self.config.lazy_update:
+                self._eager_parent_update(now, MetadataKind.COUNTER, block)
+        return ready, walk_done
+
+    def _mac_access(self, now: float, data_addr: int, is_write: bool) -> Tuple[float, float]:
+        """Access the MAC covering *data_addr*; returns (ready, walk_done)."""
+        block = self.layout.mac_block_addr(data_addr)
+        ready, outcome = self._metadata_cache_access(now, MetadataKind.MAC, block, is_write)
+        walk_mt = (
+            self.config.encryption is EncryptionMode.DIRECT and self.config.uses_tree
+        )
+        walk_done = now
+        if outcome is _PRIMARY and walk_mt:
+            walk_done = self._tree_walk(now, self.layout.mt_path_addrs(data_addr)[:-1])
+        if is_write and walk_mt and not self.config.lazy_update:
+            self._eager_parent_update(now, MetadataKind.MAC, block)
+        return ready, walk_done
+
+    def _eager_parent_update(self, now: float, kind: MetadataKind, block_addr: int) -> None:
+        """Eager tree maintenance: every leaf write refreshes its parent.
+
+        The ablation counterpart of the paper's lazy-update scheme; it
+        charges a hash and a dirty tree-cache access per write instead of
+        deferring them to eviction time.
+        """
+        parent_addr = self._tree_parent_addr(kind, block_addr)
+        if parent_addr is None:
+            return
+        self.stats.add("eager_updates")
+        self.mac_unit.process(now)
+        _ready, outcome = self._metadata_cache_access(
+            now, MetadataKind.TREE, parent_addr, is_write=True
+        )
+        if outcome is _PRIMARY:
+            self._tree_walk_from_node(now, parent_addr)
+
+    def _tree_walk(self, now: float, fetchable_addrs: Sequence[int]) -> float:
+        """Verify up the tree until a trusted (cached) ancestor or the root.
+
+        *fetchable_addrs* are the memory-resident nodes from the leaf's
+        parent upward, excluding the root (held in an on-chip register, so
+        never fetched).  Each level costs one hash check on the MAC unit.
+        Returns the completion time of the walk (speculative, so callers
+        usually ignore it).
+        """
+        done = now
+        for node_addr in fetchable_addrs:
+            ready, outcome = self._metadata_cache_access(
+                now, MetadataKind.TREE, node_addr, is_write=False
+            )
+            done = max(done, self.mac_unit.process(now, available=ready))
+            if outcome is not _PRIMARY:
+                break  # cached => trusted; in-flight => someone else verifies
+        else:
+            done = self.mac_unit.process(now, available=done)  # vs root register
+        self.stats.add("tree_walks")
+        return done
+
+    def _metadata_cache_access(
+        self, now: float, kind: MetadataKind, block_addr: int, is_write: bool
+    ) -> Tuple[float, str]:
+        """One access to a metadata cache; returns (ready_time, outcome)."""
+        kstats = self._kind_stats[kind]
+        kstats.add("accesses")
+        if self.trace_hook is not None:
+            self.trace_hook(kind, block_addr)
+
+        if self.config.perfect_metadata_cache:
+            kstats.add("hits")
+            return now + self._hit_latency, _HIT
+
+        cache = self._caches[kind]
+        result = cache.lookup(block_addr, is_write=is_write)
+        if result is AccessResult.HIT:
+            kstats.add("hits")
+            return now + self._hit_latency, _HIT
+
+        kstats.add("misses")
+        category = _KIND_TO_CATEGORY[kind]
+        if self.config.infinite_metadata_cache:
+            # ``large_mdc`` idealization: unlimited capacity means the line
+            # can be allocated at miss time, so every miss is compulsory and
+            # later accesses hit under the outstanding fill.
+            kstats.add("primary_misses")
+            ready = self.dram.read(now, params.CACHE_LINE_BYTES, category, block_addr)
+            cache.fill(block_addr, dirty=is_write)
+            kstats.add("fills")
+            return ready, _PRIMARY
+        inflight = self._inflight[kind]
+        pending = inflight.get(block_addr)
+        if pending is not None:
+            kstats.add("secondary_misses")
+            pending.dirty = pending.dirty or is_write
+            mshr = self._mshrs[kind]
+            entry = mshr.get(block_addr)
+            if entry is not None and entry.merged < self._merge_caps[kind]:
+                entry.merged += 1
+                kstats.add("merged")
+                return pending.ready_time, _SECONDARY
+            # no MSHR (or cap reached): the secondary miss becomes its own
+            # redundant memory fetch — the Section V-A traffic explosion.
+            kstats.add("duplicate_fetches")
+            ready = self.dram.read(now, params.CACHE_LINE_BYTES, category, block_addr)
+            return ready, _SECONDARY
+
+        kstats.add("primary_misses")
+        mshr = self._mshrs[kind]
+        start = now
+        if mshr.enabled and mshr.full:
+            # structural stall: wait for the earliest in-flight fill.
+            kstats.add("mshr_full_stalls")
+            start = max(now, mshr.earliest_ready())
+        ready = self.dram.read(start, params.CACHE_LINE_BYTES, category, block_addr)
+        inflight[block_addr] = _Inflight(ready, is_write)
+        if mshr.enabled and not mshr.full:
+            mshr.allocate(block_addr, ready)
+        self.events.schedule_at(ready, self._on_metadata_fill, kind, block_addr)
+        return ready, _PRIMARY
+
+    def _on_metadata_fill(self, kind: MetadataKind, block_addr: int) -> None:
+        """Install a fetched metadata line; handle eviction writebacks."""
+        now = self.events.now
+        pending = self._inflight[kind].pop(block_addr, None)
+        mshr = self._mshrs[kind]
+        if mshr.enabled and mshr.get(block_addr) is not None:
+            mshr.release(block_addr)
+        dirty = pending.dirty if pending is not None else False
+        cache = self._caches[kind]
+        evictions = cache.fill(block_addr, dirty=dirty)
+        self._kind_stats[kind].add("fills")
+        for eviction in evictions:
+            self._handle_metadata_eviction(now, eviction)
+
+    def _handle_metadata_eviction(self, now: float, eviction: Eviction) -> None:
+        """Write back a dirty victim; lazily update its tree parent."""
+        victim_kind = self.layout.kind_of(eviction.line_addr)
+        if victim_kind is None:
+            raise RuntimeError("metadata cache evicted a data address")
+        vstats = self._kind_stats[victim_kind]
+        vstats.add("cache_evictions")
+        if not eviction.dirty:
+            return
+        vstats.add("writebacks")
+        self.dram.write(now, params.CACHE_LINE_BYTES, CAT_METADATA_WB, eviction.line_addr)
+        if not self.config.uses_tree:
+            return
+        parent_addr = self._tree_parent_addr(victim_kind, eviction.line_addr)
+        if parent_addr is None:
+            return  # protected by the on-chip root register
+        # lazy update: recompute the parent hash slot in the tree cache.
+        self.mac_unit.process(now)
+        ready, outcome = self._metadata_cache_access(
+            now, MetadataKind.TREE, parent_addr, is_write=True
+        )
+        if outcome is _PRIMARY:
+            # the fetched parent must itself be verified upward.
+            self._tree_walk_from_node(now, parent_addr)
+
+    def _tree_walk_from_node(self, now: float, node_addr: int) -> None:
+        """Continue a verification walk starting above *node_addr*."""
+        addrs: List[int] = []
+        addr: Optional[int] = node_addr
+        while addr is not None:
+            parent = self._tree_parent_addr(MetadataKind.TREE, addr)
+            if parent is None:
+                break
+            addrs.append(parent)
+            addr = parent
+        self._tree_walk(now, addrs)
+
+    def _tree_parent_addr(self, kind: MetadataKind, block_addr: int) -> Optional[int]:
+        """Address of the tree node whose hash covers *block_addr*.
+
+        Returns None when the parent is the on-chip root (or when the block
+        kind has no tree parent in the active mode).
+        """
+        layout = self.layout
+        counter_mode = self.config.encryption is EncryptionMode.COUNTER
+        if kind is MetadataKind.COUNTER:
+            if not counter_mode:
+                return None
+            leaf = (block_addr - layout.counter_base) // params.CACHE_LINE_BYTES
+            level, index = layout.bmt.parent(0, leaf)
+            if level == layout.bmt.root_level:
+                return None
+            return layout.bmt_node_addr(level, index)
+        if kind is MetadataKind.MAC:
+            if counter_mode or not self.config.uses_tree:
+                return None  # MACs are not tree leaves under the BMT scheme
+            leaf = (block_addr - layout.mac_base) // params.CACHE_LINE_BYTES
+            level, index = layout.mt.parent(0, leaf)
+            if level == layout.mt.root_level:
+                return None
+            return layout.mt_node_addr(level, index)
+        # tree node: find its own parent within the right tree
+        if block_addr < layout.mt_base:
+            tree, base, to_addr = layout.bmt, layout.bmt_base, layout.bmt_node_addr
+        else:
+            tree, base, to_addr = layout.mt, layout.mt_base, layout.mt_node_addr
+        level, index = tree.coords_of_offset(block_addr - base)
+        if level >= tree.root_level:
+            return None
+        plevel, pindex = tree.parent(level, index)
+        if plevel == tree.root_level:
+            return None
+        return to_addr(plevel, pindex)
+
+    # ------------------------------------------------------------------
+    # counter overflow (split-counter re-encryption)
+    # ------------------------------------------------------------------
+
+    def _note_counter_increment(self, now: float, data_addr: int) -> None:
+        geometry = self.layout.counters
+        key = (geometry.block_index(data_addr), geometry.minor_index(data_addr))
+        count = self._minor_counts.get(key, 0) + 1
+        if count >= geometry.minor_limit:
+            # minor overflow: bump the major counter and re-encrypt the
+            # whole 16 KB chunk under the new major value.
+            self.stats.add("counter_overflows")
+            chunk = geometry.data_bytes_per_block
+            chunk_base = key[0] * chunk
+            self.dram.read(now, chunk, CAT_DATA_READ, chunk_base)
+            self.aes.process(now, 2 * chunk)  # decrypt + re-encrypt
+            self.dram.write(now, chunk, CAT_DATA_WRITE, chunk_base)
+            for minor in range(geometry.minors_per_block):
+                self._minor_counts.pop((key[0], minor), None)
+        else:
+            self._minor_counts[key] = count
+
+    # ------------------------------------------------------------------
+    # introspection helpers used by figures
+    # ------------------------------------------------------------------
+
+    def kind_stats(self, kind: MetadataKind) -> StatGroup:
+        return self._kind_stats[kind]
+
+    def metadata_miss_rate(self, kind: MetadataKind) -> float:
+        stats = self._kind_stats[kind]
+        accesses = stats.get("accesses")
+        return stats.get("misses") / accesses if accesses else 0.0
+
+    def secondary_miss_ratio(self, kind: MetadataKind) -> float:
+        stats = self._kind_stats[kind]
+        misses = stats.get("misses")
+        return stats.get("secondary_misses") / misses if misses else 0.0

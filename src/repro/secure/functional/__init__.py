@@ -1,0 +1,25 @@
+"""Functional (real-crypto, non-timing) secure memory.
+
+The timing model in :mod:`repro.secure.engine` assumes the metadata scheme
+actually provides confidentiality and integrity; this package implements it
+for real over a tamperable byte store so those claims are testable:
+
+* :mod:`repro.secure.functional.aes128` — from-scratch FIPS-197 AES-128,
+* :mod:`repro.secure.functional.mac` — truncated keyed MACs bound to
+  address (and counter, in counter mode),
+* :mod:`repro.secure.functional.counters` — split-counter blocks with
+  minor-counter overflow handling,
+* :mod:`repro.secure.functional.tree` — hash trees (BMT over counters, MT
+  over MACs) with an on-chip root,
+* :mod:`repro.secure.functional.memory` — :class:`SecureMemory`, the
+  encrypted byte store that detects tampering, splicing and replay.
+"""
+
+from repro.secure.functional.aes128 import Aes128
+from repro.secure.functional.memory import (
+    IntegrityError,
+    SecureMemory,
+    SecureMemoryMode,
+)
+
+__all__ = ["Aes128", "IntegrityError", "SecureMemory", "SecureMemoryMode"]

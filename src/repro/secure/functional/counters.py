@@ -1,0 +1,100 @@
+"""Split-counter block packing (Section IV's counter organization).
+
+One 128 B counter block holds a 128-bit major counter shared by a 16 KB
+chunk plus 128 seven-bit minor counters, one per 128 B line.  The minors
+are bit-packed into the remaining 112 bytes (128 x 7 = 896 bits exactly).
+When a minor overflows, the major is bumped, all minors reset, and every
+line in the chunk must be re-encrypted under the new major — the overflow
+cost the timing model charges in
+:meth:`repro.secure.engine.SecureEngine._note_counter_increment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.secure.geometry import CounterGeometry
+
+_MAJOR_BYTES = 16
+
+
+@dataclass(frozen=True)
+class CounterValue:
+    major: int
+    minor: int
+
+    def seed_bytes(self) -> bytes:
+        """Serialization fed into the OTP derivation."""
+        return (self.major % (1 << 64)).to_bytes(8, "little") + self.minor.to_bytes(
+            2, "little"
+        )
+
+    @property
+    def combined(self) -> int:
+        """A single integer the MAC binds to (major:minor concatenation)."""
+        return (self.major << 7) | self.minor
+
+
+class CounterBlock:
+    """View over one 128 B counter block stored in the raw byte store."""
+
+    def __init__(self, store: bytearray, offset: int, geometry: CounterGeometry) -> None:
+        self._store = store
+        self._offset = offset
+        self._geometry = geometry
+
+    # -- major -----------------------------------------------------------
+
+    @property
+    def major(self) -> int:
+        raw = self._store[self._offset : self._offset + _MAJOR_BYTES]
+        return int.from_bytes(raw, "little")
+
+    @major.setter
+    def major(self, value: int) -> None:
+        self._store[self._offset : self._offset + _MAJOR_BYTES] = (
+            value % (1 << 128)
+        ).to_bytes(_MAJOR_BYTES, "little")
+
+    # -- minors ------------------------------------------------------------
+
+    def _minor_bit_position(self, index: int) -> int:
+        if not 0 <= index < self._geometry.minors_per_block:
+            raise IndexError(f"minor index {index} out of range")
+        return index * self._geometry.minor_bits
+
+    def get_minor(self, index: int) -> int:
+        bitpos = self._minor_bit_position(index)
+        base = self._offset + _MAJOR_BYTES
+        raw = int.from_bytes(self._store[base : base + 112], "little")
+        return (raw >> bitpos) & (self._geometry.minor_limit - 1)
+
+    def set_minor(self, index: int, value: int) -> None:
+        if not 0 <= value < self._geometry.minor_limit:
+            raise ValueError(f"minor value {value} does not fit in 7 bits")
+        bitpos = self._minor_bit_position(index)
+        base = self._offset + _MAJOR_BYTES
+        raw = int.from_bytes(self._store[base : base + 112], "little")
+        mask = (self._geometry.minor_limit - 1) << bitpos
+        raw = (raw & ~mask) | (value << bitpos)
+        self._store[base : base + 112] = raw.to_bytes(112, "little")
+
+    # -- combined -------------------------------------------------------------
+
+    def value_for(self, minor_index: int) -> CounterValue:
+        return CounterValue(major=self.major, minor=self.get_minor(minor_index))
+
+    def increment(self, minor_index: int) -> bool:
+        """Bump a minor counter.
+
+        Returns True when the minor overflowed: the caller must re-encrypt
+        the whole chunk (major was bumped, all minors reset to zero).
+        """
+        value = self.get_minor(minor_index) + 1
+        if value < self._geometry.minor_limit:
+            self.set_minor(minor_index, value)
+            return False
+        self.major = self.major + 1
+        for i in range(self._geometry.minors_per_block):
+            self.set_minor(i, 0)
+        return True

@@ -1,0 +1,323 @@
+"""A functional secure memory: encryption + integrity over raw bytes.
+
+:class:`SecureMemory` is the semantic counterpart of the timing model: a
+byte store ("off-chip DRAM") laid out by :class:`~repro.secure.layout.
+MetadataLayout` — data, counters, MACs and tree nodes all live in it and
+are all reachable by an attacker via :meth:`tamper`, :meth:`snapshot` and
+:meth:`restore`.  The trusted side holds only the AES/MAC keys and the
+tree root register.
+
+Supported configurations mirror Table VIII:
+
+========================  ==========================================
+mode                       protection
+========================  ==========================================
+``CTR``                    confidentiality only (counters unverified!)
+``CTR_BMT``                + counter integrity (BMT)
+``CTR_MAC_BMT``            + data integrity (stateful MACs)
+``DIRECT``                 confidentiality only
+``DIRECT_MAC``             + data integrity (MACs over ciphertext)
+``DIRECT_MAC_MT``          + replay protection (MT over MAC blocks)
+========================  ==========================================
+
+All operations are line- (128 B) or sector- (32 B) granular like the
+hardware; arbitrary ranges are served by read-modify-write.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.common import params
+from repro.secure.functional.aes128 import Aes128
+from repro.secure.functional.counters import CounterBlock, CounterValue
+from repro.secure.functional.mac import LINE_MAC_BYTES, MacEngine
+from repro.secure.functional.tree import HashTree, TreeMismatch
+from repro.secure.layout import MetadataLayout
+
+_LINE = params.CACHE_LINE_BYTES
+
+
+class SecureMemoryMode(enum.Enum):
+    CTR = "ctr"
+    CTR_BMT = "ctr_bmt"
+    CTR_MAC_BMT = "ctr_mac_bmt"
+    DIRECT = "direct"
+    DIRECT_MAC = "direct_mac"
+    DIRECT_MAC_MT = "direct_mac_mt"
+
+    @property
+    def counter_mode(self) -> bool:
+        return self in (self.CTR, self.CTR_BMT, self.CTR_MAC_BMT)
+
+    @property
+    def has_macs(self) -> bool:
+        return self in (self.CTR_MAC_BMT, self.DIRECT_MAC, self.DIRECT_MAC_MT)
+
+    @property
+    def has_tree(self) -> bool:
+        return self in (self.CTR_BMT, self.CTR_MAC_BMT, self.DIRECT_MAC_MT)
+
+
+class IntegrityError(Exception):
+    """Raised when memory verification detects tampering or replay."""
+
+
+class SecureMemory:
+    """Encrypted, integrity-protected byte store."""
+
+    def __init__(
+        self,
+        protected_bytes: int = 256 * 1024,
+        mode: SecureMemoryMode = SecureMemoryMode.CTR_MAC_BMT,
+        key: bytes = b"repro-secure-memory-key!",
+    ) -> None:
+        self.mode = mode
+        self.layout = MetadataLayout(protected_bytes)
+        self.store = bytearray(self.layout.end)
+        self._aes = Aes128(key[:16].ljust(16, b"\x00"))
+        self._tweak_aes = Aes128(key[-16:].rjust(16, b"\x01"))
+        self._mac = MacEngine(key.ljust(16, b"\x00"))
+        self._tree: Optional[HashTree] = None
+        self._initialize()
+
+    # ------------------------------------------------------------------
+    # initialization
+    # ------------------------------------------------------------------
+
+    def _initialize(self) -> None:
+        """Encrypt the all-zero initial image and build the metadata."""
+        for line in range(self.layout.protected_bytes // _LINE):
+            addr = line * _LINE
+            ciphertext = self._encrypt_line(addr, b"\x00" * _LINE)
+            self.store[addr : addr + _LINE] = ciphertext
+            if self.mode.has_macs or not self.mode.counter_mode:
+                self._store_mac(addr, ciphertext)
+        if self.mode.has_tree:
+            self._tree = self._build_tree()
+
+    def _build_tree(self) -> HashTree:
+        if self.mode.counter_mode:
+            tree = HashTree(
+                self.store,
+                self.layout.bmt,
+                self.layout.bmt_base,
+                leaf_bytes=self._counter_block_bytes,
+                node_hash=self._mac.node_hash,
+            )
+        else:
+            tree = HashTree(
+                self.store,
+                self.layout.mt,
+                self.layout.mt_base,
+                leaf_bytes=self._mac_block_bytes,
+                node_hash=self._mac.node_hash,
+            )
+        tree.build()
+        return tree
+
+    # ------------------------------------------------------------------
+    # metadata views
+    # ------------------------------------------------------------------
+
+    def _counter_block(self, data_addr: int) -> CounterBlock:
+        offset = self.layout.counter_block_addr(data_addr)
+        return CounterBlock(self.store, offset, self.layout.counters)
+
+    def _counter_block_bytes(self, leaf_index: int) -> bytes:
+        base = self.layout.counter_base + leaf_index * _LINE
+        return bytes(self.store[base : base + _LINE])
+
+    def _mac_block_bytes(self, leaf_index: int) -> bytes:
+        base = self.layout.mac_base + leaf_index * _LINE
+        return bytes(self.store[base : base + _LINE])
+
+    def _line_counter(self, addr: int) -> CounterValue:
+        block = self._counter_block(addr)
+        return block.value_for(self.layout.counters.minor_index(addr))
+
+    def _mac_slot(self, addr: int) -> tuple[int, int]:
+        block_addr = self.layout.mac_block_addr(addr)
+        slot = self.layout.macs.slot_index(addr)
+        lo = block_addr + slot * LINE_MAC_BYTES
+        return lo, lo + LINE_MAC_BYTES
+
+    def _store_mac(self, addr: int, ciphertext: bytes) -> None:
+        counter = self._line_counter(addr).combined if self.mode.counter_mode else 0
+        lo, hi = self._mac_slot(addr)
+        self.store[lo:hi] = self._mac.line_mac(ciphertext, addr, counter)
+        if self._tree is not None and not self.mode.counter_mode:
+            self._tree.update_leaf(self.layout.macs.block_index(addr))
+
+    # ------------------------------------------------------------------
+    # crypto
+    # ------------------------------------------------------------------
+
+    def _otp(self, addr: int, counter: CounterValue) -> bytes:
+        """One-time pad for a 128 B line under its counter."""
+        pad = bytearray()
+        seed = counter.seed_bytes()  # 10 bytes
+        for i in range(_LINE // Aes128.BLOCK):
+            block_seed = seed + addr.to_bytes(5, "little") + bytes([i])
+            pad += self._aes.encrypt_block(block_seed)
+        return bytes(pad)
+
+    def _xex_tweak(self, addr: int, block_index: int) -> bytes:
+        seed = addr.to_bytes(8, "little") + block_index.to_bytes(8, "little")
+        return self._tweak_aes.encrypt_block(seed)
+
+    def _encrypt_line(self, addr: int, plaintext: bytes) -> bytes:
+        if self.mode.counter_mode:
+            pad = self._otp(addr, self._line_counter(addr))
+            return bytes(a ^ b for a, b in zip(plaintext, pad))
+        out = bytearray()
+        for i in range(_LINE // Aes128.BLOCK):
+            tweak = self._xex_tweak(addr, i)
+            block = bytes(a ^ b for a, b in zip(plaintext[16 * i : 16 * i + 16], tweak))
+            enc = self._aes.encrypt_block(block)
+            out += bytes(a ^ b for a, b in zip(enc, tweak))
+        return bytes(out)
+
+    def _decrypt_line(self, addr: int, ciphertext: bytes) -> bytes:
+        if self.mode.counter_mode:
+            pad = self._otp(addr, self._line_counter(addr))
+            return bytes(a ^ b for a, b in zip(ciphertext, pad))
+        out = bytearray()
+        for i in range(_LINE // Aes128.BLOCK):
+            tweak = self._xex_tweak(addr, i)
+            block = bytes(a ^ b for a, b in zip(ciphertext[16 * i : 16 * i + 16], tweak))
+            dec = self._aes.decrypt_block(block)
+            out += bytes(a ^ b for a, b in zip(dec, tweak))
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+
+    def _verify_line(self, addr: int, ciphertext: bytes) -> None:
+        if self.mode.counter_mode and self._tree is not None:
+            try:
+                self._tree.verify_leaf(self.layout.counters.block_index(addr))
+            except TreeMismatch as exc:
+                raise IntegrityError(f"counter integrity failure: {exc}") from exc
+        if self.mode.has_macs:
+            if self._tree is not None and not self.mode.counter_mode:
+                try:
+                    self._tree.verify_leaf(self.layout.macs.block_index(addr))
+                except TreeMismatch as exc:
+                    raise IntegrityError(f"MAC-block integrity failure: {exc}") from exc
+            counter = self._line_counter(addr).combined if self.mode.counter_mode else 0
+            lo, hi = self._mac_slot(addr)
+            expected = self._mac.line_mac(ciphertext, addr, counter)
+            if bytes(self.store[lo:hi]) != expected:
+                raise IntegrityError(f"MAC mismatch for line {addr:#x}")
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read *size* bytes at *addr*, verifying integrity per line."""
+        self._check_range(addr, size)
+        out = bytearray()
+        for line_addr in self._lines(addr, size):
+            ciphertext = bytes(self.store[line_addr : line_addr + _LINE])
+            self._verify_line(line_addr, ciphertext)
+            out += self._decrypt_line(line_addr, ciphertext)
+        start = addr - self._lines(addr, size)[0]
+        return bytes(out[start : start + size])
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Encrypt and store *data*, updating counters, MACs and the tree."""
+        self._check_range(addr, len(data))
+        written = 0
+        for line_addr in self._lines(addr, len(data)):
+            plaintext = bytearray(self._read_line_for_update(line_addr))
+            lo = max(addr, line_addr) - line_addr
+            hi = min(addr + len(data), line_addr + _LINE) - line_addr
+            plaintext[lo:hi] = data[written : written + (hi - lo)]
+            written += hi - lo
+            self._write_line(line_addr, bytes(plaintext))
+
+    def _read_line_for_update(self, line_addr: int) -> bytes:
+        ciphertext = bytes(self.store[line_addr : line_addr + _LINE])
+        self._verify_line(line_addr, ciphertext)
+        return self._decrypt_line(line_addr, ciphertext)
+
+    def _write_line(self, line_addr: int, plaintext: bytes) -> None:
+        if self.mode.counter_mode:
+            geometry = self.layout.counters
+            block = self._counter_block(line_addr)
+            minor_index = geometry.minor_index(line_addr)
+            if block.get_minor(minor_index) + 1 >= geometry.minor_limit:
+                # minor overflow: the whole 16 KB chunk must move to the new
+                # major counter (the cost the timing model charges too).
+                self._reencrypt_chunk(line_addr)
+                # the written line now encrypts under (major+1, minor=0),
+                # a counter value never used before — no pad reuse.
+            else:
+                block.increment(minor_index)
+            if self._tree is not None:
+                self._tree.update_leaf(geometry.block_index(line_addr))
+        ciphertext = self._encrypt_line(line_addr, plaintext)
+        self.store[line_addr : line_addr + _LINE] = ciphertext
+        if self.mode.has_macs:
+            self._store_mac(line_addr, ciphertext)
+
+    def _reencrypt_chunk(self, addr: int) -> None:
+        """Minor-counter overflow: re-encrypt the 16 KB chunk under a new major.
+
+        Plaintexts are captured under the *current* (major, minor) pairs,
+        then the major is bumped and every minor reset, then every line is
+        re-encrypted and its MAC refreshed — the hardware's read-modify-
+        write sweep.
+        """
+        geometry = self.layout.counters
+        chunk_base = (addr // geometry.data_bytes_per_block) * geometry.data_bytes_per_block
+        chunk_end = min(
+            chunk_base + geometry.data_bytes_per_block, self.layout.protected_bytes
+        )
+        lines = range(chunk_base, chunk_end, _LINE)
+        plaintexts = {
+            line_addr: self._decrypt_line(
+                line_addr, bytes(self.store[line_addr : line_addr + _LINE])
+            )
+            for line_addr in lines
+        }
+        block = self._counter_block(addr)
+        block.major = block.major + 1
+        for i in range(geometry.minors_per_block):
+            block.set_minor(i, 0)
+        for line_addr, plaintext in plaintexts.items():
+            ciphertext = self._encrypt_line(line_addr, plaintext)
+            self.store[line_addr : line_addr + _LINE] = ciphertext
+            if self.mode.has_macs:
+                self._store_mac(line_addr, ciphertext)
+
+    # ------------------------------------------------------------------
+    # attacker interface
+    # ------------------------------------------------------------------
+
+    def tamper(self, addr: int, data: bytes) -> None:
+        """Overwrite raw stored bytes, bypassing all protection (attack)."""
+        self.store[addr : addr + len(data)] = data
+
+    def snapshot(self) -> bytes:
+        """Capture the attacker-visible memory image (for replay attacks)."""
+        return bytes(self.store)
+
+    def restore(self, image: bytes) -> None:
+        """Replay a stale memory image.  The root register is NOT restored."""
+        self.store[:] = image
+
+    # ------------------------------------------------------------------
+
+    def _lines(self, addr: int, size: int) -> range:
+        first = addr - addr % _LINE
+        last = (addr + max(size, 1) - 1) // _LINE * _LINE
+        return range(first, last + _LINE, _LINE)
+
+    def _check_range(self, addr: int, size: int) -> None:
+        if addr < 0 or size < 0 or addr + size > self.layout.protected_bytes:
+            raise ValueError("access outside the protected range")

@@ -1,0 +1,101 @@
+"""Functional hash tree (BMT / MT) over a region of the raw byte store.
+
+Internal nodes live in untrusted memory like everything else; only the
+64-bit digest of the top node sits in the on-chip root register.  Each
+128 B node holds sixteen 64-bit child hashes (matching the paper's 16-ary
+geometry), so tampering with any leaf block, any internal node, or
+replaying stale copies of them breaks the recomputed chain to the root.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common import params
+from repro.secure.merkle import TreeGeometry
+
+_SLOT = 8  # 64-bit hash per child
+
+
+class TreeMismatch(Exception):
+    """An integrity-tree hash chain failed to verify."""
+
+
+class HashTree:
+    """Eager-update hash tree with an on-chip root register."""
+
+    def __init__(
+        self,
+        store: bytearray,
+        geometry: TreeGeometry,
+        region_base: int,
+        leaf_bytes: Callable[[int], bytes],
+        node_hash: Callable[[bytes], bytes],
+    ) -> None:
+        self._store = store
+        self.geometry = geometry
+        self._base = region_base
+        self._leaf_bytes = leaf_bytes
+        self._hash = node_hash
+        self.root_register = b"\x00" * _SLOT
+
+    # -- node access ----------------------------------------------------------
+
+    def _node_range(self, level: int, index: int) -> tuple[int, int]:
+        offset = self._base + self.geometry.node_offset(level, index)
+        return offset, offset + params.CACHE_LINE_BYTES
+
+    def node_bytes(self, level: int, index: int) -> bytes:
+        lo, hi = self._node_range(level, index)
+        return bytes(self._store[lo:hi])
+
+    def _slot_range(self, level: int, index: int) -> tuple[int, int]:
+        """Where the hash of node/leaf ``(level, index)`` lives in its parent."""
+        plevel, pindex = self.geometry.parent(level, index)
+        lo, _hi = self._node_range(plevel, pindex)
+        slot = (index % self.geometry.arity) * _SLOT
+        return lo + slot, lo + slot + _SLOT
+
+    def _child_hash(self, level: int, index: int) -> bytes:
+        if level == 0:
+            return self._hash(self._leaf_bytes(index))
+        return self._hash(self.node_bytes(level, index))
+
+    # -- operations ---------------------------------------------------------------
+
+    def build(self) -> None:
+        """Hash every leaf and node bottom-up; set the root register."""
+        counts = [self.geometry.num_leaves] + list(self.geometry.level_sizes)
+        for level in range(0, self.geometry.root_level):
+            for index in range(counts[level]):
+                lo, hi = self._slot_range(level, index)
+                self._store[lo:hi] = self._child_hash(level, index)
+        self.root_register = self._hash(
+            self.node_bytes(self.geometry.root_level, 0)
+        )
+
+    def update_leaf(self, leaf_index: int) -> None:
+        """Propagate a modified leaf up to the root register (eager update)."""
+        level, index = 0, leaf_index
+        while level < self.geometry.root_level:
+            lo, hi = self._slot_range(level, index)
+            self._store[lo:hi] = self._child_hash(level, index)
+            level, index = self.geometry.parent(level, index)
+        self.root_register = self._hash(self.node_bytes(self.geometry.root_level, 0))
+
+    def verify_leaf(self, leaf_index: int) -> None:
+        """Recompute the chain from a leaf to the root register.
+
+        Raises :class:`TreeMismatch` if any stored hash disagrees —
+        tampering or replay of the leaf or of any node on the path.
+        """
+        level, index = 0, leaf_index
+        while level < self.geometry.root_level:
+            lo, hi = self._slot_range(level, index)
+            if self._child_hash(level, index) != bytes(self._store[lo:hi]):
+                raise TreeMismatch(
+                    f"hash mismatch at level {level}, index {index}"
+                )
+            level, index = self.geometry.parent(level, index)
+        if self._hash(self.node_bytes(self.geometry.root_level, 0)) != self.root_register:
+            raise TreeMismatch("root register mismatch")

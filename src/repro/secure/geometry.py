@@ -1,0 +1,102 @@
+"""Counter-block and MAC-block geometry (Section IV of the paper).
+
+A *counter block* is one 128 B metadata cache line holding a 128-bit major
+counter plus 128 seven-bit minor counters, covering 16 KB of data (128 data
+lines).  A *MAC block* is one 128 B line holding 16 eight-byte MACs, covering
+2 KB of data (16 data lines); each 8 B line-MAC is four truncated 16-bit
+sector MACs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import params
+
+
+@dataclass(frozen=True)
+class CounterGeometry:
+    """Split-counter organization for counter-mode encryption."""
+
+    line_bytes: int = params.CACHE_LINE_BYTES
+    major_bits: int = params.MAJOR_COUNTER_BITS
+    minor_bits: int = params.MINOR_COUNTER_BITS
+    minors_per_block: int = params.MINOR_COUNTERS_PER_BLOCK
+
+    def __post_init__(self) -> None:
+        used = self.major_bits + self.minor_bits * self.minors_per_block
+        if used > self.line_bytes * 8:
+            raise ValueError(
+                f"counter block needs {used} bits but the line has "
+                f"{self.line_bytes * 8}"
+            )
+
+    @property
+    def data_bytes_per_block(self) -> int:
+        """Data covered by one counter block (16 KB in the paper)."""
+        return self.minors_per_block * params.CACHE_LINE_BYTES
+
+    @property
+    def coverage_ratio(self) -> int:
+        """Data-to-counter capacity ratio (128 in the paper)."""
+        return self.data_bytes_per_block // self.line_bytes
+
+    @property
+    def minor_limit(self) -> int:
+        """Exclusive upper bound of a minor counter before it overflows."""
+        return 1 << self.minor_bits
+
+    def storage_bytes(self, protected_bytes: int) -> int:
+        """Off-chip storage for counters protecting *protected_bytes* of data."""
+        blocks = _ceil_div(protected_bytes, self.data_bytes_per_block)
+        return blocks * self.line_bytes
+
+    def block_index(self, data_addr: int) -> int:
+        """Index of the counter block covering *data_addr*."""
+        return data_addr // self.data_bytes_per_block
+
+    def minor_index(self, data_addr: int) -> int:
+        """Index of the minor counter for *data_addr* within its block."""
+        return (data_addr % self.data_bytes_per_block) // params.CACHE_LINE_BYTES
+
+
+@dataclass(frozen=True)
+class MacGeometry:
+    """Per-line MACs with per-sector truncation (Section IV)."""
+
+    line_bytes: int = params.CACHE_LINE_BYTES
+    mac_bytes_per_line: int = params.MAC_BYTES_PER_LINE
+    mac_bytes_per_sector: int = params.MAC_BYTES_PER_SECTOR
+    sector_bytes: int = params.SECTOR_BYTES
+
+    def __post_init__(self) -> None:
+        sectors = self.line_bytes // self.sector_bytes
+        if self.mac_bytes_per_sector * sectors != self.mac_bytes_per_line:
+            raise ValueError("sector MACs must tile the line MAC exactly")
+
+    @property
+    def macs_per_block(self) -> int:
+        """Data lines covered by one 128 B MAC block (16 in the paper)."""
+        return self.line_bytes // self.mac_bytes_per_line
+
+    @property
+    def data_bytes_per_block(self) -> int:
+        """Data covered by one MAC block (2 KB in the paper)."""
+        return self.macs_per_block * self.line_bytes
+
+    def storage_bytes(self, protected_bytes: int) -> int:
+        """Off-chip storage for MACs protecting *protected_bytes* of data."""
+        lines = _ceil_div(protected_bytes, self.line_bytes)
+        return lines * self.mac_bytes_per_line
+
+    def block_index(self, data_addr: int) -> int:
+        """Index of the MAC block covering *data_addr*."""
+        return data_addr // self.data_bytes_per_block
+
+    def slot_index(self, data_addr: int) -> int:
+        """Index of the line MAC for *data_addr* within its MAC block."""
+        return (data_addr % self.data_bytes_per_block) // self.line_bytes
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)

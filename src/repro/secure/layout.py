@@ -1,0 +1,140 @@
+"""Off-chip metadata address-space layout.
+
+The protected data occupies ``[0, protected_bytes)``.  Security metadata is
+stored above it in dedicated contiguous regions, one per metadata kind.  The
+layout computes, for any data address, the off-chip address of the metadata
+block (128 B cache line) that covers it — these are the addresses the
+metadata caches are indexed with and the addresses that appear on the DRAM
+channel when a metadata cache misses.
+
+Both encryption modes share one layout object; a given configuration simply
+never touches the regions it does not use (e.g. direct encryption never
+generates counter addresses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.common import params
+from repro.common.config import MetadataKind
+from repro.secure.geometry import CounterGeometry, MacGeometry
+from repro.secure.merkle import TreeGeometry, bmt_geometry, mt_geometry
+
+
+@dataclass(frozen=True)
+class MetadataLayout:
+    """Region layout for counters, MACs and both integrity trees."""
+
+    protected_bytes: int = params.PROTECTED_MEMORY_BYTES
+    counters: CounterGeometry = field(default_factory=CounterGeometry)
+    macs: MacGeometry = field(default_factory=MacGeometry)
+    bmt: TreeGeometry = field(init=False)
+    mt: TreeGeometry = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.protected_bytes % params.CACHE_LINE_BYTES:
+            raise ValueError("protected range must be line-aligned")
+        object.__setattr__(self, "bmt", bmt_geometry(self.protected_bytes))
+        object.__setattr__(self, "mt", mt_geometry(self.protected_bytes))
+
+    # -- region bases ----------------------------------------------------------
+
+    @property
+    def counter_base(self) -> int:
+        return self.protected_bytes
+
+    @property
+    def counter_region_bytes(self) -> int:
+        return self.counters.storage_bytes(self.protected_bytes)
+
+    @property
+    def mac_base(self) -> int:
+        return self.counter_base + self.counter_region_bytes
+
+    @property
+    def mac_region_bytes(self) -> int:
+        return self.macs.storage_bytes(self.protected_bytes)
+
+    @property
+    def bmt_base(self) -> int:
+        return self.mac_base + self.mac_region_bytes
+
+    @property
+    def bmt_region_bytes(self) -> int:
+        return self.bmt.internal_storage_bytes
+
+    @property
+    def mt_base(self) -> int:
+        return self.bmt_base + self.bmt_region_bytes
+
+    @property
+    def mt_region_bytes(self) -> int:
+        return self.mt.internal_storage_bytes
+
+    @property
+    def end(self) -> int:
+        return self.mt_base + self.mt_region_bytes
+
+    # -- data -> metadata block addresses -----------------------------------------
+
+    def _check_data_addr(self, data_addr: int) -> None:
+        if not 0 <= data_addr < self.protected_bytes:
+            raise ValueError(
+                f"address {data_addr:#x} outside the protected range "
+                f"[0, {self.protected_bytes:#x})"
+            )
+
+    def counter_block_addr(self, data_addr: int) -> int:
+        """Address of the counter block covering *data_addr*."""
+        self._check_data_addr(data_addr)
+        index = self.counters.block_index(data_addr)
+        return self.counter_base + index * params.CACHE_LINE_BYTES
+
+    def mac_block_addr(self, data_addr: int) -> int:
+        """Address of the MAC block covering *data_addr*."""
+        self._check_data_addr(data_addr)
+        index = self.macs.block_index(data_addr)
+        return self.mac_base + index * params.CACHE_LINE_BYTES
+
+    def bmt_node_addr(self, level: int, index: int) -> int:
+        return self.bmt_base + self.bmt.node_offset(level, index)
+
+    def mt_node_addr(self, level: int, index: int) -> int:
+        return self.mt_base + self.mt.node_offset(level, index)
+
+    def bmt_path_addrs(self, data_addr: int) -> Tuple[int, ...]:
+        """BMT node addresses from the covering counter block's parent to root."""
+        self._check_data_addr(data_addr)
+        leaf = self.counters.block_index(data_addr)
+        return tuple(self.bmt_node_addr(lvl, idx) for lvl, idx in self.bmt.path_to_root(leaf))
+
+    def mt_path_addrs(self, data_addr: int) -> Tuple[int, ...]:
+        """MT node addresses from the covering MAC block's parent to root."""
+        self._check_data_addr(data_addr)
+        leaf = self.macs.block_index(data_addr)
+        return tuple(self.mt_node_addr(lvl, idx) for lvl, idx in self.mt.path_to_root(leaf))
+
+    # -- classification -------------------------------------------------------------
+
+    def kind_of(self, addr: int) -> MetadataKind | None:
+        """Which metadata region *addr* falls in, or None for data addresses."""
+        if addr < self.counter_base:
+            return None
+        if addr < self.mac_base:
+            return MetadataKind.COUNTER
+        if addr < self.bmt_base:
+            return MetadataKind.MAC
+        if addr < self.end:
+            return MetadataKind.TREE
+        raise ValueError(f"address {addr:#x} beyond the metadata regions")
+
+    def is_metadata(self, addr: int) -> bool:
+        return self.kind_of(addr) is not None
+
+    def total_metadata_bytes(self, counter_mode: bool) -> int:
+        """Table II's per-mode total metadata storage."""
+        if counter_mode:
+            return self.counter_region_bytes + self.mac_region_bytes + self.bmt_region_bytes
+        return self.mac_region_bytes + self.mt_region_bytes

@@ -1,0 +1,145 @@
+"""Integrity-tree shape and node addressing.
+
+The paper uses 16-ary hash trees whose 128 B nodes each hold sixteen 64-bit
+hashes of their children.  For counter-mode encryption the tree is a Bonsai
+Merkle Tree whose leaves are the counter blocks ("6-level" counting the leaf
+level); for direct encryption it is a Merkle Tree whose leaves are the MAC
+blocks ("7-level").  The topmost node is the root, held in an on-chip
+register and therefore not part of the off-chip storage a fetch can miss on.
+
+Node coordinates are ``(level, index)`` where level 1 is the parents of the
+leaves and the highest level contains the single root node.  Level 0 denotes
+the leaves themselves (counter or MAC blocks), which live in their own
+metadata region and are not addressed through this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.common import params
+
+
+@dataclass(frozen=True)
+class TreeGeometry:
+    """A k-ary hash tree over a fixed number of leaf blocks."""
+
+    num_leaves: int
+    arity: int = params.TREE_ARITY
+    node_bytes: int = params.CACHE_LINE_BYTES
+    #: node counts for level 1 (leaf parents) .. top (root); computed.
+    level_sizes: Tuple[int, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_leaves < 1:
+            raise ValueError("tree needs at least one leaf")
+        if self.arity < 2:
+            raise ValueError("tree arity must be at least 2")
+        sizes: List[int] = []
+        count = self.num_leaves
+        while count > 1:
+            count = -(-count // self.arity)
+            sizes.append(count)
+        if not sizes:  # a single leaf still gets a root above it
+            sizes.append(1)
+        object.__setattr__(self, "level_sizes", tuple(sizes))
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def num_internal_levels(self) -> int:
+        """Number of levels above the leaves (root included)."""
+        return len(self.level_sizes)
+
+    @property
+    def num_levels_with_leaves(self) -> int:
+        """The paper's level count, which includes the leaf level."""
+        return self.num_internal_levels + 1
+
+    @property
+    def root_level(self) -> int:
+        return self.num_internal_levels
+
+    @property
+    def total_internal_nodes(self) -> int:
+        return sum(self.level_sizes)
+
+    @property
+    def internal_storage_bytes(self) -> int:
+        """Off-chip bytes for all internal nodes, excluding the leaves.
+
+        Matches Table II: ~2.14 MB for the BMT, ~17.1 MB for the MT.  (The
+        root could live on chip, but the paper's storage figures count every
+        internal node, so we do too.)
+        """
+        return self.total_internal_nodes * self.node_bytes
+
+    def nodes_at(self, level: int) -> int:
+        if not 1 <= level <= self.root_level:
+            raise ValueError(f"level {level} out of range 1..{self.root_level}")
+        return self.level_sizes[level - 1]
+
+    # -- addressing --------------------------------------------------------------
+
+    def parent(self, level: int, index: int) -> Tuple[int, int]:
+        """Coordinates of the parent of node ``(level, index)``.
+
+        *level* 0 addresses a leaf block, whose parent is at level 1.
+        """
+        if level == self.root_level:
+            raise ValueError("the root has no parent")
+        size = self.num_leaves if level == 0 else self.nodes_at(level)
+        if not 0 <= index < size:
+            raise ValueError(f"index {index} out of range at level {level}")
+        return level + 1, index // self.arity
+
+    def path_to_root(self, leaf_index: int) -> List[Tuple[int, int]]:
+        """All internal nodes from the leaf's parent up to and incl. the root."""
+        path: List[Tuple[int, int]] = []
+        level, index = 0, leaf_index
+        while level < self.root_level:
+            level, index = self.parent(level, index)
+            path.append((level, index))
+        return path
+
+    def flat_index(self, level: int, index: int) -> int:
+        """Position of node ``(level, index)`` in level-major storage order.
+
+        Level 1 nodes come first, then level 2, etc.  Used to compute the
+        node's off-chip address within the tree region.
+        """
+        if not 0 <= index < self.nodes_at(level):
+            raise ValueError(f"index {index} out of range at level {level}")
+        return sum(self.level_sizes[: level - 1]) + index
+
+    def node_offset(self, level: int, index: int) -> int:
+        """Byte offset of the node inside the tree region."""
+        return self.flat_index(level, index) * self.node_bytes
+
+    def coords_of_offset(self, offset: int) -> Tuple[int, int]:
+        """Inverse of :meth:`node_offset` (for trace attribution)."""
+        if offset % self.node_bytes:
+            raise ValueError("offset is not node-aligned")
+        flat = offset // self.node_bytes
+        for level, size in enumerate(self.level_sizes, start=1):
+            if flat < size:
+                return level, flat
+            flat -= size
+        raise ValueError("offset beyond the last tree node")
+
+
+def bmt_geometry(protected_bytes: int = params.PROTECTED_MEMORY_BYTES) -> TreeGeometry:
+    """The paper's Bonsai Merkle Tree: leaves are the counter blocks."""
+    from repro.secure.geometry import CounterGeometry
+
+    leaves = -(-protected_bytes // CounterGeometry().data_bytes_per_block)
+    return TreeGeometry(num_leaves=leaves)
+
+
+def mt_geometry(protected_bytes: int = params.PROTECTED_MEMORY_BYTES) -> TreeGeometry:
+    """The paper's Merkle Tree for direct encryption: leaves are MAC blocks."""
+    from repro.secure.geometry import MacGeometry
+
+    leaves = -(-protected_bytes // MacGeometry().data_bytes_per_block)
+    return TreeGeometry(num_leaves=leaves)

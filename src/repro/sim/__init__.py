@@ -1,0 +1,12 @@
+"""Discrete-event GPU timing simulator.
+
+The substrate the paper's study runs on: SMs issuing warp instructions, a
+sectored L2 cache with MSHRs per memory partition, an interconnect, GDDR-like
+DRAM channels, and (plugged in between L2 and DRAM) the secure memory engine
+of :mod:`repro.secure.engine`.
+"""
+
+from repro.sim.event import EventQueue
+from repro.sim.gpu import Gpu, SimulationResult, simulate
+
+__all__ = ["EventQueue", "Gpu", "SimulationResult", "simulate"]

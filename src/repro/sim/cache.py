@@ -1,0 +1,236 @@
+"""Set-associative caches with optional sectoring.
+
+GPUs use sectored caches (one 128 B line = four 32 B sectors, each fetched
+independently) to save bandwidth; the paper shows this is exactly what makes
+metadata caches suffer secondary misses.  The same class models the L2
+(sectored) and the metadata caches (non-sectored, allocate-on-fill, whole
+128 B lines).
+
+State-change discipline: ``lookup`` never allocates.  Missed lines/sectors
+are installed later via ``fill`` (when the memory response arrives) or
+``write_insert`` (full-sector writes need no fetch).  This deferred-fill
+protocol is what lets the MSHR layer observe secondary misses.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.common.config import CacheConfig
+from repro.common.stats import StatGroup
+
+
+class AccessResult(enum.Enum):
+    HIT = "hit"
+    #: tag present but the requested sector is not valid (sectored caches).
+    SECTOR_MISS = "sector_miss"
+    MISS = "miss"
+
+
+@dataclass
+class Eviction:
+    """A victim line leaving the cache; lists what must be written back."""
+
+    line_addr: int
+    dirty_sector_addrs: List[int] = field(default_factory=list)
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.dirty_sector_addrs)
+
+
+class _Line:
+    __slots__ = ("valid_mask", "dirty_mask")
+
+    def __init__(self) -> None:
+        self.valid_mask = 0
+        self.dirty_mask = 0
+
+
+class SectoredCache:
+    """An LRU set-associative cache, optionally sectored."""
+
+    def __init__(self, config: CacheConfig, stats: StatGroup | None = None) -> None:
+        self.config = config
+        self.stats = stats if stats is not None else StatGroup("cache")
+        self._sets: List[OrderedDict[int, _Line]] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self._line_bytes = config.line_bytes
+        self._num_sets = config.num_sets
+        self._assoc = max(1, config.associativity)
+        self._sectored = config.sectored
+        self._sector_bytes = config.sector_bytes
+        self._sectors_per_line = config.sectors_per_line
+        self._full_mask = (1 << self._sectors_per_line) - 1
+
+    # -- address helpers ------------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        return addr - addr % self._line_bytes
+
+    def _set_and_tag(self, line_addr: int) -> tuple[OrderedDict[int, _Line], int]:
+        line_index = line_addr // self._line_bytes
+        return self._sets[line_index % self._num_sets], line_index
+
+    def _sector_bit(self, addr: int) -> int:
+        if not self._sectored:
+            return 1
+        return 1 << ((addr % self._line_bytes) // self._sector_bytes)
+
+    # -- operations -----------------------------------------------------------
+
+    def lookup(self, addr: int, is_write: bool = False) -> AccessResult:
+        """Probe the cache; update LRU and dirty state on hit."""
+        cache_set, tag = self._set_and_tag(self.line_addr(addr))
+        line = cache_set.get(tag)
+        bit = self._sector_bit(addr)
+        self.stats.add("accesses")
+        if line is None:
+            self.stats.add("misses")
+            return AccessResult.MISS
+        cache_set.move_to_end(tag)
+        if not line.valid_mask & bit:
+            self.stats.add("misses")
+            self.stats.add("sector_misses")
+            return AccessResult.SECTOR_MISS
+        if is_write:
+            line.dirty_mask |= bit
+        self.stats.add("hits")
+        return AccessResult.HIT
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating probe (no LRU update, no stats)."""
+        cache_set, tag = self._set_and_tag(self.line_addr(addr))
+        line = cache_set.get(tag)
+        return line is not None and bool(line.valid_mask & self._sector_bit(addr))
+
+    def fill(self, addr: int, dirty: bool = False) -> List[Eviction]:
+        """Install the sector (or whole line, if non-sectored) for *addr*.
+
+        Returns evictions performed to make room (at most one).
+        """
+        line_addr = self.line_addr(addr)
+        cache_set, tag = self._set_and_tag(line_addr)
+        evictions: List[Eviction] = []
+        line = cache_set.get(tag)
+        if line is None:
+            if len(cache_set) >= self._assoc:
+                evictions.append(self._evict_lru(cache_set))
+            line = _Line()
+            cache_set[tag] = line
+        bit = self._sector_bit(addr) if self._sectored else self._full_mask
+        line.valid_mask |= bit
+        if dirty:
+            line.dirty_mask |= bit if self._sectored else self._full_mask
+        cache_set.move_to_end(tag)
+        self.stats.add("fills")
+        return evictions
+
+    def write_insert(self, addr: int) -> List[Eviction]:
+        """Allocate a full-sector write without fetching (write no-allocate-read)."""
+        return self.fill(addr, dirty=True)
+
+    def mark_dirty(self, addr: int) -> bool:
+        """Set the dirty bit for *addr* if resident; returns residency."""
+        cache_set, tag = self._set_and_tag(self.line_addr(addr))
+        line = cache_set.get(tag)
+        bit = self._sector_bit(addr)
+        if line is None or not line.valid_mask & bit:
+            return False
+        line.dirty_mask |= bit
+        return True
+
+    def _evict_lru(self, cache_set: OrderedDict[int, _Line]) -> Eviction:
+        tag, line = next(iter(cache_set.items()))
+        del cache_set[tag]
+        line_addr = tag * self._line_bytes
+        dirty_addrs: List[int] = []
+        if line.dirty_mask:
+            if self._sectored:
+                for i in range(self._sectors_per_line):
+                    if line.dirty_mask & (1 << i):
+                        dirty_addrs.append(line_addr + i * self._sector_bytes)
+            else:
+                dirty_addrs.append(line_addr)
+        self.stats.add("evictions")
+        if dirty_addrs:
+            self.stats.add("dirty_evictions")
+        return Eviction(line_addr=line_addr, dirty_sector_addrs=dirty_addrs)
+
+    def drain_dirty(self) -> List[Eviction]:
+        """Evict every dirty line (used at end of simulation for accounting)."""
+        evictions: List[Eviction] = []
+        for cache_set in self._sets:
+            for tag in list(cache_set):
+                if cache_set[tag].dirty_mask:
+                    cache_set.move_to_end(tag, last=False)
+                    evictions.append(self._evict_lru(cache_set))
+        return evictions
+
+    # -- introspection ----------------------------------------------------------
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def miss_rate(self) -> float:
+        accesses = self.stats.get("accesses")
+        return self.stats.get("misses") / accesses if accesses else 0.0
+
+
+class InfiniteCache:
+    """An unbounded cache: only cold misses, never evicts (``large_mdc``)."""
+
+    def __init__(self, stats: StatGroup | None = None, line_bytes: int = 128) -> None:
+        self.stats = stats if stats is not None else StatGroup("cache")
+        self._resident: Set[int] = set()
+        self._dirty: Set[int] = set()
+        self._line_bytes = line_bytes
+
+    def line_addr(self, addr: int) -> int:
+        return addr - addr % self._line_bytes
+
+    def lookup(self, addr: int, is_write: bool = False) -> AccessResult:
+        line = self.line_addr(addr)
+        self.stats.add("accesses")
+        if line in self._resident:
+            if is_write:
+                self._dirty.add(line)
+            self.stats.add("hits")
+            return AccessResult.HIT
+        self.stats.add("misses")
+        return AccessResult.MISS
+
+    def contains(self, addr: int) -> bool:
+        return self.line_addr(addr) in self._resident
+
+    def fill(self, addr: int, dirty: bool = False) -> List[Eviction]:
+        line = self.line_addr(addr)
+        self._resident.add(line)
+        if dirty:
+            self._dirty.add(line)
+        self.stats.add("fills")
+        return []
+
+    def write_insert(self, addr: int) -> List[Eviction]:
+        return self.fill(addr, dirty=True)
+
+    def mark_dirty(self, addr: int) -> bool:
+        line = self.line_addr(addr)
+        if line in self._resident:
+            self._dirty.add(line)
+            return True
+        return False
+
+    def drain_dirty(self) -> List[Eviction]:
+        return []
+
+    def resident_lines(self) -> int:
+        return len(self._resident)
+
+    def miss_rate(self) -> float:
+        accesses = self.stats.get("accesses")
+        return self.stats.get("misses") / accesses if accesses else 0.0

@@ -1,0 +1,65 @@
+"""A minimal discrete-event scheduler.
+
+Events are ``(time, seq, callback, args)`` tuples in a binary heap.  The
+sequence number makes ordering deterministic for simultaneous events and
+keeps the heap from ever comparing callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Tuple
+
+
+class EventQueue:
+    """Simulation clock plus pending-event heap."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._seq = 0
+        self._heap: List[Tuple[float, int, Callable[..., None], Tuple[Any, ...]]] = []
+        self._stopped = False
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute *time* (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} before now={self.now}")
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, callback, args))
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` *delay* cycles from now."""
+        self.schedule_at(self.now + delay, callback, *args)
+
+    def stop(self) -> None:
+        """Make :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def empty(self) -> bool:
+        return not self._heap
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Process events in time order.
+
+        Stops when the heap empties, the clock passes *until*, *max_events*
+        have been processed, or :meth:`stop` is called.  Returns the number
+        of events processed.
+        """
+        self._stopped = False
+        processed = 0
+        heap = self._heap
+        while heap and not self._stopped:
+            time, _seq, callback, args = heap[0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            heapq.heappop(heap)
+            self.now = time
+            callback(*args)
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        else:
+            if until is not None and not self._stopped:
+                self.now = max(self.now, until)
+        return processed

@@ -1,0 +1,219 @@
+"""Top-level GPU model and the ``simulate`` entry point.
+
+Assembles SMs, the crossbar, memory partitions (each with its L2 bank,
+secure engine and DRAM channel), runs the event loop for a fixed window of
+core cycles, and condenses the statistics every experiment needs into a
+:class:`SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.config import GpuConfig, MetadataKind
+from repro.common.stats import StatGroup
+from repro.secure.layout import MetadataLayout
+from repro.sim.dram import ALL_CATEGORIES
+from repro.sim.event import EventQueue
+from repro.sim.interconnect import Crossbar
+from repro.sim.partition import MemoryPartition
+from repro.sim.sm import StreamingMultiprocessor
+from repro.workloads.base import WorkloadSpec
+
+#: default simulated window in core cycles (the paper runs 4M cycles on
+#: real hardware configs; the scaled model converges much faster).
+DEFAULT_HORIZON = 30_000
+
+
+@dataclass
+class SimulationResult:
+    """Everything the paper's figures read off one simulation run."""
+
+    workload: str
+    cycles: float
+    instructions: int
+    ipc: float
+    bandwidth_utilization: float
+    dram_txn: Dict[str, float]
+    l2_accesses: float
+    l2_misses: float
+    metadata: Dict[MetadataKind, Dict[str, float]]
+    counter_overflows: float = 0.0
+    stats: StatGroup = field(default_factory=lambda: StatGroup("gpu"), repr=False)
+
+    @property
+    def l2_miss_rate(self) -> float:
+        return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
+
+    def traffic_fractions(self) -> Dict[str, float]:
+        """Figure 4's breakdown: data / ctr / mac / bmt / wb shares."""
+        data = self.dram_txn["data_read"] + self.dram_txn["data_write"]
+        parts = {
+            "data": data,
+            "ctr": self.dram_txn["ctr"],
+            "mac": self.dram_txn["mac"],
+            "bmt": self.dram_txn["bmt"],
+            "wb": self.dram_txn["wb"],
+        }
+        total = sum(parts.values())
+        if total == 0:
+            return {k: 0.0 for k in parts}
+        return {k: v / total for k, v in parts.items()}
+
+    def metadata_fraction(self) -> float:
+        fractions = self.traffic_fractions()
+        return 1.0 - fractions["data"]
+
+    def metadata_miss_rate(self, kind: MetadataKind) -> float:
+        stats = self.metadata[kind]
+        return stats["misses"] / stats["accesses"] if stats["accesses"] else 0.0
+
+    def secondary_miss_ratio(self, kind: MetadataKind) -> float:
+        stats = self.metadata[kind]
+        return stats["secondary_misses"] / stats["misses"] if stats["misses"] else 0.0
+
+
+class Gpu:
+    """An assembled GPU ready to run one workload."""
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        workload: WorkloadSpec,
+        metadata_trace_hook: Optional[Callable[[MetadataKind, int], None]] = None,
+    ) -> None:
+        self.config = config
+        self.workload = workload
+        self.events = EventQueue()
+        self.stats = StatGroup("gpu")
+        # per-partition metadata: each memory controller protects its own
+        # slice of the protected range with its own counters/MACs/tree.
+        per_partition = config.secure.protected_bytes // config.num_partitions
+        self.layout = MetadataLayout(max(per_partition, 1 << 20))
+        self.partitions: List[MemoryPartition] = [
+            MemoryPartition(
+                index,
+                config,
+                self.events,
+                self.layout,
+                self.stats.child(f"partition{index}"),
+                trace_hook=metadata_trace_hook if index == 0 else None,
+            )
+            for index in range(config.num_partitions)
+        ]
+        self.crossbar = Crossbar(config, self.events, self.partitions, self.stats.child("icnt"))
+        warps_per_sm = min(workload.warps_per_sm, config.max_warps_per_sm)
+        self.sms: List[StreamingMultiprocessor] = []
+        for sm_id in range(config.num_sms):
+            traces = [
+                workload.warp_trace(sm_id, w, config.num_sms, warps_per_sm)
+                for w in range(warps_per_sm)
+            ]
+            self.sms.append(
+                StreamingMultiprocessor(
+                    sm_id,
+                    config,
+                    self.events,
+                    self.crossbar.send,
+                    self.stats.child(f"sm{sm_id}"),
+                    traces,
+                )
+            )
+
+    def run(self, horizon: float = DEFAULT_HORIZON, warmup: float = 0.0) -> SimulationResult:
+        """Simulate and summarize.
+
+        With *warmup* > 0, the first *warmup* cycles run with caches filling
+        but statistics discarded, then *horizon* measured cycles follow —
+        the standard warm-cache methodology (the paper measures a 4M-cycle
+        window on warm hardware state).
+        """
+        for sm in self.sms:
+            sm.start()
+        if warmup > 0:
+            self.events.run(until=warmup)
+            self._reset_measurement()
+        self.events.run(until=warmup + horizon)
+        return self._summarize(horizon)
+
+    def _reset_measurement(self) -> None:
+        """Zero all counters while keeping cache/MSHR/queue state."""
+        self.stats.reset()
+        for sm in self.sms:
+            sm.instructions = 0
+            sm.issue.busy_cycles = 0.0
+        for partition in self.partitions:
+            partition.dram.channel.busy_cycles = 0.0
+            partition._bank.busy_cycles = 0.0
+            partition.engine.aes._pipe.busy_cycles = 0.0
+            partition.engine.mac_unit._pipe.busy_cycles = 0.0
+
+    def _summarize(self, horizon: float) -> SimulationResult:
+        instructions = sum(sm.instructions for sm in self.sms)
+        dram_txn = {cat: 0.0 for cat in ALL_CATEGORIES}
+        utilization = 0.0
+        l2_accesses = 0.0
+        l2_misses = 0.0
+        overflows = 0.0
+        metadata: Dict[MetadataKind, Dict[str, float]] = {
+            kind: {
+                "accesses": 0.0,
+                "hits": 0.0,
+                "misses": 0.0,
+                "primary_misses": 0.0,
+                "secondary_misses": 0.0,
+                "merged": 0.0,
+                "duplicate_fetches": 0.0,
+                "writebacks": 0.0,
+                "fills": 0.0,
+                "mshr_full_stalls": 0.0,
+            }
+            for kind in MetadataKind
+        }
+        for partition in self.partitions:
+            for cat in ALL_CATEGORIES:
+                dram_txn[cat] += partition.dram.stats.get(f"txn_{cat}")
+            utilization += partition.dram.utilization(horizon)
+            l2_accesses += partition.l2.stats.get("accesses")
+            l2_misses += partition.l2.stats.get("misses")
+            overflows += partition.engine.stats.get("counter_overflows")
+            for kind in MetadataKind:
+                kstats = partition.engine.kind_stats(kind)
+                for key in metadata[kind]:
+                    metadata[kind][key] += kstats.get(key)
+        utilization /= max(1, len(self.partitions))
+        return SimulationResult(
+            workload=self.workload.name,
+            cycles=horizon,
+            instructions=instructions,
+            ipc=instructions / horizon if horizon else 0.0,
+            bandwidth_utilization=utilization,
+            dram_txn=dram_txn,
+            l2_accesses=l2_accesses,
+            l2_misses=l2_misses,
+            metadata=metadata,
+            counter_overflows=overflows,
+            stats=self.stats,
+        )
+
+
+def simulate(
+    config: GpuConfig,
+    workload: WorkloadSpec,
+    horizon: float = DEFAULT_HORIZON,
+    warmup: float = 0.0,
+    metadata_trace: bool = False,
+) -> SimulationResult | Tuple[SimulationResult, List[Tuple[MetadataKind, int]]]:
+    """Run one workload on one GPU configuration.
+
+    With ``metadata_trace=True``, also returns partition 0's metadata access
+    trace as ``(kind, block_addr)`` tuples (Figures 10-11 consume this).
+    """
+    trace: List[Tuple[MetadataKind, int]] = []
+    hook = (lambda kind, addr: trace.append((kind, addr))) if metadata_trace else None
+    gpu = Gpu(config, workload, metadata_trace_hook=hook)
+    result = gpu.run(horizon, warmup=warmup)
+    if metadata_trace:
+        return result, trace
+    return result

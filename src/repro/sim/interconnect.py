@@ -1,0 +1,58 @@
+"""SM-to-partition interconnect.
+
+A crossbar with a fixed traversal latency in each direction.  Address
+interleaving across partitions happens here: consecutive
+``partition_interleave_bytes`` chunks map to consecutive partitions, the
+standard GPU scheme that spreads streaming traffic evenly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.common.config import GpuConfig
+from repro.common.stats import StatGroup
+from repro.sim.event import EventQueue
+from repro.sim.partition import MemoryPartition
+
+
+class Crossbar:
+    """Routes sector requests from SMs to memory partitions and back."""
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        events: EventQueue,
+        partitions: List[MemoryPartition],
+        stats: StatGroup,
+    ) -> None:
+        self.config = config
+        self.events = events
+        self.partitions = partitions
+        self.stats = stats
+        self.latency = config.interconnect_latency
+        self._interleave = config.partition_interleave_bytes
+        self._num_partitions = config.num_partitions
+
+    def partition_of(self, addr: int) -> int:
+        return (addr // self._interleave) % self._num_partitions
+
+    def send(
+        self,
+        now: float,
+        addr: int,
+        is_write: bool,
+        respond: Callable[[float], None],
+    ) -> None:
+        """Forward a request; *respond* fires back at the SM side."""
+        self.stats.add("requests")
+        partition = self.partitions[self.partition_of(addr)]
+
+        def reply(done: float) -> None:
+            arrive = done + self.latency
+            self.events.schedule_at(arrive, respond, arrive)
+
+        self.events.schedule(self.latency, self._deliver, partition, addr, is_write, reply)
+
+    def _deliver(self, partition: MemoryPartition, addr: int, is_write: bool, reply) -> None:
+        partition.access(self.events.now, addr, is_write, reply)

@@ -1,0 +1,94 @@
+"""Miss-status holding registers with request merging.
+
+The paper's Section V-B shows that GPU sectored caches turn streaming access
+into bursts of *secondary misses* on the same metadata line, making MSHRs
+essential.  This model supports three regimes:
+
+* ``num_entries == 0`` — no MSHRs at all (the ``secureMem`` model of
+  Section V-A): every miss, primary or secondary, issues its own memory
+  fetch;
+* merging up to ``merge_cap`` requests per entry (Section V-B's 512/64/64
+  caps for counter/MAC/BMT caches);
+* a full table, where new primary misses wait for the earliest in-flight
+  fill to free an entry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+class MshrEntry:
+    """One in-flight line fill."""
+
+    __slots__ = ("line_addr", "ready_time", "merged", "waiters")
+
+    def __init__(self, line_addr: int, ready_time: float) -> None:
+        self.line_addr = line_addr
+        self.ready_time = ready_time
+        #: requests merged into this entry beyond the primary miss.
+        self.merged = 0
+        #: opaque objects to notify when the fill completes (used by the L2).
+        self.waiters: List[Any] = []
+
+
+class MshrTable:
+    """MSHR file for one cache."""
+
+    def __init__(self, num_entries: int, merge_cap: int) -> None:
+        if num_entries < 0 or merge_cap < 0:
+            raise ValueError("MSHR parameters must be non-negative")
+        self.num_entries = num_entries
+        self.merge_cap = merge_cap
+        self._entries: Dict[int, MshrEntry] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.num_entries > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return self.enabled and len(self._entries) >= self.num_entries
+
+    def get(self, line_addr: int) -> MshrEntry | None:
+        """The in-flight entry for *line_addr*, if any."""
+        return self._entries.get(line_addr)
+
+    def can_merge(self, entry: MshrEntry) -> bool:
+        return self.enabled and entry.merged < self.merge_cap
+
+    def merge(self, entry: MshrEntry, waiter: Any = None) -> float:
+        """Attach a secondary miss to *entry*; returns the fill ready time."""
+        if not self.can_merge(entry):
+            raise RuntimeError("merge cap exceeded; caller must check can_merge")
+        entry.merged += 1
+        if waiter is not None:
+            entry.waiters.append(waiter)
+        return entry.ready_time
+
+    def allocate(self, line_addr: int, ready_time: float, waiter: Any = None) -> MshrEntry:
+        """Track a new primary miss.  Caller must ensure the table isn't full."""
+        if not self.enabled:
+            raise RuntimeError("MSHRs are disabled")
+        if self.full:
+            raise RuntimeError("MSHR table full; caller must check .full")
+        if line_addr in self._entries:
+            raise RuntimeError(f"line {line_addr:#x} already has an MSHR entry")
+        entry = MshrEntry(line_addr, ready_time)
+        if waiter is not None:
+            entry.waiters.append(waiter)
+        self._entries[line_addr] = entry
+        return entry
+
+    def release(self, line_addr: int) -> MshrEntry:
+        """Remove and return the entry when its fill completes."""
+        return self._entries.pop(line_addr)
+
+    def earliest_ready(self) -> float:
+        """Ready time of the first fill that will free an entry."""
+        if not self._entries:
+            return 0.0
+        return min(entry.ready_time for entry in self._entries.values())

@@ -1,0 +1,184 @@
+"""A memory partition: L2 bank(s), secure engine, DRAM channel.
+
+The partition receives sector requests from the interconnect, probes its
+sectored L2, and on misses pulls data through the :class:`SecureEngine`,
+which in turn talks to the DRAM channel.  Dirty L2 evictions flow back out
+through the engine (encryption + MAC + counter update).
+
+Metadata is partition-local: the secure hardware is replicated per memory
+controller (paper Fig. 1), so each partition keeps the counters/MACs/tree
+for *its own* slice of the protected range.  Global data addresses are
+compressed into a partition-local linear space (dropping the interleave
+bits) before metadata addresses are derived; otherwise one 128 B metadata
+block would span many partitions and be fetched redundantly by each.
+
+Back-pressure: when the DRAM channel backlog exceeds a window, the partition
+defers admitting new requests until the queue drains.  This is what makes
+saturated-bandwidth workloads actually slow down instead of piling up
+unbounded future work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.common import params
+from repro.common.config import GpuConfig
+from repro.common.stats import StatGroup
+from repro.secure.engine import SecureEngine
+from repro.secure.layout import MetadataLayout
+from repro.sim.cache import AccessResult, SectoredCache
+from repro.sim.dram import make_dram_channel
+from repro.sim.event import EventQueue
+from repro.sim.mshr import MshrTable
+from repro.sim.resource import ThroughputResource
+
+ResponseCallback = Callable[[float], None]
+
+#: cycles of queued DRAM work beyond which the partition stops admitting.
+BACKLOG_WINDOW = 2048.0
+
+
+class MemoryPartition:
+    """One of the GPU's memory partitions."""
+
+    def __init__(
+        self,
+        index: int,
+        config: GpuConfig,
+        events: EventQueue,
+        layout: MetadataLayout,
+        stats: StatGroup,
+        trace_hook=None,
+    ) -> None:
+        self.index = index
+        self.config = config
+        self.events = events
+        self.stats = stats
+        self.dram = make_dram_channel(config.dram, config.core_clock_mhz, stats.child("dram"))
+        self.engine = SecureEngine(
+            config.secure,
+            config,
+            self.dram,
+            events,
+            layout,
+            stats.child("secure"),
+            trace_hook=trace_hook,
+        )
+        self.l2 = SectoredCache(config.l2_cache_config(), stats.child("l2"))
+        self.l2_mshr = MshrTable(config.l2_mshrs_per_partition, config.l2_mshr_merge_cap)
+        #: L2 bank service port; a bank moves one sector per core cycle, and
+        #: the partition has ``l2_banks_per_partition`` of them.
+        self._bank = ThroughputResource("l2-bank")
+        self._bank_occupancy = 1.0 / config.l2_banks_per_partition
+        self._hit_latency = config.l2_hit_latency
+        self._interleave = config.partition_interleave_bytes
+        self._num_partitions = config.num_partitions
+        #: miss-fetch granularity: a 32 B sector, or the whole 128 B line
+        #: for the non-sectored-L2 ablation.
+        self._fetch_bytes = (
+            params.SECTOR_BYTES if config.l2_sectored else params.CACHE_LINE_BYTES
+        )
+
+    def to_local(self, addr: int) -> int:
+        """Compress a global address into this partition's linear space."""
+        chunk, offset = divmod(addr, self._interleave)
+        return (chunk // self._num_partitions) * self._interleave + offset
+
+    # ------------------------------------------------------------------
+
+    def _admission_time(self, now: float) -> float:
+        """Earliest time a new request may be admitted (back-pressure gate)."""
+        backlog = self.dram.backlog(now)
+        if backlog > BACKLOG_WINDOW:
+            self.stats.add("admission_stalls")
+            return now + (backlog - BACKLOG_WINDOW)
+        return now
+
+    def access(self, now: float, addr: int, is_write: bool, respond: ResponseCallback) -> None:
+        """Handle one 32 B sector access arriving from the interconnect.
+
+        *respond* is called with the completion time: for reads, when data
+        is available to ship back; for writes, when the L2 accepted the
+        store (GPU stores do not wait for DRAM).
+
+        The global address is converted to the partition-local linear space
+        up front: indexing the L2 with global addresses would leave most
+        sets unused (this partition only sees addresses with its own
+        interleave bits), and the secure engine's metadata is local anyway.
+        """
+        addr = self.to_local(addr)
+        start = self._admission_time(now)
+        start = self._bank.acquire(start, self._bank_occupancy) + self._bank_occupancy
+        if is_write:
+            self._handle_write(start, addr, respond)
+        else:
+            self._handle_read(start, addr, respond)
+
+    # ------------------------------------------------------------------
+
+    def _handle_write(self, now: float, addr: int, respond: ResponseCallback) -> None:
+        result = self.l2.lookup(addr, is_write=True)
+        if result is not AccessResult.HIT:
+            # full-sector store: allocate without fetching.
+            evictions = self.l2.write_insert(addr)
+            self._write_back(now, evictions)
+        self.events.schedule_at(now + self._hit_latency, respond, now + self._hit_latency)
+
+    def _handle_read(self, now: float, addr: int, respond: ResponseCallback) -> None:
+        result = self.l2.lookup(addr, is_write=False)
+        if result is AccessResult.HIT:
+            done = now + self._hit_latency
+            self.events.schedule_at(done, respond, done)
+            return
+
+        sector = addr - addr % self._fetch_bytes
+        entry = self.l2_mshr.get(sector) if self.l2_mshr.enabled else None
+        if entry is not None:
+            self.stats.add("l2_secondary_misses")
+            if entry.merged < self.config.l2_mshr_merge_cap:
+                entry.merged += 1
+                entry.waiters.append(respond)
+                return
+            # merge cap reached: redundant fetch, no fill.
+            ready = self.engine.read_sector(now, sector, self._fetch_bytes)
+            self.stats.add("l2_duplicate_fetches")
+            self.events.schedule_at(ready, respond, ready)
+            return
+
+        start = now
+        if self.l2_mshr.enabled and self.l2_mshr.full:
+            self.stats.add("l2_mshr_full_stalls")
+            start = max(now, self.l2_mshr.earliest_ready())
+        ready = self.engine.read_sector(start, sector, self._fetch_bytes)
+        if self.l2_mshr.enabled and not self.l2_mshr.full:
+            self.l2_mshr.allocate(sector, ready, waiter=respond)
+            self.events.schedule_at(ready, self._on_fill, sector)
+        else:
+            # no MSHR slot: untracked fetch, still fills the cache.
+            self.events.schedule_at(ready, self._on_untracked_fill, sector, respond)
+
+    def _on_fill(self, sector: int) -> None:
+        now = self.events.now
+        entry = self.l2_mshr.release(sector)
+        evictions = self.l2.fill(sector)
+        self._write_back(now, evictions)
+        for respond in entry.waiters:
+            respond(now)
+
+    def _on_untracked_fill(self, sector: int, respond: ResponseCallback) -> None:
+        now = self.events.now
+        evictions = self.l2.fill(sector)
+        self._write_back(now, evictions)
+        respond(now)
+
+    def _write_back(self, now: float, evictions: List) -> None:
+        for eviction in evictions:
+            for sector_addr in eviction.dirty_sector_addrs:
+                self.stats.add("l2_writebacks")
+                self.engine.write_sector(now, sector_addr, self._fetch_bytes)
+
+    # ------------------------------------------------------------------
+
+    def l2_miss_rate(self) -> float:
+        return self.l2.miss_rate()

@@ -1,0 +1,45 @@
+"""Bandwidth/throughput resource models.
+
+A :class:`ThroughputResource` represents anything that serves work at a
+fixed rate — a DRAM channel, a pipelined AES engine bank, an SM issue port.
+Acquiring it reserves *occupancy* cycles starting no earlier than the
+resource's next free time; contention appears as queueing delay, exactly the
+mechanism behind the paper's metadata-traffic slowdowns.
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import StatGroup
+
+
+class ThroughputResource:
+    """A single server with deterministic service times (FCFS)."""
+
+    def __init__(self, name: str, stats: StatGroup | None = None) -> None:
+        self.name = name
+        self.next_free: float = 0.0
+        self.busy_cycles: float = 0.0
+        self._stats = stats
+
+    def acquire(self, now: float, occupancy: float) -> float:
+        """Reserve *occupancy* cycles; return the service start time."""
+        if occupancy < 0:
+            raise ValueError("occupancy must be non-negative")
+        start = self.next_free if self.next_free > now else now
+        self.next_free = start + occupancy
+        self.busy_cycles += occupancy
+        if self._stats is not None:
+            self._stats.add("acquisitions")
+            self._stats.add("busy_cycles", occupancy)
+            self._stats.add("queue_delay", start - now)
+        return start
+
+    def backlog(self, now: float) -> float:
+        """Cycles of work already queued ahead of a request arriving *now*."""
+        return max(0.0, self.next_free - now)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of *elapsed* cycles this resource was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed)

@@ -1,0 +1,182 @@
+"""Streaming Multiprocessor model.
+
+An SM holds a pool of warp contexts.  Each warp repeatedly: issues a batch
+of instructions over the SM's issue port (4 warp-instructions/cycle), waits
+out any dependent latency, then performs its memory accesses and blocks
+until they complete.  Latency tolerance — the GPU property the paper leans
+on — emerges from the number of concurrently resident warps.
+
+The SM owns a sectored, write-through L1.  Read misses are merged through a
+small in-flight table (the L1's MSHRs); fills install on response.  Because
+the L1 is write-through/no-allocate it never holds dirty data, so evictions
+are silently dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List
+
+from repro.common import params
+from repro.common.config import GpuConfig
+from repro.common.stats import StatGroup
+from repro.sim.cache import AccessResult, SectoredCache
+from repro.sim.event import EventQueue
+from repro.sim.resource import ThroughputResource
+from repro.workloads.base import THREADS_PER_WARP, WarpOp
+
+#: send(now, sector_addr, is_write, respond) — provided by the GPU top level.
+SendFn = Callable[[float, int, bool, Callable[[float], None]], None]
+
+#: cap on how many pure-compute ops are batched into one event.
+_COMPUTE_BATCH_CAP = 64
+
+
+class _WarpState:
+    __slots__ = ("warp_id", "trace", "pending", "resume_at")
+
+    def __init__(self, warp_id: int, trace: Iterator[WarpOp]) -> None:
+        self.warp_id = warp_id
+        self.trace = trace
+        self.pending = 0
+        self.resume_at = 0.0
+
+
+class StreamingMultiprocessor:
+    """One SM: warp pool, issue port, L1."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GpuConfig,
+        events: EventQueue,
+        send: SendFn,
+        stats: StatGroup,
+        warp_traces: List[Iterator[WarpOp]],
+    ) -> None:
+        self.sm_id = sm_id
+        self.config = config
+        self.events = events
+        self.send = send
+        self.stats = stats
+        self.issue = ThroughputResource(f"sm{sm_id}-issue")
+        self.issue_width = config.sm_issue_width
+        self.l1 = SectoredCache(config.l1_config, stats.child("l1"))
+        self._l1_merge_cap = config.l1_config.mshr_merge_cap
+        self._l1_mshrs = config.l1_config.num_mshrs
+        self._l1_inflight: Dict[int, List[Callable[[float], None]]] = {}
+        self._l1_hit_latency = config.l1_config.hit_latency
+        self.instructions = 0
+        self._warps = [
+            _WarpState(i, trace) for i, trace in enumerate(warp_traces)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the first step of every warp, lightly staggered."""
+        for warp in self._warps:
+            self.events.schedule(warp.warp_id % 8, self._step, warp)
+
+    def _step(self, warp: _WarpState) -> None:
+        """Issue ops until the warp reaches a memory access (batched).
+
+        Port occupancy is always acquired at *now* (keeping the FCFS
+        resource's arrival order sane across warps); the warp's own
+        dependent latency accumulates separately on top.
+        """
+        now = self.events.now
+        port_ready = now
+        latency = 0.0
+        for _ in range(_COMPUTE_BATCH_CAP):
+            op = next(warp.trace, None)
+            if op is None:
+                self.stats.add("warps_finished")
+                # advance the clock past the work already issued so finite
+                # traces still account their issue/compute time.
+                cursor = max(port_ready, now) + latency
+                if cursor > now:
+                    self.events.schedule_at(cursor, lambda: None)
+                return
+            occupancy = op.n_insts / self.issue_width
+            start = self.issue.acquire(now, occupancy)
+            port_ready = max(port_ready, start + occupancy)
+            latency += op.compute_cycles
+            self.instructions += op.n_insts * THREADS_PER_WARP
+            if op.mem_addrs:
+                cursor = max(port_ready, now) + latency
+                if cursor > now:
+                    self.events.schedule_at(cursor, self._issue_memory, warp, op)
+                else:
+                    self._issue_memory(warp, op)
+                return
+        cursor = max(port_ready, now) + latency
+        self.events.schedule_at(max(cursor, now + 1), self._step, warp)
+
+    # ------------------------------------------------------------------
+
+    def _issue_memory(self, warp: _WarpState, op: WarpOp) -> None:
+        now = self.events.now
+        warp.pending = 0
+        warp.resume_at = now
+        hit_ready = now
+        for addr in op.mem_addrs:
+            sector = addr - addr % params.SECTOR_BYTES
+            if op.is_write:
+                self._write_sector(now, warp, sector)
+                continue
+            ready = self._read_sector(now, warp, sector)
+            if ready is not None:
+                hit_ready = max(hit_ready, ready)
+        if warp.pending == 0:
+            self.events.schedule_at(max(hit_ready, now), self._step, warp)
+        else:
+            warp.resume_at = max(warp.resume_at, hit_ready)
+
+    def _write_sector(self, now: float, warp: _WarpState, sector: int) -> None:
+        """Write-through store: forward to L2, wait for acceptance."""
+        self.l1.lookup(sector, is_write=False)  # probe only; data updated in place
+        self.stats.add("stores")
+        warp.pending += 1
+        self.send(now, sector, True, self._make_warp_cb(warp))
+
+    def _read_sector(self, now: float, warp: _WarpState, sector: int) -> float | None:
+        """Load path; returns the ready time for L1 hits, None if pending."""
+        result = self.l1.lookup(sector, is_write=False)
+        self.stats.add("loads")
+        if result is AccessResult.HIT:
+            return now + self._l1_hit_latency
+
+        warp.pending += 1
+        warp_cb = self._make_warp_cb(warp)
+        waiters = self._l1_inflight.get(sector)
+        if waiters is not None:
+            if len(waiters) < self._l1_merge_cap:
+                waiters.append(warp_cb)
+            else:
+                self.stats.add("l1_unmerged")
+                self.send(now, sector, False, warp_cb)
+            return None
+        if len(self._l1_inflight) < self._l1_mshrs:
+            self._l1_inflight[sector] = [warp_cb]
+            self.send(now, sector, False, lambda t, s=sector: self._on_l1_fill(s, t))
+        else:
+            self.stats.add("l1_mshr_full")
+            self.send(now, sector, False, warp_cb)
+        return None
+
+    def _on_l1_fill(self, sector: int, time: float) -> None:
+        """A missed sector returned: install it and wake the merged waiters."""
+        self.l1.fill(sector)  # write-through L1: evictions are clean, dropped
+        for waiter in self._l1_inflight.pop(sector, ()):
+            waiter(time)
+
+    def _make_warp_cb(self, warp: _WarpState) -> Callable[[float], None]:
+        def done(time: float) -> None:
+            warp.pending -= 1
+            warp.resume_at = max(warp.resume_at, time)
+            if warp.pending == 0:
+                self.events.schedule_at(
+                    max(warp.resume_at, self.events.now), self._step, warp
+                )
+
+        return done

@@ -1,0 +1,23 @@
+"""Workload proxies for the paper's 14 Rodinia/Parboil/Polybench benchmarks."""
+
+from repro.workloads.base import WarpOp, WorkloadSpec
+from repro.workloads.trace import load_trace, record_trace
+from repro.workloads.suite import (
+    BENCHMARKS,
+    MEDIUM_INTENSIVE,
+    MEMORY_INTENSIVE,
+    NON_MEMORY_INTENSIVE,
+    get_benchmark,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "MEDIUM_INTENSIVE",
+    "MEMORY_INTENSIVE",
+    "NON_MEMORY_INTENSIVE",
+    "WarpOp",
+    "WorkloadSpec",
+    "get_benchmark",
+    "load_trace",
+    "record_trace",
+]

@@ -1,0 +1,110 @@
+"""Warp-trace recording and replay.
+
+The synthetic generators in :mod:`repro.workloads.patterns` are the default
+workload source, but the simulator is trace-driven at heart: any per-warp
+stream of :class:`WarpOp` works.  This module materializes generator output
+into a portable JSON-lines file and loads such files back as replayable
+:class:`WorkloadSpec` objects — e.g. to pin an exact instruction stream
+across machine, or to feed in traces captured from a real simulator.
+
+File format: first line is a JSON header
+``{"name", "category", "warps_per_sm", "num_sms", "steps_per_warp"}``;
+every following line is one op:
+``[warp_index, n_insts, compute_cycles, is_write, [addr, ...]]``
+where ``warp_index = sm_id * warps_per_sm + warp_id``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.workloads.base import TraceFactory, WarpOp, WorkloadSpec
+
+
+def record_trace(
+    spec: WorkloadSpec,
+    path: str | Path,
+    num_sms: int,
+    warps_per_sm: int | None = None,
+    steps_per_warp: int = 1000,
+) -> Path:
+    """Materialize *steps_per_warp* ops of every warp of *spec* to *path*."""
+    path = Path(path)
+    warps = warps_per_sm if warps_per_sm is not None else spec.warps_per_sm
+    with path.open("w") as handle:
+        header = {
+            "name": spec.name,
+            "category": spec.category,
+            "warps_per_sm": warps,
+            "num_sms": num_sms,
+            "steps_per_warp": steps_per_warp,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for sm in range(num_sms):
+            for warp in range(warps):
+                stream = spec.warp_trace(sm, warp, num_sms, warps)
+                index = sm * warps + warp
+                for op in itertools.islice(stream, steps_per_warp):
+                    handle.write(
+                        json.dumps(
+                            [
+                                index,
+                                op.n_insts,
+                                op.compute_cycles,
+                                int(op.is_write),
+                                list(op.mem_addrs),
+                            ]
+                        )
+                        + "\n"
+                    )
+    return path
+
+
+def load_trace(path: str | Path, loop: bool = True) -> WorkloadSpec:
+    """Load a recorded trace as a replayable workload.
+
+    With ``loop=True`` (default) each warp's recorded ops repeat forever,
+    matching the infinite-stream contract of the simulator; otherwise warps
+    finish after their recorded steps.
+    """
+    path = Path(path)
+    with path.open() as handle:
+        header = json.loads(handle.readline())
+        ops_by_warp: Dict[int, List[WarpOp]] = {}
+        for line in handle:
+            index, n_insts, compute, is_write, addrs = json.loads(line)
+            ops_by_warp.setdefault(index, []).append(
+                WarpOp(
+                    n_insts=n_insts,
+                    compute_cycles=compute,
+                    mem_addrs=tuple(addrs),
+                    is_write=bool(is_write),
+                )
+            )
+
+    recorded_warps = header["warps_per_sm"]
+
+    def factory(spec: WorkloadSpec, global_warp: int, total_warps: int):
+        # reuse recorded warps cyclically if the run asks for more of them
+        ops = ops_by_warp.get(global_warp % max(1, len(ops_by_warp)), [])
+        if not ops:
+            return iter(())
+        if loop:
+            return itertools.cycle(ops)
+        return iter(ops)
+
+    max_addr = max(
+        (addr for ops in ops_by_warp.values() for op in ops for addr in op.mem_addrs),
+        default=0,
+    )
+    working_set = max(128, -(-(max_addr + 32) // 128) * 128)
+    return WorkloadSpec(
+        name=f"{header['name']}@trace",
+        category=header["category"],
+        trace_factory=factory,
+        warps_per_sm=recorded_warps,
+        working_set=working_set,
+    )

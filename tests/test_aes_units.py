@@ -1,0 +1,89 @@
+"""AES engine bank and MAC unit timing models."""
+
+import pytest
+
+from repro.secure.aes import AesEngineBank, MacUnit
+
+CORE = 1132.0
+DRAM = 850.0
+
+
+def bank(engines=2, latency=40) -> AesEngineBank:
+    return AesEngineBank(engines, latency, CORE, DRAM)
+
+
+class TestAesBank:
+    def test_throughput_gbps_matches_paper(self):
+        # one engine: 16B x 850MHz = 13.6 GB/s
+        assert bank(engines=1).throughput_gbps == pytest.approx(13.6)
+        assert bank(engines=2).throughput_gbps == pytest.approx(27.2)
+
+    def test_latency_applied_once(self):
+        engine = bank(latency=40)
+        occupancy = 32 * engine.cycles_per_byte
+        assert engine.process(0.0, 32) == pytest.approx(occupancy + 40)
+
+    def test_throughput_halves_with_one_engine(self):
+        assert bank(engines=1).cycles_per_byte == pytest.approx(
+            2 * bank(engines=2).cycles_per_byte
+        )
+
+    def test_queueing_under_load(self):
+        engine = bank()
+        first = engine.process(0.0, 32)
+        second = engine.process(0.0, 32)
+        assert second == pytest.approx(first + 32 * engine.cycles_per_byte)
+
+    def test_available_floors_completion(self):
+        engine = bank(latency=10)
+        done = engine.process(0.0, 32, available=500.0)
+        assert done == pytest.approx(500.0 + 32 * engine.cycles_per_byte + 10)
+
+    def test_available_does_not_poison_queue(self):
+        """A future-available op must not delay an unrelated later op."""
+        engine = bank(latency=0)
+        engine.process(0.0, 32, available=10_000.0)
+        occupancy = 32 * engine.cycles_per_byte
+        assert engine.process(0.0, 32) == pytest.approx(2 * occupancy)
+
+    def test_zero_latency(self):
+        engine = bank(latency=0)
+        assert engine.process(0.0, 16) == pytest.approx(16 * engine.cycles_per_byte)
+
+    def test_rejects_zero_engines(self):
+        with pytest.raises(ValueError):
+            bank(engines=0)
+
+    def test_stats(self):
+        engine = bank()
+        engine.process(0.0, 32)
+        engine.process(0.0, 32)
+        assert engine.stats.get("ops") == 2
+        assert engine.stats.get("bytes") == 64
+
+
+class TestMacUnit:
+    def test_latency(self):
+        unit = MacUnit(40, CORE, DRAM)
+        assert unit.process(0.0) == pytest.approx(unit.cycles_per_op + 40)
+
+    def test_pipelined_throughput(self):
+        unit = MacUnit(40, CORE, DRAM)
+        first = unit.process(0.0)
+        second = unit.process(0.0)
+        assert second - first == pytest.approx(unit.cycles_per_op)
+
+    def test_multiple_ops_in_one_call(self):
+        unit = MacUnit(0, CORE, DRAM)
+        assert unit.process(0.0, n_ops=4) == pytest.approx(4 * unit.cycles_per_op)
+
+    def test_available_floor(self):
+        unit = MacUnit(5, CORE, DRAM)
+        assert unit.process(0.0, available=300.0) == pytest.approx(
+            300.0 + unit.cycles_per_op + 5
+        )
+
+    def test_utilization(self):
+        unit = MacUnit(40, CORE, DRAM)
+        unit.process(0.0)
+        assert 0 < unit.utilization(100.0) <= 1.0

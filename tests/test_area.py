@@ -1,0 +1,66 @@
+"""Die-area model reproduces Tables VI and VII."""
+
+import pytest
+
+from repro.analysis.area import AreaModel, scale_area
+
+
+class TestScaling:
+    def test_quadratic(self):
+        assert scale_area(1.0, 32, 16) == pytest.approx(0.25)
+
+    def test_identity(self):
+        assert scale_area(0.5, 12, 12) == 0.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scale_area(1.0, 0, 12)
+
+
+class TestTable7:
+    def test_aes_engine_at_12nm(self):
+        # Table VII: 0.0049 mm^2 @ 14nm -> 0.0036 mm^2 @ 12nm
+        assert AreaModel().aes_area_mm2 == pytest.approx(0.0036, rel=0.01)
+
+    def test_cache_64kb_at_12nm(self):
+        assert AreaModel().cache64_area_mm2 == pytest.approx(0.01769, rel=0.01)
+
+    def test_cache_96kb_at_12nm(self):
+        assert AreaModel().cache96_area_mm2 == pytest.approx(0.01801, rel=0.01)
+
+    def test_table7_structure(self):
+        table = AreaModel().table7()
+        assert set(table) == {"AES engine", "64KB cache", "96KB cache"}
+
+
+class TestL2Displacement:
+    def test_32_engines_area(self):
+        # paper: total area for 32 AES engines is 0.1152 mm^2
+        assert AreaModel().aes_total_area(1) == pytest.approx(0.1152, rel=0.01)
+
+    def test_64_engines_area(self):
+        assert AreaModel().aes_total_area(2) == pytest.approx(0.2304, rel=0.01)
+
+    def test_aes_displaces_614kb(self):
+        model = AreaModel()
+        kb = model.l2_equivalent_kb(model.aes_total_area(1))
+        assert kb == pytest.approx(614, rel=0.01)
+
+    def test_metadata_caches_displace_283kb(self):
+        model = AreaModel()
+        kb = model.l2_equivalent_kb(model.metadata_cache_area())
+        assert kb == pytest.approx(283, rel=0.01)
+
+    def test_total_reduction_about_1_5mb(self):
+        # paper reports 1526 KB (24.84%); their cache term carries a small
+        # rounding discrepancy (298 vs 283), so allow a 2% corridor.
+        model = AreaModel()
+        assert model.l2_reduction_kb() == pytest.approx(1526, rel=0.02)
+        assert model.l2_reduction_fraction() == pytest.approx(0.2484, rel=0.02)
+
+
+class TestTable6:
+    def test_datapoints_present(self):
+        table = AreaModel().table6()
+        assert table["JSSC'11"]["tech_nm"] == 45
+        assert table["JSSC'20"]["area_mm2"] == pytest.approx(0.0049)

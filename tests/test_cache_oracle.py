@@ -1,0 +1,138 @@
+"""Differential testing: SectoredCache vs a naive reference LRU model.
+
+The reference model is deliberately dumb (dicts of sets, linear scans);
+hypothesis drives random interleavings of lookups, fills, write-inserts
+and dirty-marks through both and requires identical classifications,
+identical eviction victims and identical dirty writeback sets.
+"""
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import CacheConfig
+from repro.sim.cache import AccessResult, SectoredCache
+
+LINE = 128
+SECTOR = 32
+
+
+class ReferenceCache:
+    """Straightforward LRU sectored cache."""
+
+    def __init__(self, num_sets: int, assoc: int, sectored: bool) -> None:
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.sectored = sectored
+        # per set: list of line indices in LRU order (front = LRU)
+        self.order: Dict[int, List[int]] = {s: [] for s in range(num_sets)}
+        self.valid: Dict[int, Set[int]] = {}
+        self.dirty: Dict[int, Set[int]] = {}
+
+    def _set(self, line: int) -> int:
+        return line % self.num_sets
+
+    def _sector(self, addr: int) -> int:
+        return (addr % LINE) // SECTOR if self.sectored else 0
+
+    def lookup(self, addr: int, is_write: bool = False) -> str:
+        line = addr // LINE
+        group = self.order[self._set(line)]
+        if line not in group:
+            return "miss"
+        group.remove(line)
+        group.append(line)
+        if self._sector(addr) not in self.valid[line]:
+            return "sector_miss"
+        if is_write:
+            self.dirty[line].add(self._sector(addr))
+        return "hit"
+
+    def fill(self, addr: int, dirty: bool = False) -> Optional[Tuple[int, List[int]]]:
+        """Returns (victim_line_addr, dirty_sector_addrs) or None."""
+        line = addr // LINE
+        group = self.order[self._set(line)]
+        victim = None
+        if line not in group:
+            if len(group) >= self.assoc:
+                evicted = group.pop(0)
+                sectors = sorted(self.dirty.pop(evicted))
+                self.valid.pop(evicted)
+                victim = (
+                    evicted * LINE,
+                    [evicted * LINE + s * SECTOR for s in sectors],
+                )
+            group.append(line)
+            self.valid[line] = set()
+            self.dirty[line] = set()
+        else:
+            group.remove(line)
+            group.append(line)
+        if self.sectored:
+            self.valid[line].add(self._sector(addr))
+            if dirty:
+                self.dirty[line].add(self._sector(addr))
+        else:
+            self.valid[line].update(range(1))
+            if dirty:
+                self.dirty[line].add(0)
+        return victim
+
+
+#: op = (kind, line_index, sector_index, flag)
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["lookup", "fill", "write_insert"]),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=3),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+RESULT_NAMES = {
+    AccessResult.HIT: "hit",
+    AccessResult.SECTOR_MISS: "sector_miss",
+    AccessResult.MISS: "miss",
+}
+
+
+class TestDifferential:
+    @given(ops_strategy, st.sampled_from([(2, 2), (4, 2), (2, 4), (1, 8)]),
+           st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_reference(self, ops, geometry, sectored):
+        num_sets, assoc = geometry
+        dut = SectoredCache(
+            CacheConfig(
+                size_bytes=num_sets * assoc * LINE,
+                associativity=assoc,
+                sectored=sectored,
+            )
+        )
+        ref = ReferenceCache(num_sets, assoc, sectored)
+        for kind, line, sector, flag in ops:
+            addr = line * LINE + sector * SECTOR
+            if kind == "lookup":
+                got = RESULT_NAMES[dut.lookup(addr, is_write=flag)]
+                expected = ref.lookup(addr, is_write=flag)
+                # writes to missing lines don't mutate the reference model
+                assert got == expected, (kind, addr)
+            elif kind == "fill":
+                evictions = dut.fill(addr, dirty=flag)
+                expected = ref.fill(addr, dirty=flag)
+                if expected is None:
+                    assert evictions == []
+                else:
+                    assert len(evictions) == 1
+                    assert evictions[0].line_addr == expected[0]
+                    assert evictions[0].dirty_sector_addrs == expected[1]
+            else:  # write_insert = fill(dirty=True)
+                evictions = dut.write_insert(addr)
+                expected = ref.fill(addr, dirty=True)
+                if expected is None:
+                    assert evictions == []
+                else:
+                    assert evictions[0].line_addr == expected[0]
+                    assert evictions[0].dirty_sector_addrs == expected[1]

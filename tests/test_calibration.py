@@ -1,0 +1,69 @@
+"""Baseline calibration against Table IV's bands (coarse, scaled windows).
+
+Full-suite calibration numbers live in EXPERIMENTS.md; these tests pin the
+*category structure* — the property every figure in the paper leans on —
+with loose tolerances so they stay robust to small model changes.
+"""
+
+import pytest
+
+from repro import GpuConfig, simulate
+from repro.workloads.suite import BENCHMARKS, get_benchmark
+
+HORIZON = 8000
+WARMUP = 14000
+
+
+@pytest.fixture(scope="module")
+def results():
+    config = GpuConfig.scaled(num_partitions=4)
+    return {
+        name: simulate(config, spec, horizon=HORIZON, warmup=WARMUP)
+        for name, spec in BENCHMARKS.items()
+    }
+
+
+class TestCategoryBands:
+    @pytest.mark.parametrize("name", ["heartwall", "lavaMD", "nw"])
+    def test_non_memory_intensive_under_20pct(self, results, name):
+        assert results[name].bandwidth_utilization < 0.20
+
+    @pytest.mark.parametrize("name", ["b+tree"])
+    def test_btree_light_bandwidth(self, results, name):
+        assert results[name].bandwidth_utilization < 0.25
+
+    @pytest.mark.parametrize("name", ["backprop", "cfd", "dwt2d", "kmeans", "bfs"])
+    def test_medium_band(self, results, name):
+        assert 0.10 < results[name].bandwidth_utilization < 0.65
+
+    @pytest.mark.parametrize(
+        "name", ["srad_v2", "streamcluster", "2Dconvolution", "fdtd2d", "lbm"]
+    )
+    def test_memory_intensive_over_45pct(self, results, name):
+        assert results[name].bandwidth_utilization > 0.45
+
+
+class TestIpcStructure:
+    def test_lavamd_is_fastest(self, results):
+        ipcs = {name: r.ipc for name, r in results.items()}
+        assert max(ipcs, key=ipcs.get) == "lavaMD"
+
+    def test_nw_is_slowest(self, results):
+        ipcs = {name: r.ipc for name, r in results.items()}
+        assert min(ipcs, key=ipcs.get) in ("nw", "kmeans")
+
+    def test_kmeans_low_ipc_despite_bandwidth(self, results):
+        """kmeans: ~40% bandwidth with ~1% of peak IPC (Table IV's outlier)."""
+        peak = 20 * 4 * 32
+        assert results["kmeans"].ipc / peak < 0.05
+        assert results["kmeans"].bandwidth_utilization > 0.3
+
+    def test_streaming_benches_have_high_l2_miss(self, results):
+        for name in ("streamcluster", "fdtd2d", "lbm", "srad_v2"):
+            assert results[name].l2_miss_rate > 0.9
+
+    def test_reuse_benches_have_lower_l2_miss(self, results):
+        # heartwall filters its reuse in the L1, so only hot-set benches
+        # show it at the L2.
+        for name in ("b+tree", "backprop"):
+            assert results[name].l2_miss_rate < 0.6

@@ -1,0 +1,77 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import DESIGNS, main
+
+FAST = ["--horizon", "1200", "--warmup", "800", "--partitions", "2"]
+
+
+class TestStaticCommands:
+    def test_designs_lists_everything(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        for name in DESIGNS:
+            assert name in out
+
+    def test_storage(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "290.13" in out or "290.14" in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        assert "AES engine" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_prints_metrics(self, capsys):
+        assert main(["run", "nw", "--design", "direct_40", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "bandwidth util" in out
+
+    def test_run_secure_prints_metadata(self, capsys):
+        assert main(["run", "nw", "--design", "secureMem_mshr64", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "mac miss rate" in out
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["run", "doom", *FAST])
+
+    def test_rejects_unknown_design(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nw", "--design", "nope", *FAST])
+
+
+class TestFigure:
+    def test_figure_table2(self, capsys):
+        assert main(["figure", "table2", *FAST]) == 0
+        assert "counter" in capsys.readouterr().out
+
+    def test_figure_table6_7(self, capsys):
+        assert main(["figure", "table6_7", *FAST]) == 0
+        assert "L2 displaced" in capsys.readouterr().out
+
+
+class TestAttack:
+    def test_attack_matrix(self, capsys):
+        assert main(["attack"]) == 0
+        out = capsys.readouterr().out
+        assert "DETECTED" in out
+        assert "missed" in out
+        # encryption-only rows miss replay; tree rows catch it
+        for line in out.splitlines():
+            if line.startswith("ctr_mac_bmt"):
+                assert line.count("DETECTED") == 3
+            if line.startswith("direct ") or line.startswith("ctr "):
+                assert "DETECTED" not in line
+
+
+class TestDesignRegistryConsistency:
+    def test_every_factory_builds(self):
+        for name, factory in DESIGNS.items():
+            secure = factory()
+            if name != "baseline":
+                assert secure is not None

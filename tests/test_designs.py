@@ -1,0 +1,99 @@
+"""Design-point factories (Tables V and VIII)."""
+
+import pytest
+
+from repro.common import params
+from repro.common.config import EncryptionMode, IntegrityMode
+from repro.experiments import designs
+
+
+class TestTable5Designs:
+    def test_baseline_is_none(self):
+        assert designs.baseline() is None
+
+    def test_secure_mem_is_ctr_mac_bmt(self):
+        config = designs.secure_mem()
+        assert config.encryption is EncryptionMode.COUNTER
+        assert config.integrity is IntegrityMode.MAC_TREE
+
+    def test_secure_mem_default_has_no_mshrs(self):
+        assert designs.secure_mem().counter_cache.num_mshrs == 0
+
+    def test_zero_crypto(self):
+        assert designs.zero_crypto().zero_crypto_latency
+
+    def test_perfect_mdc(self):
+        assert designs.perfect_mdc().perfect_metadata_cache
+
+    def test_large_mdc(self):
+        assert designs.large_mdc().infinite_metadata_cache
+
+    def test_mshr_x(self):
+        config = designs.mshr_x(32)
+        assert config.counter_cache.num_mshrs == 32
+        assert config.mac_cache.num_mshrs == 32
+
+    def test_mdc_size(self):
+        config = designs.mdc_size(16 * 1024)
+        assert config.counter_cache.size_bytes == 16 * 1024
+        assert config.counter_cache.num_mshrs == params.DEFAULT_METADATA_MSHRS
+
+    def test_unified_flag(self):
+        assert designs.unified().unified_metadata_cache
+        assert not designs.separate().unified_metadata_cache
+
+    def test_aes_engines(self):
+        assert designs.aes_engines(1).aes_engines == 1
+        assert designs.aes_engines(2).aes_engines == 2
+
+
+class TestTable8Designs:
+    def test_ctr_has_no_integrity(self):
+        config = designs.ctr()
+        assert config.encryption is EncryptionMode.COUNTER
+        assert config.integrity is IntegrityMode.NONE
+        assert not config.uses_tree
+        assert not config.uses_macs
+
+    def test_ctr_bmt(self):
+        config = designs.ctr_bmt()
+        assert config.integrity is IntegrityMode.BMT
+        assert config.uses_tree
+        assert not config.uses_macs
+
+    def test_ctr_mac_bmt_equals_separate(self):
+        assert designs.ctr_mac_bmt() == designs.separate()
+
+    def test_direct_latency(self):
+        assert designs.direct(160).aes_latency == 160
+        assert designs.direct().encryption is EncryptionMode.DIRECT
+
+    def test_direct_mac_budget(self):
+        config = designs.direct_mac()
+        assert config.integrity is IntegrityMode.MAC
+        assert config.mac_cache.size_bytes == 6 * 1024
+
+    def test_direct_mac_mt_budget_split(self):
+        config = designs.direct_mac_mt()
+        assert config.mac_cache.size_bytes == 3 * 1024
+        assert config.tree_cache.size_bytes == 3 * 1024
+        assert config.uses_tree
+
+
+class TestGpuAssembly:
+    def test_build_gpu_partitions(self):
+        config = designs.build_gpu(None, num_partitions=4)
+        assert config.num_partitions == 4
+        assert not config.secure.enabled
+
+    def test_build_gpu_l2_override(self):
+        config = designs.build_gpu(None, num_partitions=2, l2_bank_bytes=64 * 1024)
+        assert config.l2_bank_bytes == 64 * 1024
+
+    def test_l2_scaled_gpu_6mb_matches_default(self):
+        config = designs.l2_scaled_gpu(None, 6.0, num_partitions=2)
+        assert config.l2_bank_bytes == params.PAPER_L2_BANK_SIZE
+
+    def test_l2_scaled_gpu_4mb(self):
+        config = designs.l2_scaled_gpu(None, 4.0, num_partitions=2)
+        assert config.l2_bank_bytes == pytest.approx(64 * 1024, abs=128)

@@ -1,0 +1,103 @@
+"""DRAM channel: latency, occupancy, categories, efficiency."""
+
+import pytest
+
+from repro.common.config import DramConfig
+from repro.sim.dram import (
+    ALL_CATEGORIES,
+    CAT_COUNTER,
+    CAT_DATA_READ,
+    CAT_DATA_WRITE,
+    DramChannel,
+)
+
+
+def channel(bandwidth_gbps=27.125, latency=200, efficiency=1.0) -> DramChannel:
+    return DramChannel(
+        DramConfig(
+            bandwidth_gbps=bandwidth_gbps,
+            access_latency=latency,
+            efficiency=efficiency,
+        ),
+        core_clock_mhz=1000.0,
+    )
+
+
+class TestReadTiming:
+    def test_read_latency_includes_fixed_component(self):
+        dram = channel(latency=200)
+        ready = dram.read(0.0, 32, CAT_DATA_READ)
+        transfer = 32 / dram.bytes_per_cycle
+        assert ready == pytest.approx(200 + transfer)
+
+    def test_reads_queue_behind_each_other(self):
+        dram = channel(latency=100)
+        first = dram.read(0.0, 32, CAT_DATA_READ)
+        second = dram.read(0.0, 32, CAT_DATA_READ)
+        assert second == pytest.approx(first + 32 / dram.bytes_per_cycle)
+
+    def test_bigger_transfers_occupy_longer(self):
+        dram = channel()
+        dram.read(0.0, 128, CAT_COUNTER)
+        assert dram.backlog(0.0) == pytest.approx(128 / dram.bytes_per_cycle)
+
+
+class TestWriteTiming:
+    def test_write_returns_channel_acceptance(self):
+        dram = channel(latency=500)
+        done = dram.write(0.0, 32, CAT_DATA_WRITE)
+        # no fixed latency for the requester, just occupancy
+        assert done == pytest.approx(32 / dram.bytes_per_cycle)
+
+    def test_writes_delay_later_reads(self):
+        dram = channel(latency=0)
+        dram.write(0.0, 128, CAT_DATA_WRITE)
+        ready = dram.read(0.0, 32, CAT_DATA_READ)
+        assert ready == pytest.approx(160 / dram.bytes_per_cycle)
+
+
+class TestAccounting:
+    def test_transactions_are_32b_granules(self):
+        dram = channel()
+        dram.read(0.0, 128, CAT_COUNTER)
+        dram.read(0.0, 32, CAT_DATA_READ)
+        assert dram.stats.get("txn_ctr") == 4
+        assert dram.stats.get("txn_data_read") == 1
+        assert dram.stats.get("txn_total") == 5
+
+    def test_bytes_accounting(self):
+        dram = channel()
+        dram.read(0.0, 128, CAT_COUNTER)
+        dram.write(0.0, 32, CAT_DATA_WRITE)
+        assert dram.stats.get("bytes_total") == 160
+
+    def test_traffic_breakdown_has_all_categories(self):
+        dram = channel()
+        dram.read(0.0, 32, CAT_DATA_READ)
+        breakdown = dram.traffic_breakdown()
+        assert set(breakdown) == set(ALL_CATEGORIES)
+        assert breakdown["data_read"] == 1
+        assert breakdown["mac"] == 0
+
+
+class TestEfficiency:
+    def test_efficiency_slows_service(self):
+        fast = channel(efficiency=1.0)
+        slow = channel(efficiency=0.5)
+        assert slow.bytes_per_cycle == pytest.approx(fast.bytes_per_cycle * 0.5)
+
+    def test_utilization_reports_achieved_over_peak(self):
+        dram = channel(efficiency=0.8)
+        # saturate: queue enough work for 100 cycles
+        target_bytes = int(dram.bytes_per_cycle * 100)
+        dram.write(0.0, target_bytes, CAT_DATA_WRITE)
+        assert dram.utilization(100.0) == pytest.approx(0.8)
+
+    def test_idle_utilization_is_zero(self):
+        assert channel().utilization(1000.0) == 0.0
+
+
+class TestValidation:
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            DramChannel(DramConfig(bandwidth_gbps=0.0), core_clock_mhz=1000.0)

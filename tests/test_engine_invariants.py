@@ -1,0 +1,136 @@
+"""Property-based invariants of the secure engine under random access mixes.
+
+These drive randomized read/write sequences through a bare engine and
+check conservation laws that must hold for any input: accounting
+consistency, traffic arithmetic, and mode-specific absences.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common import params
+from repro.common.config import (
+    EncryptionMode,
+    GpuConfig,
+    IntegrityMode,
+    MetadataKind,
+    SecureMemoryConfig,
+)
+from repro.common.stats import StatGroup
+from repro.secure.engine import SecureEngine
+from repro.secure.layout import MetadataLayout
+from repro.sim.dram import DramChannel
+from repro.sim.event import EventQueue
+
+MB = 1024 * 1024
+
+#: (is_write, line_index, sector_index) operations
+ops_strategy = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(min_value=0, max_value=4000),
+        st.integers(min_value=0, max_value=3),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+mode_strategy = st.sampled_from(
+    [
+        (EncryptionMode.COUNTER, IntegrityMode.MAC_TREE, 64),
+        (EncryptionMode.COUNTER, IntegrityMode.MAC_TREE, 0),
+        (EncryptionMode.COUNTER, IntegrityMode.BMT, 64),
+        (EncryptionMode.COUNTER, IntegrityMode.NONE, 64),
+        (EncryptionMode.DIRECT, IntegrityMode.MAC, 64),
+        (EncryptionMode.DIRECT, IntegrityMode.MAC_TREE, 64),
+    ]
+)
+
+
+def run_engine(ops, encryption, integrity, mshrs):
+    secure = SecureMemoryConfig(
+        encryption=encryption, integrity=integrity
+    ).with_metadata_mshrs(mshrs)
+    gpu = GpuConfig.scaled(num_partitions=1, secure=secure)
+    events = EventQueue()
+    dram = DramChannel(gpu.dram, gpu.core_clock_mhz, StatGroup("dram"))
+    engine = SecureEngine(secure, gpu, dram, events, MetadataLayout(16 * MB), StatGroup("s"))
+    now = 0.0
+    for is_write, line, sector in ops:
+        addr = line * 128 + sector * 32
+        if is_write:
+            engine.write_sector(now, addr)
+        else:
+            engine.read_sector(now, addr)
+        now += 3.0
+        events.run(until=now)
+    events.run()
+    return engine, dram
+
+
+class TestConservation:
+    @given(ops_strategy, mode_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_metadata_accounting_identities(self, ops, mode):
+        engine, dram = run_engine(ops, *mode)
+        for kind in MetadataKind:
+            stats = engine.kind_stats(kind)
+            assert stats.get("hits") + stats.get("misses") == stats.get("accesses")
+            assert stats.get("primary_misses") + stats.get("secondary_misses") == (
+                stats.get("misses")
+            )
+            assert stats.get("merged") + stats.get("duplicate_fetches") <= (
+                stats.get("secondary_misses")
+            ) or stats.get("secondary_misses") == stats.get("merged") + stats.get(
+                "duplicate_fetches"
+            )
+            # every fill corresponds to one primary miss (fills may lag)
+            assert stats.get("fills") <= stats.get("primary_misses")
+
+    @given(ops_strategy, mode_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_traffic_arithmetic(self, ops, mode):
+        engine, dram = run_engine(ops, *mode)
+        reads = sum(1 for w, _, _ in ops if not w)
+        writes = len(ops) - reads
+        assert dram.stats.get("txn_data_read") >= reads  # overflow adds more
+        assert dram.stats.get("txn_data_write") >= writes
+        for kind, category in (
+            (MetadataKind.COUNTER, "ctr"),
+            (MetadataKind.MAC, "mac"),
+            (MetadataKind.TREE, "bmt"),
+        ):
+            stats = engine.kind_stats(kind)
+            fetches = stats.get("primary_misses") + stats.get("duplicate_fetches")
+            assert dram.stats.get(f"txn_{category}") == 4 * fetches
+
+    @given(ops_strategy, mode_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_mode_specific_absences(self, ops, mode):
+        encryption, integrity, _ = mode
+        engine, dram = run_engine(ops, *mode)
+        if encryption is EncryptionMode.DIRECT:
+            assert dram.stats.get("txn_ctr") == 0
+        if integrity is IntegrityMode.NONE:
+            assert dram.stats.get("txn_mac") == 0
+            assert dram.stats.get("txn_bmt") == 0
+        if integrity is IntegrityMode.BMT:
+            assert dram.stats.get("txn_mac") == 0
+
+    @given(ops_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_mshrs_never_increase_traffic(self, ops):
+        _, without = run_engine(ops, EncryptionMode.COUNTER, IntegrityMode.MAC_TREE, 0)
+        _, with_mshrs = run_engine(ops, EncryptionMode.COUNTER, IntegrityMode.MAC_TREE, 64)
+        assert with_mshrs.stats.get("txn_ctr") <= without.stats.get("txn_ctr")
+        assert with_mshrs.stats.get("txn_mac") <= without.stats.get("txn_mac")
+
+    @given(ops_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_read_times_nondecreasing_in_integrity(self, ops):
+        """Adding protection never makes an individual read earlier... at
+        least in aggregate: total DRAM traffic grows with protection."""
+        _, none = run_engine(ops, EncryptionMode.COUNTER, IntegrityMode.NONE, 64)
+        _, full = run_engine(ops, EncryptionMode.COUNTER, IntegrityMode.MAC_TREE, 64)
+        assert full.stats.get("txn_total") >= none.stats.get("txn_total")

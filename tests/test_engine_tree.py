@@ -1,0 +1,106 @@
+"""Secure-engine tree addressing and lazy-update mechanics."""
+
+import pytest
+
+from repro.common.config import (
+    EncryptionMode,
+    GpuConfig,
+    IntegrityMode,
+    MetadataKind,
+    SecureMemoryConfig,
+)
+from repro.common.stats import StatGroup
+from repro.secure.engine import SecureEngine
+from repro.secure.layout import MetadataLayout
+from repro.sim.dram import DramChannel
+from repro.sim.event import EventQueue
+
+MB = 1024 * 1024
+
+
+def make_engine(encryption=EncryptionMode.COUNTER, integrity=IntegrityMode.MAC_TREE,
+                protected=64 * MB):
+    secure = SecureMemoryConfig(encryption=encryption, integrity=integrity)
+    gpu = GpuConfig.scaled(num_partitions=1, secure=secure)
+    events = EventQueue()
+    dram = DramChannel(gpu.dram, gpu.core_clock_mhz, StatGroup("dram"))
+    layout = MetadataLayout(protected)
+    engine = SecureEngine(secure, gpu, dram, events, layout, StatGroup("secure"))
+    return engine, layout
+
+
+class TestTreeParentAddr:
+    def test_counter_block_parent_is_bmt_level1(self):
+        engine, layout = make_engine()
+        parent = engine._tree_parent_addr(
+            MetadataKind.COUNTER, layout.counter_block_addr(0)
+        )
+        assert parent == layout.bmt_node_addr(1, 0)
+
+    def test_counter_parent_changes_per_16_blocks(self):
+        engine, layout = make_engine()
+        addr_a = layout.counter_block_addr(0)
+        addr_b = layout.counter_block_addr(16 * layout.counters.data_bytes_per_block)
+        assert engine._tree_parent_addr(MetadataKind.COUNTER, addr_a) != (
+            engine._tree_parent_addr(MetadataKind.COUNTER, addr_b)
+        )
+
+    def test_counter_has_no_parent_in_direct_mode(self):
+        engine, layout = make_engine(encryption=EncryptionMode.DIRECT)
+        assert (
+            engine._tree_parent_addr(MetadataKind.COUNTER, layout.counter_base) is None
+        )
+
+    def test_mac_has_no_parent_under_bmt_scheme(self):
+        engine, layout = make_engine()
+        assert engine._tree_parent_addr(MetadataKind.MAC, layout.mac_base) is None
+
+    def test_mac_parent_is_mt_node_in_direct_mode(self):
+        engine, layout = make_engine(encryption=EncryptionMode.DIRECT)
+        parent = engine._tree_parent_addr(MetadataKind.MAC, layout.mac_base)
+        assert parent == layout.mt_node_addr(1, 0)
+
+    def test_tree_node_parent_walks_up(self):
+        engine, layout = make_engine()
+        level1 = layout.bmt_node_addr(1, 0)
+        parent = engine._tree_parent_addr(MetadataKind.TREE, level1)
+        assert parent == layout.bmt_node_addr(2, 0)
+
+    def test_node_below_root_has_no_fetchable_parent(self):
+        engine, layout = make_engine()
+        top_minus_one = layout.bmt.root_level - 1
+        if top_minus_one >= 1:
+            addr = layout.bmt_node_addr(top_minus_one, 0)
+            assert engine._tree_parent_addr(MetadataKind.TREE, addr) is None
+
+    def test_mt_node_parent_stays_in_mt(self):
+        engine, layout = make_engine(encryption=EncryptionMode.DIRECT)
+        level1 = layout.mt_node_addr(1, 0)
+        parent = engine._tree_parent_addr(MetadataKind.TREE, level1)
+        assert parent == layout.mt_node_addr(2, 0)
+        assert parent >= layout.mt_base
+
+
+class TestWalkDepth:
+    def test_cold_walk_fetches_multiple_levels(self):
+        engine, layout = make_engine()
+        events = engine.events
+        engine.read_sector(0.0, 0x0)
+        events.run()
+        tree = engine.kind_stats(MetadataKind.TREE)
+        fetchable = layout.bmt.num_internal_levels - 1  # root is on chip
+        assert tree.get("accesses") == fetchable
+
+    def test_warm_ancestor_stops_walk(self):
+        engine, layout = make_engine()
+        events = engine.events
+        engine.read_sector(0.0, 0x0)
+        events.run()
+        accesses_before = engine.kind_stats(MetadataKind.TREE).get("accesses")
+        # a counter block under the same level-1 parent: walk stops at level 1
+        sibling = 1 * layout.counters.data_bytes_per_block
+        engine.read_sector(events.now, sibling)
+        events.run()
+        tree = engine.kind_stats(MetadataKind.TREE)
+        assert tree.get("accesses") == accesses_before + 1
+        assert tree.get("hits") >= 1

@@ -1,0 +1,108 @@
+"""EventQueue: ordering, horizons, stop conditions."""
+
+import pytest
+
+from repro.sim.event import EventQueue
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_at(5, seen.append, "b")
+        queue.schedule_at(1, seen.append, "a")
+        queue.schedule_at(9, seen.append, "c")
+        queue.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_at(3, seen.append, 1)
+        queue.schedule_at(3, seen.append, 2)
+        queue.schedule_at(3, seen.append, 3)
+        queue.run()
+        assert seen == [1, 2, 3]
+
+    def test_relative_schedule_uses_now(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule_at(10, lambda: queue.schedule(5, lambda: times.append(queue.now)))
+        queue.run()
+        assert times == [15]
+
+    def test_rejects_past_events(self):
+        queue = EventQueue()
+        queue.schedule_at(10, lambda: None)
+        queue.run()
+        with pytest.raises(ValueError):
+            queue.schedule_at(5, lambda: None)
+
+    def test_now_advances_with_events(self):
+        queue = EventQueue()
+        observed = []
+        queue.schedule_at(7, lambda: observed.append(queue.now))
+        queue.run()
+        assert observed == [7]
+
+
+class TestRunControl:
+    def test_until_stops_before_later_events(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_at(5, seen.append, "early")
+        queue.schedule_at(50, seen.append, "late")
+        queue.run(until=10)
+        assert seen == ["early"]
+        assert queue.now == 10
+        assert not queue.empty()
+
+    def test_until_advances_clock_when_queue_drains(self):
+        queue = EventQueue()
+        queue.schedule_at(2, lambda: None)
+        queue.run(until=100)
+        assert queue.now == 100
+
+    def test_resume_after_until(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_at(50, seen.append, "late")
+        queue.run(until=10)
+        queue.run(until=100)
+        assert seen == ["late"]
+
+    def test_stop_halts_immediately(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_at(1, lambda: (seen.append("a"), queue.stop()))
+        queue.schedule_at(2, seen.append, "b")
+        queue.run()
+        assert seen == ["a"]
+
+    def test_max_events(self):
+        queue = EventQueue()
+        seen = []
+        for t in range(5):
+            queue.schedule_at(t, seen.append, t)
+        processed = queue.run(max_events=3)
+        assert processed == 3
+        assert seen == [0, 1, 2]
+
+    def test_run_returns_event_count(self):
+        queue = EventQueue()
+        for t in range(4):
+            queue.schedule_at(t, lambda: None)
+        assert queue.run() == 4
+
+    def test_events_can_spawn_events(self):
+        queue = EventQueue()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 4:
+                queue.schedule(1, chain, n + 1)
+
+        queue.schedule_at(0, chain, 0)
+        queue.run()
+        assert seen == [0, 1, 2, 3, 4]

@@ -1,0 +1,76 @@
+"""From-scratch AES-128 against FIPS-197 and round-trip properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.secure.functional.aes128 import Aes128
+
+
+class TestFips197Vectors:
+    def test_appendix_b_example(self):
+        aes = Aes128(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        ct = aes.encrypt_block(bytes.fromhex("3243f6a8885a308d313198a2e0370734"))
+        assert ct.hex() == "3925841d02dc09fbdc118597196a0b32"
+
+    def test_appendix_c_example(self):
+        aes = Aes128(bytes(range(16)))
+        ct = aes.encrypt_block(bytes.fromhex("00112233445566778899aabbccddeeff"))
+        assert ct.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_appendix_c_decrypt(self):
+        aes = Aes128(bytes(range(16)))
+        pt = aes.decrypt_block(bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a"))
+        assert pt.hex() == "00112233445566778899aabbccddeeff"
+
+    def test_nist_sp800_38a_ecb_vector(self):
+        aes = Aes128(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        ct = aes.encrypt_block(bytes.fromhex("6bc1bee22e409f96e93d7e117393172a"))
+        assert ct.hex() == "3ad77bb40d7a3660a89ecaf32466ef97"
+
+
+class TestInterface:
+    def test_rejects_short_key(self):
+        with pytest.raises(ValueError):
+            Aes128(b"short")
+
+    def test_rejects_bad_block_sizes(self):
+        aes = Aes128(bytes(16))
+        with pytest.raises(ValueError):
+            aes.encrypt_block(b"123")
+        with pytest.raises(ValueError):
+            aes.decrypt_block(b"123")
+
+    def test_deterministic(self):
+        aes = Aes128(b"0123456789abcdef")
+        assert aes.encrypt_block(bytes(16)) == aes.encrypt_block(bytes(16))
+
+    def test_key_sensitivity(self):
+        a = Aes128(b"0123456789abcdef").encrypt_block(bytes(16))
+        b = Aes128(b"0123456789abcdeF").encrypt_block(bytes(16))
+        assert a != b
+
+
+class TestProperties:
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, key, plaintext):
+        aes = Aes128(key)
+        assert aes.decrypt_block(aes.encrypt_block(plaintext)) == plaintext
+
+    @given(st.binary(min_size=16, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_encryption_changes_data(self, plaintext):
+        aes = Aes128(b"fixed-key-16byte")
+        assert aes.encrypt_block(plaintext) != plaintext
+
+    @given(st.binary(min_size=16, max_size=16), st.integers(0, 127))
+    @settings(max_examples=20, deadline=None)
+    def test_avalanche(self, plaintext, bit):
+        """Flipping one plaintext bit changes many ciphertext bits."""
+        aes = Aes128(b"fixed-key-16byte")
+        flipped = bytearray(plaintext)
+        flipped[bit // 8] ^= 1 << (bit % 8)
+        a = aes.encrypt_block(plaintext)
+        b = aes.encrypt_block(bytes(flipped))
+        differing = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert differing >= 30

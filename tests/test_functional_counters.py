@@ -1,0 +1,119 @@
+"""Split-counter block packing and overflow semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.secure.functional.counters import CounterBlock, CounterValue
+from repro.secure.geometry import CounterGeometry
+
+
+def fresh_block():
+    store = bytearray(256)
+    return CounterBlock(store, 64, CounterGeometry()), store
+
+
+class TestMajorCounter:
+    def test_starts_at_zero(self):
+        block, _ = fresh_block()
+        assert block.major == 0
+
+    def test_set_get_roundtrip(self):
+        block, _ = fresh_block()
+        block.major = 123456789123456789
+        assert block.major == 123456789123456789
+
+    def test_128bit_values(self):
+        block, _ = fresh_block()
+        value = (1 << 127) | 12345
+        block.major = value
+        assert block.major == value
+
+    def test_wraps_at_128_bits(self):
+        block, _ = fresh_block()
+        block.major = 1 << 128
+        assert block.major == 0
+
+
+class TestMinorCounters:
+    def test_all_start_zero(self):
+        block, _ = fresh_block()
+        assert all(block.get_minor(i) == 0 for i in range(128))
+
+    def test_set_get_single(self):
+        block, _ = fresh_block()
+        block.set_minor(5, 99)
+        assert block.get_minor(5) == 99
+        assert block.get_minor(4) == 0
+        assert block.get_minor(6) == 0
+
+    def test_rejects_out_of_range_index(self):
+        block, _ = fresh_block()
+        with pytest.raises(IndexError):
+            block.get_minor(128)
+        with pytest.raises(IndexError):
+            block.set_minor(-1, 0)
+
+    def test_rejects_oversized_value(self):
+        block, _ = fresh_block()
+        with pytest.raises(ValueError):
+            block.set_minor(0, 128)
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 127), st.integers(0, 127), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=40)
+    def test_independent_packing(self, assignments):
+        """7-bit fields never clobber their neighbours."""
+        block, _ = fresh_block()
+        for index, value in assignments.items():
+            block.set_minor(index, value)
+        for index in range(128):
+            assert block.get_minor(index) == assignments.get(index, 0)
+
+    def test_packing_stays_inside_line(self):
+        block, store = fresh_block()
+        for i in range(128):
+            block.set_minor(i, 127)
+        block.major = (1 << 128) - 1
+        # bytes outside [64, 64+128) untouched
+        assert store[:64] == bytes(64)
+        assert store[192:] == bytes(64)
+
+
+class TestIncrement:
+    def test_normal_increment(self):
+        block, _ = fresh_block()
+        assert block.increment(3) is False
+        assert block.get_minor(3) == 1
+
+    def test_overflow_resets_all_and_bumps_major(self):
+        block, _ = fresh_block()
+        block.set_minor(3, 127)
+        block.set_minor(7, 50)
+        assert block.increment(3) is True
+        assert block.major == 1
+        assert block.get_minor(3) == 0
+        assert block.get_minor(7) == 0
+
+    def test_value_for(self):
+        block, _ = fresh_block()
+        block.major = 9
+        block.set_minor(2, 5)
+        assert block.value_for(2) == CounterValue(major=9, minor=5)
+
+
+class TestCounterValue:
+    def test_seed_bytes_length(self):
+        assert len(CounterValue(1, 2).seed_bytes()) == 10
+
+    def test_seed_differs_by_minor(self):
+        assert CounterValue(1, 2).seed_bytes() != CounterValue(1, 3).seed_bytes()
+
+    def test_seed_differs_by_major(self):
+        assert CounterValue(1, 2).seed_bytes() != CounterValue(2, 2).seed_bytes()
+
+    def test_combined_concatenates(self):
+        assert CounterValue(major=1, minor=0).combined == 128
+        assert CounterValue(major=0, minor=5).combined == 5

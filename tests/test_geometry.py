@@ -1,0 +1,96 @@
+"""Counter/MAC geometry and the Table II storage arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import params
+from repro.secure.geometry import CounterGeometry, MacGeometry
+
+
+class TestCounterGeometry:
+    def test_covers_16kb_per_block(self):
+        assert CounterGeometry().data_bytes_per_block == 16 * 1024
+
+    def test_coverage_ratio_is_128(self):
+        assert CounterGeometry().coverage_ratio == 128
+
+    def test_paper_storage_is_32mb(self):
+        storage = CounterGeometry().storage_bytes(params.PROTECTED_MEMORY_BYTES)
+        assert storage == params.TABLE2_COUNTER_STORAGE
+
+    def test_minor_limit(self):
+        assert CounterGeometry().minor_limit == 128
+
+    def test_packing_fits_line(self):
+        geometry = CounterGeometry()
+        bits = geometry.major_bits + geometry.minor_bits * geometry.minors_per_block
+        assert bits <= geometry.line_bytes * 8
+
+    def test_rejects_overpacked_block(self):
+        with pytest.raises(ValueError):
+            CounterGeometry(minor_bits=9)
+
+    def test_block_index(self):
+        geometry = CounterGeometry()
+        assert geometry.block_index(0) == 0
+        assert geometry.block_index(16 * 1024 - 1) == 0
+        assert geometry.block_index(16 * 1024) == 1
+
+    def test_minor_index(self):
+        geometry = CounterGeometry()
+        assert geometry.minor_index(0) == 0
+        assert geometry.minor_index(128) == 1
+        assert geometry.minor_index(16 * 1024 + 256) == 2
+
+    @given(st.integers(min_value=0, max_value=params.PROTECTED_MEMORY_BYTES - 1))
+    def test_minor_index_in_range(self, addr):
+        geometry = CounterGeometry()
+        assert 0 <= geometry.minor_index(addr) < geometry.minors_per_block
+
+    @given(st.integers(min_value=0, max_value=params.PROTECTED_MEMORY_BYTES - 1))
+    def test_block_and_minor_identify_line(self, addr):
+        """(block, minor) determines the covered 128B line uniquely."""
+        geometry = CounterGeometry()
+        line = addr // 128 * 128
+        block, minor = geometry.block_index(addr), geometry.minor_index(addr)
+        reconstructed = block * geometry.data_bytes_per_block + minor * 128
+        assert reconstructed == line
+
+
+class TestMacGeometry:
+    def test_16_macs_per_block(self):
+        assert MacGeometry().macs_per_block == 16
+
+    def test_covers_2kb_per_block(self):
+        assert MacGeometry().data_bytes_per_block == 2 * 1024
+
+    def test_paper_storage_is_256mb(self):
+        storage = MacGeometry().storage_bytes(params.PROTECTED_MEMORY_BYTES)
+        assert storage == params.TABLE2_MAC_STORAGE
+
+    def test_sector_macs_tile_line_mac(self):
+        geometry = MacGeometry()
+        sectors = geometry.line_bytes // geometry.sector_bytes
+        assert geometry.mac_bytes_per_sector * sectors == geometry.mac_bytes_per_line
+
+    def test_rejects_inconsistent_truncation(self):
+        with pytest.raises(ValueError):
+            MacGeometry(mac_bytes_per_sector=3)
+
+    def test_slot_index(self):
+        geometry = MacGeometry()
+        assert geometry.slot_index(0) == 0
+        assert geometry.slot_index(128) == 1
+        assert geometry.slot_index(2048) == 0  # next block
+
+    @given(st.integers(min_value=0, max_value=params.PROTECTED_MEMORY_BYTES - 1))
+    def test_block_and_slot_identify_line(self, addr):
+        geometry = MacGeometry()
+        line = addr // 128 * 128
+        block, slot = geometry.block_index(addr), geometry.slot_index(addr)
+        assert block * geometry.data_bytes_per_block + slot * 128 == line
+
+    @given(st.integers(min_value=128, max_value=1 << 34).filter(lambda n: n % 128 == 0))
+    def test_storage_proportional_to_protected(self, protected):
+        geometry = MacGeometry()
+        assert geometry.storage_bytes(protected) == protected // 16

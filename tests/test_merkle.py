@@ -1,0 +1,150 @@
+"""Integrity-tree shapes and node addressing (BMT and MT of Table II)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import params
+from repro.secure.merkle import TreeGeometry, bmt_geometry, mt_geometry
+
+
+class TestPaperTrees:
+    def test_bmt_is_6_levels_counting_leaves(self):
+        assert bmt_geometry().num_levels_with_leaves == 6
+
+    def test_mt_is_7_levels_counting_leaves(self):
+        assert mt_geometry().num_levels_with_leaves == 7
+
+    def test_bmt_leaf_count(self):
+        # 4GB / 16KB counter coverage
+        assert bmt_geometry().num_leaves == 262144
+
+    def test_mt_leaf_count(self):
+        # 4GB / 2KB MAC coverage
+        assert mt_geometry().num_leaves == 2097152
+
+    def test_bmt_storage_close_to_2_14_mb(self):
+        mb = bmt_geometry().internal_storage_bytes / (1024 * 1024)
+        assert mb == pytest.approx(params.TABLE2_BMT_STORAGE_MB, rel=0.01)
+
+    def test_mt_storage_close_to_17_1_mb(self):
+        mb = mt_geometry().internal_storage_bytes / (1024 * 1024)
+        assert mb == pytest.approx(params.TABLE2_MT_STORAGE_MB, rel=0.01)
+
+    def test_bmt_level_sizes(self):
+        assert bmt_geometry().level_sizes == (16384, 1024, 64, 4, 1)
+
+    def test_mt_level_sizes(self):
+        assert mt_geometry().level_sizes == (131072, 8192, 512, 32, 2, 1)
+
+
+class TestTreeGeometry:
+    def test_single_leaf_still_has_root(self):
+        tree = TreeGeometry(num_leaves=1)
+        assert tree.level_sizes == (1,)
+        assert tree.root_level == 1
+
+    def test_rejects_zero_leaves(self):
+        with pytest.raises(ValueError):
+            TreeGeometry(num_leaves=0)
+
+    def test_rejects_unary_tree(self):
+        with pytest.raises(ValueError):
+            TreeGeometry(num_leaves=4, arity=1)
+
+    def test_parent_of_leaf(self):
+        tree = TreeGeometry(num_leaves=256, arity=16)
+        assert tree.parent(0, 0) == (1, 0)
+        assert tree.parent(0, 17) == (1, 1)
+        assert tree.parent(0, 255) == (1, 15)
+
+    def test_root_has_no_parent(self):
+        tree = TreeGeometry(num_leaves=256, arity=16)
+        with pytest.raises(ValueError):
+            tree.parent(tree.root_level, 0)
+
+    def test_parent_rejects_out_of_range(self):
+        tree = TreeGeometry(num_leaves=256, arity=16)
+        with pytest.raises(ValueError):
+            tree.parent(0, 256)
+
+    def test_path_ends_at_root(self):
+        tree = TreeGeometry(num_leaves=256, arity=16)
+        path = tree.path_to_root(200)
+        assert path[-1] == (tree.root_level, 0)
+        assert len(path) == tree.num_internal_levels
+
+    def test_nodes_at_validation(self):
+        tree = TreeGeometry(num_leaves=256, arity=16)
+        with pytest.raises(ValueError):
+            tree.nodes_at(0)
+        with pytest.raises(ValueError):
+            tree.nodes_at(tree.root_level + 1)
+
+    def test_flat_index_level_major(self):
+        tree = TreeGeometry(num_leaves=256, arity=16)
+        assert tree.flat_index(1, 0) == 0
+        assert tree.flat_index(1, 15) == 15
+        assert tree.flat_index(2, 0) == 16
+
+    def test_node_offset_scale(self):
+        tree = TreeGeometry(num_leaves=256, arity=16)
+        assert tree.node_offset(2, 0) == 16 * 128
+
+
+@st.composite
+def tree_and_leaf(draw):
+    leaves = draw(st.integers(min_value=1, max_value=5000))
+    arity = draw(st.sampled_from([2, 4, 8, 16]))
+    tree = TreeGeometry(num_leaves=leaves, arity=arity)
+    leaf = draw(st.integers(min_value=0, max_value=leaves - 1))
+    return tree, leaf
+
+
+class TestTreeProperties:
+    @given(tree_and_leaf())
+    def test_path_is_monotone_up(self, tree_leaf):
+        tree, leaf = tree_leaf
+        path = tree.path_to_root(leaf)
+        levels = [lvl for lvl, _ in path]
+        assert levels == sorted(set(levels))
+        assert levels[-1] == tree.root_level
+
+    @given(tree_and_leaf())
+    def test_path_indices_shrink(self, tree_leaf):
+        tree, leaf = tree_leaf
+        previous = leaf
+        for level, index in tree.path_to_root(leaf):
+            assert index == previous // tree.arity
+            assert 0 <= index < tree.nodes_at(level)
+            previous = index
+
+    @given(tree_and_leaf())
+    def test_offset_coords_roundtrip(self, tree_leaf):
+        tree, leaf = tree_leaf
+        for level, index in tree.path_to_root(leaf):
+            offset = tree.node_offset(level, index)
+            assert tree.coords_of_offset(offset) == (level, index)
+
+    @given(st.integers(min_value=1, max_value=100000))
+    def test_levels_cover_all_leaves(self, leaves):
+        tree = TreeGeometry(num_leaves=leaves, arity=16)
+        # every level must be able to address all children below it
+        assert tree.level_sizes[0] * tree.arity >= leaves
+        for below, above in zip(tree.level_sizes, tree.level_sizes[1:]):
+            assert above * tree.arity >= below
+        assert tree.level_sizes[-1] == 1
+
+    @given(st.integers(min_value=2, max_value=100000))
+    def test_storage_is_sum_of_levels(self, leaves):
+        tree = TreeGeometry(num_leaves=leaves, arity=16)
+        assert tree.internal_storage_bytes == sum(tree.level_sizes) * 128
+
+    def test_coords_of_offset_rejects_unaligned(self):
+        tree = TreeGeometry(num_leaves=256, arity=16)
+        with pytest.raises(ValueError):
+            tree.coords_of_offset(5)
+
+    def test_coords_of_offset_rejects_beyond_end(self):
+        tree = TreeGeometry(num_leaves=256, arity=16)
+        with pytest.raises(ValueError):
+            tree.coords_of_offset(tree.internal_storage_bytes)

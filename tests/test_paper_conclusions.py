@@ -1,0 +1,93 @@
+"""The paper's five conclusions, as executable assertions.
+
+This is the reproduction certificate: if these pass, the repository
+reproduces the qualitative claims of Section VII on a representative
+subset of the suite (two benchmarks per intensity category, scaled
+windows).  Quantitative paper-vs-measured tables live in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import designs
+from repro.experiments.runner import Runner
+
+BENCHES = ["heartwall", "nw", "backprop", "bfs", "fdtd2d", "lbm"]
+PARTITIONS = 2
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(horizon=2500, warmup=5000, benchmarks=BENCHES)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return designs.build_gpu(None, PARTITIONS)
+
+
+def gmean_of(runner, baseline, secure):
+    return runner.normalized_sweep(designs.build_gpu(secure, PARTITIONS), baseline)[
+        "Gmean"
+    ]
+
+
+class TestConclusion1MetadataTrafficIsTheBottleneck:
+    def test_secure_memory_is_expensive(self, runner, baseline):
+        assert gmean_of(runner, baseline, designs.secure_mem(0)) < 0.7
+
+    def test_memory_intensive_lose_most(self, runner, baseline):
+        sweep = runner.normalized_sweep(
+            designs.build_gpu(designs.secure_mem(0), PARTITIONS), baseline
+        )
+        assert sweep["fdtd2d"] < 0.4
+        assert sweep["lbm"] < 0.6
+        assert sweep["heartwall"] > 0.9  # bandwidth headroom -> no cost
+
+    def test_crypto_latency_is_not_the_cause(self, runner, baseline):
+        secure = gmean_of(runner, baseline, designs.secure_mem(0))
+        zero = gmean_of(runner, baseline, designs.zero_crypto(0))
+        assert zero == pytest.approx(secure, abs=0.05)
+
+    def test_perfect_metadata_caches_recover_performance(self, runner, baseline):
+        assert gmean_of(runner, baseline, designs.perfect_mdc(0)) > 0.95
+
+
+class TestConclusion2DirectEncryptionIsCheap:
+    def test_direct_40_nearly_free(self, runner, baseline):
+        assert gmean_of(runner, baseline, designs.direct(40)) > 0.85
+
+    def test_direct_beats_counter_mode_for_confidentiality(self, runner, baseline):
+        direct = gmean_of(runner, baseline, designs.direct(40))
+        ctr_bmt = gmean_of(runner, baseline, designs.ctr_bmt())
+        assert direct > ctr_bmt
+
+    def test_direct_mac_beats_full_counter_stack(self, runner, baseline):
+        direct_mac = gmean_of(runner, baseline, designs.direct_mac())
+        ctr_stack = gmean_of(runner, baseline, designs.ctr_mac_bmt())
+        assert direct_mac > ctr_stack
+
+    def test_integrity_is_the_expensive_part(self, runner, baseline):
+        plain = gmean_of(runner, baseline, designs.direct(40))
+        with_tree = gmean_of(runner, baseline, designs.direct_mac_mt())
+        assert with_tree < plain
+
+
+class TestConclusion3AesThroughput:
+    def test_one_engine_per_partition_suffices(self, runner, baseline):
+        one = gmean_of(runner, baseline, designs.aes_engines(1))
+        two = gmean_of(runner, baseline, designs.aes_engines(2))
+        assert one > 0.93 * two
+
+
+class TestConclusion4SeparateMetadataCaches:
+    def test_separate_beats_unified(self, runner, baseline):
+        separate = gmean_of(runner, baseline, designs.separate())
+        unified = gmean_of(runner, baseline, designs.unified())
+        assert separate > unified
+
+
+class TestConclusion5MshrsAreNecessary:
+    def test_mshrs_recover_performance(self, runner, baseline):
+        without = gmean_of(runner, baseline, designs.secure_mem(0))
+        with_mshrs = gmean_of(runner, baseline, designs.secure_mem(64))
+        assert with_mshrs > without + 0.05

@@ -1,0 +1,47 @@
+"""ASCII rendering helpers."""
+
+from repro.analysis.report import render_series_table, render_table
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        out = render_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "2.500" in out
+
+    def test_column_alignment(self):
+        out = render_table(["name", "v"], [["longer-name", 1]])
+        header, sep, row = out.splitlines()
+        assert len(header) == len(sep) == len(row.rstrip()) or len(sep) >= len("name")
+
+    def test_empty_rows(self):
+        out = render_table(["h"], [])
+        assert out.splitlines()[0] == "h"
+
+
+class TestRenderSeriesTable:
+    def test_renders_rows_and_columns(self):
+        series = {"nw": {"a": 0.5, "b": 1.0}, "Gmean": {"a": 0.7, "b": 0.9}}
+        out = render_series_table("Fig X", series)
+        assert out.startswith("Fig X")
+        assert "nw" in out
+        assert "Gmean" in out
+        assert "0.500" in out
+
+    def test_missing_cells_are_dashes(self):
+        series = {"r1": {"a": 1.0}, "r2": {"b": 2.0}}
+        out = render_series_table("t", series)
+        assert "-" in out
+
+    def test_row_order_respected(self):
+        series = {"z": {"a": 1.0}, "a": {"a": 2.0}}
+        out = render_series_table("t", series, row_order=["z", "a"])
+        lines = out.splitlines()
+        assert lines[3].startswith("z")
+
+    def test_custom_format(self):
+        series = {"r": {"c": 0.123456}}
+        out = render_series_table("t", series, value_format="{:.1f}")
+        assert "0.1" in out

@@ -1,0 +1,102 @@
+"""ThroughputResource queueing arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import StatGroup
+from repro.sim.resource import ThroughputResource
+
+
+class TestAcquire:
+    def test_idle_resource_starts_immediately(self):
+        res = ThroughputResource("r")
+        assert res.acquire(10.0, 5.0) == 10.0
+
+    def test_busy_resource_queues(self):
+        res = ThroughputResource("r")
+        res.acquire(0.0, 5.0)
+        assert res.acquire(1.0, 5.0) == 5.0
+
+    def test_gap_leaves_idle_time(self):
+        res = ThroughputResource("r")
+        res.acquire(0.0, 2.0)
+        assert res.acquire(100.0, 1.0) == 100.0
+
+    def test_zero_occupancy_is_allowed(self):
+        res = ThroughputResource("r")
+        assert res.acquire(3.0, 0.0) == 3.0
+        assert res.next_free == 3.0
+
+    def test_negative_occupancy_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputResource("r").acquire(0.0, -1.0)
+
+    def test_busy_cycles_accumulate(self):
+        res = ThroughputResource("r")
+        res.acquire(0.0, 2.0)
+        res.acquire(0.0, 3.0)
+        assert res.busy_cycles == 5.0
+
+    def test_stats_mirroring(self):
+        stats = StatGroup("s")
+        res = ThroughputResource("r", stats)
+        res.acquire(0.0, 2.0)
+        res.acquire(0.0, 2.0)
+        assert stats.get("acquisitions") == 2
+        assert stats.get("busy_cycles") == 4.0
+        assert stats.get("queue_delay") == 2.0
+
+
+class TestBacklogUtilization:
+    def test_backlog_measures_pending_work(self):
+        res = ThroughputResource("r")
+        res.acquire(0.0, 10.0)
+        assert res.backlog(4.0) == 6.0
+
+    def test_backlog_never_negative(self):
+        res = ThroughputResource("r")
+        res.acquire(0.0, 1.0)
+        assert res.backlog(50.0) == 0.0
+
+    def test_utilization(self):
+        res = ThroughputResource("r")
+        res.acquire(0.0, 25.0)
+        assert res.utilization(100.0) == 0.25
+
+    def test_utilization_capped_at_one(self):
+        res = ThroughputResource("r")
+        res.acquire(0.0, 500.0)
+        assert res.utilization(100.0) == 1.0
+
+    def test_utilization_of_zero_window(self):
+        assert ThroughputResource("r").utilization(0.0) == 0.0
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e5),
+                st.floats(min_value=0, max_value=100),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_service_never_overlaps(self, requests):
+        """Service intervals are disjoint regardless of arrival pattern."""
+        res = ThroughputResource("r")
+        intervals = []
+        for now, occupancy in sorted(requests):
+            start = res.acquire(now, occupancy)
+            assert start >= now
+            intervals.append((start, start + occupancy))
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=50), min_size=1, max_size=30))
+    def test_busy_equals_sum_of_occupancies(self, occupancies):
+        res = ThroughputResource("r")
+        for occ in occupancies:
+            res.acquire(0.0, occ)
+        assert res.busy_cycles == pytest.approx(sum(occupancies))

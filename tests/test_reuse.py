@@ -1,0 +1,102 @@
+"""Reuse-distance analysis vs a naive oracle."""
+
+from typing import List, Optional
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.reuse import (
+    DEFAULT_BUCKETS,
+    reuse_distance_histogram,
+    stack_distances,
+)
+
+
+def naive_stack_distances(trace) -> List[Optional[int]]:
+    """O(n^2) reference implementation."""
+    result = []
+    for i, block in enumerate(trace):
+        prev = None
+        for j in range(i - 1, -1, -1):
+            if trace[j] == block:
+                prev = j
+                break
+        if prev is None:
+            result.append(None)
+        else:
+            result.append(len(set(trace[prev + 1 : i])))
+    return result
+
+
+class TestStackDistances:
+    def test_empty_trace(self):
+        assert stack_distances([]) == []
+
+    def test_first_accesses_are_cold(self):
+        assert stack_distances([1, 2, 3]) == [None, None, None]
+
+    def test_immediate_reuse_is_zero(self):
+        assert stack_distances([7, 7, 7]) == [None, 0, 0]
+
+    def test_one_intervening_block(self):
+        assert stack_distances([1, 2, 1]) == [None, None, 1]
+
+    def test_duplicate_intervening_counts_once(self):
+        assert stack_distances([1, 2, 2, 2, 1]) == [None, None, 0, 0, 1]
+
+    def test_classic_example(self):
+        trace = [1, 2, 3, 2, 1]
+        assert stack_distances(trace) == [None, None, None, 1, 2]
+
+    @given(st.lists(st.integers(min_value=0, max_value=12), max_size=120))
+    @settings(max_examples=60)
+    def test_matches_naive_oracle(self, trace):
+        assert stack_distances(trace) == naive_stack_distances(trace)
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=150))
+    @settings(max_examples=30)
+    def test_distances_bounded_by_alphabet(self, trace):
+        distinct = len(set(trace))
+        for distance in stack_distances(trace):
+            if distance is not None:
+                assert 0 <= distance < distinct
+
+
+class TestHistogram:
+    def test_bucket_labels(self):
+        histogram = reuse_distance_histogram([])
+        assert "0" in histogram
+        assert "[1,8]" in histogram
+        assert "[65,512]" in histogram
+        assert ">4096" in histogram
+        assert "cold" in histogram
+
+    def test_cold_counting(self):
+        histogram = reuse_distance_histogram([1, 2, 3])
+        assert histogram["cold"] == 3
+
+    def test_zero_bucket(self):
+        histogram = reuse_distance_histogram([1, 1, 1])
+        assert histogram["0"] == 2
+
+    def test_mid_buckets(self):
+        # distance 3 -> [1,8]
+        trace = [9, 1, 2, 3, 9]
+        histogram = reuse_distance_histogram(trace)
+        assert histogram["[1,8]"] == 1
+
+    def test_overflow_bucket(self):
+        trace = list(range(5000)) + [0]
+        histogram = reuse_distance_histogram(trace)
+        assert histogram[">4096"] == 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=40), max_size=200))
+    @settings(max_examples=30)
+    def test_total_conservation(self, trace):
+        histogram = reuse_distance_histogram(trace)
+        assert sum(histogram.values()) == len(trace)
+
+    def test_custom_buckets(self):
+        histogram = reuse_distance_histogram([1, 1], buckets=((0, 4),))
+        assert histogram["[0,4]"] == 1
+        assert ">4" in histogram

@@ -1,0 +1,94 @@
+"""Experiment runner: caching, serialization, aggregates."""
+
+import pytest
+
+from repro.common.config import GpuConfig, MetadataKind, SecureMemoryConfig
+from repro.experiments import designs
+from repro.experiments.runner import (
+    Runner,
+    config_key,
+    gmean,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.sim.gpu import SimulationResult
+
+
+def tiny_runner(**kwargs):
+    kwargs.setdefault("horizon", 1500)
+    kwargs.setdefault("warmup", 500)
+    kwargs.setdefault("benchmarks", ["nw"])
+    return Runner(**kwargs)
+
+
+class TestConfigKey:
+    def test_stable_for_equal_configs(self):
+        assert config_key(GpuConfig.scaled(4)) == config_key(GpuConfig.scaled(4))
+
+    def test_differs_across_configs(self):
+        assert config_key(GpuConfig.scaled(4)) != config_key(GpuConfig.scaled(2))
+
+    def test_sensitive_to_secure_settings(self):
+        a = GpuConfig.scaled(2, secure=designs.secure_mem(0))
+        b = GpuConfig.scaled(2, secure=designs.secure_mem(64))
+        assert config_key(a) != config_key(b)
+
+
+class TestGmean:
+    def test_single_value(self):
+        assert gmean([4.0]) == pytest.approx(4.0)
+
+    def test_classic(self):
+        assert gmean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert gmean([]) == 0.0
+
+    def test_zero_guarded(self):
+        assert gmean([0.0, 1.0]) >= 0.0
+
+
+class TestCaching:
+    def test_memoizes_runs(self):
+        runner = tiny_runner()
+        config = designs.build_gpu(None, 2)
+        first = runner.run("nw", config)
+        second = runner.run("nw", config)
+        assert first is second
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        config = designs.build_gpu(None, 2)
+        r1 = tiny_runner(cache_path=path).run("nw", config)
+        r2 = tiny_runner(cache_path=path).run("nw", config)
+        assert path.exists()
+        assert r2.ipc == pytest.approx(r1.ipc)
+        assert r2.dram_txn == r1.dram_txn
+
+    def test_normalized_sweep_has_gmean(self):
+        runner = tiny_runner()
+        base = designs.build_gpu(None, 2)
+        secure = designs.build_gpu(designs.direct(40), 2)
+        sweep = runner.normalized_sweep(secure, base)
+        assert set(sweep) == {"nw", "Gmean"}
+        assert 0 < sweep["Gmean"] <= 1.2
+
+
+class TestResultSerialization:
+    def test_roundtrip(self):
+        runner = tiny_runner()
+        result = runner.run("nw", designs.build_gpu(designs.secure_mem(64), 2))
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.ipc == result.ipc
+        assert restored.metadata[MetadataKind.COUNTER] == result.metadata[
+            MetadataKind.COUNTER
+        ]
+        assert restored.traffic_fractions() == result.traffic_fractions()
+
+    def test_derived_metrics_survive(self):
+        runner = tiny_runner()
+        result = runner.run("nw", designs.build_gpu(designs.secure_mem(64), 2))
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.l2_miss_rate == result.l2_miss_rate
+        for kind in MetadataKind:
+            assert restored.metadata_miss_rate(kind) == result.metadata_miss_rate(kind)

@@ -1,0 +1,68 @@
+"""StatGroup counter/hierarchy behaviour."""
+
+from repro.common.stats import StatGroup
+
+
+class TestCounters:
+    def test_absent_counter_reads_zero(self):
+        assert StatGroup("x").get("nothing") == 0.0
+
+    def test_add_accumulates(self):
+        group = StatGroup("x")
+        group.add("hits")
+        group.add("hits", 2)
+        assert group.get("hits") == 3
+
+    def test_set_overwrites(self):
+        group = StatGroup("x")
+        group.add("v", 10)
+        group.set("v", 2)
+        assert group["v"] == 2
+
+    def test_counters_snapshot_is_copy(self):
+        group = StatGroup("x")
+        group.add("a")
+        snapshot = group.counters()
+        snapshot["a"] = 99
+        assert group.get("a") == 1
+
+
+class TestHierarchy:
+    def test_child_is_memoized(self):
+        group = StatGroup("root")
+        assert group.child("a") is group.child("a")
+
+    def test_total_sums_subtree(self):
+        root = StatGroup("root")
+        root.add("n", 1)
+        root.child("a").add("n", 2)
+        root.child("a").child("b").add("n", 4)
+        assert root.total("n") == 7
+
+    def test_walk_yields_paths(self):
+        root = StatGroup("root")
+        root.child("a").add("x", 1)
+        entries = list(root.walk())
+        assert ("root.a", "x", 1.0) in entries
+
+    def test_merge_from(self):
+        left, right = StatGroup("s"), StatGroup("s")
+        left.add("n", 1)
+        right.add("n", 2)
+        right.child("c").add("m", 5)
+        left.merge_from(right)
+        assert left.get("n") == 3
+        assert left.child("c").get("m") == 5
+
+    def test_reset_clears_recursively(self):
+        root = StatGroup("root")
+        root.add("n", 3)
+        root.child("a").add("m", 4)
+        root.reset()
+        assert root.get("n") == 0
+        assert root.child("a").get("m") == 0
+
+    def test_render_contains_values(self):
+        root = StatGroup("root")
+        root.add("hits", 2)
+        assert "root.hits = 2" in root.render()

@@ -1,0 +1,86 @@
+"""Trace recording and replay."""
+
+import itertools
+import json
+
+import pytest
+
+from repro import GpuConfig, simulate
+from repro.workloads.suite import get_benchmark
+from repro.workloads.trace import load_trace, record_trace
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    spec = get_benchmark("nw")
+    return record_trace(spec, tmp_path / "nw.trace", num_sms=2, steps_per_warp=50)
+
+
+class TestRecord:
+    def test_header_line(self, trace_path):
+        header = json.loads(trace_path.read_text().splitlines()[0])
+        assert header["name"] == "nw"
+        assert header["num_sms"] == 2
+        assert header["steps_per_warp"] == 50
+
+    def test_op_count(self, trace_path):
+        spec = get_benchmark("nw")
+        lines = trace_path.read_text().splitlines()
+        assert len(lines) == 1 + 2 * spec.warps_per_sm * 50
+
+    def test_ops_are_valid_json_rows(self, trace_path):
+        for line in trace_path.read_text().splitlines()[1:]:
+            index, n_insts, compute, is_write, addrs = json.loads(line)
+            assert n_insts >= 0
+            assert is_write in (0, 1)
+            assert all(a % 32 == 0 for a in addrs)
+
+
+class TestReplay:
+    def test_replay_matches_recording(self, trace_path):
+        spec = get_benchmark("nw")
+        original = list(itertools.islice(spec.warp_trace(0, 0, 2, spec.warps_per_sm), 50))
+        replayed_spec = load_trace(trace_path)
+        replayed = list(
+            itertools.islice(replayed_spec.warp_trace(0, 0, 2, spec.warps_per_sm), 50)
+        )
+        assert replayed == original
+
+    def test_loop_wraps_around(self, trace_path):
+        spec = load_trace(trace_path, loop=True)
+        ops = list(itertools.islice(spec.warp_trace(0, 0, 2, spec.warps_per_sm), 120))
+        assert len(ops) == 120
+        assert ops[:50] == ops[50:100]
+
+    def test_no_loop_is_finite(self, trace_path):
+        spec = load_trace(trace_path, loop=False)
+        ops = list(spec.warp_trace(0, 0, 2, spec.warps_per_sm))
+        assert len(ops) == 50
+
+    def test_working_set_covers_addresses(self, trace_path):
+        spec = load_trace(trace_path)
+        peak = max(
+            addr
+            for warp in range(spec.warps_per_sm)
+            for op in itertools.islice(spec.warp_trace(0, warp, 2, spec.warps_per_sm), 50)
+            for addr in op.mem_addrs
+        )
+        assert spec.working_set > peak
+
+    def test_simulation_runs_on_replayed_trace(self, trace_path):
+        spec = load_trace(trace_path)
+        result = simulate(GpuConfig.scaled(num_partitions=2), spec, horizon=1500)
+        assert result.instructions > 0
+
+    def test_replay_reproduces_simulation(self, tmp_path):
+        """A recorded trace produces the same simulation as its source."""
+        source = get_benchmark("streamcluster")
+        config = GpuConfig.scaled(num_partitions=2)
+        path = record_trace(
+            source, tmp_path / "sc.trace", num_sms=config.num_sms, steps_per_warp=400
+        )
+        replayed = load_trace(path)
+        a = simulate(config, source, horizon=1200)
+        b = simulate(config, replayed, horizon=1200)
+        assert b.instructions == a.instructions
+        assert b.dram_txn == a.dram_txn
