@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Perf smoke run: serial vs parallel on a small fixed simulation matrix.
+
+Simulates the same fixed ``(workload, config)`` matrix twice — once
+serially through :class:`~repro.experiments.runner.Runner`, once through
+:class:`~repro.experiments.parallel.ParallelRunner` with a process pool —
+verifies the results are bit-identical, and writes ``BENCH_parallel.json``
+(wall times, points/sec, speedup, core count) so the perf trajectory is
+comparable across changes.
+
+Usage:  python scripts/perf_smoke.py [--jobs N] [--output PATH] [--check]
+
+``--check`` additionally runs the fast ``-k`` selection of the parallel
+subsystem's tier-1 tests before benchmarking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+from repro.experiments import designs
+from repro.experiments.parallel import ParallelRunner
+from repro.experiments.runner import Runner, result_to_dict
+
+PARTITIONS = 2
+HORIZON = 4_000
+WARMUP = 2_000
+BENCHMARKS = ["nw", "bfs", "fdtd2d", "streamcluster"]
+
+#: the fast tier-1 selection covering the parallel subsystem.
+TIER1_SELECTION = ["-q", "-k", "parallel or Sharded or CrashSafety", "tests/test_parallel.py"]
+
+
+def fixed_matrix():
+    configs = {
+        "baseline": designs.build_gpu(None, PARTITIONS),
+        "secureMem_mshr64": designs.build_gpu(designs.secure_mem(64), PARTITIONS),
+        "direct_40": designs.build_gpu(designs.direct(40), PARTITIONS),
+    }
+    return [(name, config) for config in configs.values() for name in BENCHMARKS]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--jobs", type=int, default=0, help="pool size (0 = one worker per core)"
+    )
+    parser.add_argument("--output", default=str(ROOT / "BENCH_parallel.json"))
+    parser.add_argument(
+        "--check", action="store_true", help="run the parallel-subsystem tests first"
+    )
+    args = parser.parse_args()
+
+    if args.check:
+        code = subprocess.call([sys.executable, "-m", "pytest", *TIER1_SELECTION], cwd=ROOT)
+        if code:
+            return code
+
+    points = fixed_matrix()
+    jobs = args.jobs or (os.cpu_count() or 1)
+
+    serial = Runner(horizon=HORIZON, warmup=WARMUP, benchmarks=BENCHMARKS)
+    t0 = time.perf_counter()
+    serial.prefetch(points)
+    serial_s = time.perf_counter() - t0
+
+    parallel = ParallelRunner(
+        horizon=HORIZON, warmup=WARMUP, benchmarks=BENCHMARKS, jobs=jobs
+    )
+    t0 = time.perf_counter()
+    parallel.prefetch(points)
+    parallel_s = time.perf_counter() - t0
+
+    identical = all(
+        result_to_dict(serial.run(name, config))
+        == result_to_dict(parallel.run(name, config))
+        for name, config in points
+    )
+
+    report = {
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "points": len(points),
+        "horizon": HORIZON,
+        "warmup": WARMUP,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "serial_points_per_second": round(len(points) / serial_s, 3),
+        "parallel_points_per_second": round(len(points) / parallel_s, 3),
+        "identical_results": identical,
+        "parallel_phase_seconds": {
+            k: round(v, 3) for k, v in parallel.stats.phase_seconds.items()
+        },
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not identical:
+        print("ERROR: parallel results diverge from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

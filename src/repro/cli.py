@@ -22,6 +22,7 @@ from repro.analysis.report import render_series_table
 from repro.common.config import MetadataKind
 from repro.experiments import designs as design_mod
 from repro.experiments import figures
+from repro.experiments.parallel import ParallelRunner
 from repro.experiments.runner import Runner
 from repro.sim.gpu import simulate
 from repro.workloads.suite import BENCHMARK_ORDER, get_benchmark
@@ -63,6 +64,13 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--partitions", type=int, default=4)
         p.add_argument("--horizon", type=float, default=10_000)
         p.add_argument("--warmup", type=float, default=30_000)
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for independent simulation points "
+            "(0 = all cores; 1 = serial)",
+        )
 
     run = sub.add_parser("run", help="simulate one workload on one design")
     run.add_argument("workload", choices=BENCHMARK_ORDER)
@@ -112,8 +120,17 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _make_runner(args) -> Runner:
+    jobs = getattr(args, "jobs", 1)
+    if jobs != 1:
+        return ParallelRunner(
+            horizon=args.horizon, warmup=args.warmup, jobs=jobs or None
+        )
+    return Runner(horizon=args.horizon, warmup=args.warmup)
+
+
 def _cmd_sweep(args) -> int:
-    runner = Runner(horizon=args.horizon, warmup=args.warmup)
+    runner = _make_runner(args)
     secure = DESIGNS[args.design]()
     config = design_mod.build_gpu(secure, num_partitions=args.partitions)
     if args.normalize:
@@ -134,7 +151,7 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_figure(args) -> int:
-    runner = Runner(horizon=args.horizon, warmup=args.warmup)
+    runner = _make_runner(args)
     if args.name == "fig10_11":
         out = figures.fig10_11(runner, args.partitions)
         for title, table in out.items():

@@ -1,6 +1,14 @@
 """Experiment drivers: one function per paper table/figure."""
 
 from repro.experiments import designs, figures
-from repro.experiments.runner import Runner
+from repro.experiments.parallel import ParallelRunner, ShardedResultCache
+from repro.experiments.runner import Runner, RunnerStats
 
-__all__ = ["Runner", "designs", "figures"]
+__all__ = [
+    "Runner",
+    "RunnerStats",
+    "ParallelRunner",
+    "ShardedResultCache",
+    "designs",
+    "figures",
+]

@@ -30,6 +30,13 @@ def _normalized_columns(
     runner: Runner, columns: Dict[str, GpuConfig], partitions: int
 ) -> Series:
     base = _baseline(partitions)
+    # one batch with every (benchmark, column) point plus the shared
+    # baseline: a ParallelRunner fans the whole figure out at once.
+    runner.prefetch(
+        (name, config)
+        for config in list(columns.values()) + [base]
+        for name in runner.benchmarks
+    )
     table: Series = {name: {} for name in runner.benchmarks + ["Gmean"]}
     for label, config in columns.items():
         sweep = runner.normalized_sweep(config, base)
@@ -46,6 +53,7 @@ def _normalized_columns(
 def table4(runner: Runner, partitions: int = designs.DEFAULT_PARTITIONS) -> Series:
     """Baseline IPC and bandwidth utilization, with the paper's values."""
     base = _baseline(partitions)
+    runner.prefetch((name, base) for name in runner.benchmarks)
     peak_ipc = base.num_sms * base.sm_issue_width * 32
     table: Series = {}
     for name in runner.benchmarks:
@@ -85,6 +93,7 @@ def fig3(runner: Runner, partitions: int = designs.DEFAULT_PARTITIONS) -> Series
 def fig4(runner: Runner, partitions: int = designs.DEFAULT_PARTITIONS) -> Series:
     """Traffic shares: data / ctr / mac / bmt / wb (secureMem, no MSHRs)."""
     config = designs.build_gpu(designs.secure_mem(0), partitions)
+    runner.prefetch((name, config) for name in runner.benchmarks)
     table: Series = {}
     totals = {"data": 0.0, "ctr": 0.0, "mac": 0.0, "bmt": 0.0, "wb": 0.0}
     for name in runner.benchmarks:
@@ -104,6 +113,7 @@ def fig4(runner: Runner, partitions: int = designs.DEFAULT_PARTITIONS) -> Series
 def fig5(runner: Runner, partitions: int = designs.DEFAULT_PARTITIONS) -> Series:
     """Secondary-miss share of all metadata-cache misses, per kind."""
     config = designs.build_gpu(designs.secure_mem(0), partitions)
+    runner.prefetch((name, config) for name in runner.benchmarks)
     table: Series = {}
     sums = {kind: [] for kind in MetadataKind}
     for name in runner.benchmarks:
@@ -181,6 +191,9 @@ def fig9(runner: Runner, partitions: int = designs.DEFAULT_PARTITIONS) -> Series
         "separate": designs.build_gpu(designs.separate(), partitions),
         "unified": designs.build_gpu(designs.unified(), partitions),
     }
+    runner.prefetch(
+        (name, config) for config in configs.values() for name in runner.benchmarks
+    )
     table: Series = {}
     for org, config in configs.items():
         totals = {kind: [0.0, 0.0] for kind in MetadataKind}  # misses, accesses
@@ -268,6 +281,7 @@ def fig13(
 def fig14(runner: Runner, partitions: int = designs.DEFAULT_PARTITIONS) -> Series:
     """Baseline L2 miss rate per benchmark."""
     base = _baseline(partitions)
+    runner.prefetch((name, base) for name in runner.benchmarks)
     return {
         name: {"l2_miss_rate": runner.run(name, base).l2_miss_rate}
         for name in runner.benchmarks
@@ -416,6 +430,9 @@ def ablations(runner: Runner, partitions: int = designs.DEFAULT_PARTITIONS) -> S
     table = _normalized_columns(runner, columns, partitions)
     ns_base = designs.non_sectored_gpu(None, partitions)
     ns_secure = designs.non_sectored_gpu(designs.separate(), partitions)
+    runner.prefetch(
+        (name, config) for config in (ns_secure, ns_base) for name in runner.benchmarks
+    )
     sweep = runner.normalized_sweep(ns_secure, ns_base)
     for bench, value in sweep.items():
         table[bench]["non_sectored"] = value
@@ -441,13 +458,19 @@ def occupancy_study(
     """
     from dataclasses import replace as _replace
 
-    table: Series = {}
-    for warps in warp_counts:
-        base_cfg = _replace(_baseline(partitions), max_warps_per_sm=warps)
-        direct_cfg = _replace(
-            designs.build_gpu(designs.direct(latency), partitions),
-            max_warps_per_sm=warps,
+    pairs = {
+        warps: (
+            _replace(_baseline(partitions), max_warps_per_sm=warps),
+            _replace(
+                designs.build_gpu(designs.direct(latency), partitions),
+                max_warps_per_sm=warps,
+            ),
         )
+        for warps in warp_counts
+    }
+    runner.prefetch((workload, cfg) for pair in pairs.values() for cfg in pair)
+    table: Series = {}
+    for warps, (base_cfg, direct_cfg) in pairs.items():
         base = runner.run(workload, base_cfg)
         direct = runner.run(workload, direct_cfg)
         table[f"warps_{warps}"] = {

@@ -1,0 +1,303 @@
+"""Parallel experiment execution: process-pool fan-out with a sharded cache.
+
+The paper's evaluation is a large matrix of *independent* ``(workload,
+config)`` simulation points, so a full regeneration is embarrassingly
+parallel.  :class:`ParallelRunner` is a drop-in superset of
+:class:`~repro.experiments.runner.Runner` that
+
+1. **plans** — collects the distinct points a figure or sweep needs and
+   subtracts everything already resident in memory or on disk,
+2. **simulates** — fans the missing points out over a
+   :class:`concurrent.futures.ProcessPoolExecutor` (``jobs=1`` runs the
+   exact serial in-process path), and
+3. **merges** — folds worker results back in submission order, so the
+   resulting cache and memo tables are deterministic regardless of which
+   worker finished first.
+
+The simulator is deterministic, so a point simulated in a worker process
+produces a bit-identical result dict to one simulated serially.
+
+On-disk format (:class:`ShardedResultCache`) is a directory of
+append-only JSONL shards::
+
+    cache_dir/
+      shard-00.jsonl     # one JSON object per line: {"key": ..., "result": ...}
+      ...
+      shard-0f.jsonl
+
+Each completed point is appended to its shard immediately (O(1) I/O per
+point, unlike the legacy whole-file rewrite), so a killed run keeps every
+finished point.  A torn final line (the only damage a kill can inflict on
+an append) is skipped at load time.  :meth:`ShardedResultCache.compact`
+deduplicates and rewrites shards atomically via tmp + ``os.replace``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.config import GpuConfig
+from repro.experiments.runner import (
+    Runner,
+    config_key,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.sim.gpu import simulate
+from repro.workloads.suite import get_benchmark
+
+
+def _simulate_point(
+    workload_name: str, config: GpuConfig, horizon: float, warmup: float
+) -> dict:
+    """Worker entry point: one simulation, returned as a picklable dict.
+
+    Exactly the serial :meth:`Runner.run` miss path, so parallel and
+    serial execution produce identical results.
+    """
+    result = simulate(
+        config, get_benchmark(workload_name), horizon=horizon, warmup=warmup
+    )
+    return result_to_dict(result)
+
+
+class ShardedResultCache:
+    """A directory of append-only JSONL result shards.
+
+    Single-writer (the parent process), crash-safe: every ``put`` is one
+    appended line, corrupt/truncated lines are ignored at load, and
+    compaction rewrites each shard atomically.
+    """
+
+    def __init__(self, directory: str | Path, num_shards: int = 16) -> None:
+        self.directory = Path(directory)
+        self.num_shards = max(1, int(num_shards))
+        self._data: Dict[str, dict] = {}
+        #: per-shard live line counts; a shard with more lines than live
+        #: keys carries dead weight (overwrites / recovered corruption).
+        self._lines: Dict[int, int] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+
+    def _shard_index(self, key: str) -> int:
+        # stable across processes (unlike hash() with PYTHONHASHSEED).
+        digest = hashlib.blake2b(key.encode(), digest_size=2).digest()
+        return int.from_bytes(digest, "little") % self.num_shards
+
+    def _shard_path(self, index: int) -> Path:
+        return self.directory / f"shard-{index:02x}.jsonl"
+
+    def _load(self) -> None:
+        if self.directory.is_file():
+            # A legacy single-file JSON cache at this path: import it
+            # read-only, then keep the shards in a sibling directory.
+            try:
+                legacy = json.loads(self.directory.read_text())
+                if isinstance(legacy, dict):
+                    self._data.update(
+                        {k: v for k, v in legacy.items() if isinstance(v, dict)}
+                    )
+            except (ValueError, OSError) as exc:
+                warnings.warn(
+                    f"ignoring corrupt legacy cache {self.directory}: {exc}",
+                    RuntimeWarning,
+                )
+            self.directory = self.directory.with_name(self.directory.name + ".d")
+        if not self.directory.is_dir():
+            return
+        for index in range(self.num_shards):
+            path = self._shard_path(index)
+            if not path.exists():
+                continue
+            lines = 0
+            try:
+                text = path.read_text()
+            except OSError as exc:
+                warnings.warn(
+                    f"ignoring unreadable cache shard {path}: {exc}", RuntimeWarning
+                )
+                continue
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                lines += 1
+                try:
+                    entry = json.loads(line)
+                    self._data[entry["key"]] = entry["result"]
+                except (ValueError, KeyError, TypeError):
+                    # torn append from a killed run — drop the line, keep
+                    # everything that made it to disk intact.
+                    continue
+            self._lines[index] = lines
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str) -> Optional[dict]:
+        return self._data.get(key)
+
+    def put(self, key: str, payload: dict) -> None:
+        """Record *key* and append it durably to its shard."""
+        self._data[key] = payload
+        index = self._shard_index(key)
+        path = self._shard_path(index)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        line = json.dumps({"key": key, "result": payload})
+        with open(path, "a") as fh:
+            fh.write(line + "\n")
+        self._lines[index] = self._lines.get(index, 0) + 1
+
+    def compact(self) -> None:
+        """Rewrite shards with one line per live key, atomically."""
+        if not self._data:
+            return
+        by_shard: Dict[int, List[str]] = {}
+        for key in sorted(self._data):
+            by_shard.setdefault(self._shard_index(key), []).append(key)
+        for index, keys in by_shard.items():
+            live = len(keys)
+            if self._lines.get(index, 0) == live and self._shard_path(index).exists():
+                continue  # already compact
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self._shard_path(index)
+            tmp = path.with_name(path.name + ".tmp")
+            with open(tmp, "w") as fh:
+                for key in keys:
+                    fh.write(json.dumps({"key": key, "result": self._data[key]}) + "\n")
+            os.replace(tmp, path)
+            self._lines[index] = live
+
+
+class ParallelRunner(Runner):
+    """A :class:`Runner` that fans batches of points out over processes.
+
+    ``cache_path`` names a *directory* holding the sharded cache (a legacy
+    single-file JSON cache at that path is imported read-only).  ``jobs``
+    defaults to ``os.cpu_count()``; ``jobs=1`` never spawns a pool and
+    follows the exact serial code path.
+    """
+
+    def __init__(
+        self,
+        horizon: float = 12_000,
+        warmup: float = 18_000,
+        benchmarks: Optional[List[str]] = None,
+        cache_path: Optional[str | Path] = None,
+        flush_every: int = 16,
+        jobs: Optional[int] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs) if jobs is not None else (os.cpu_count() or 1))
+        self._cache: Optional[ShardedResultCache] = None
+        super().__init__(
+            horizon=horizon,
+            warmup=warmup,
+            benchmarks=benchmarks,
+            cache_path=cache_path,
+            flush_every=flush_every,
+        )
+
+    # -- sharded cache primitives ---------------------------------------
+
+    def _cache_open(self) -> None:
+        if self._cache_path is not None:
+            self._cache = ShardedResultCache(self._cache_path)
+
+    def _cache_get(self, disk_key: str) -> Optional[dict]:
+        return self._cache.get(disk_key) if self._cache is not None else None
+
+    def _cache_put(self, disk_key: str, payload: dict) -> None:
+        if self._cache is not None:
+            self._cache.put(disk_key, payload)
+
+    def flush(self) -> None:
+        # appends are durable immediately; nothing is pending.
+        return
+
+    def close(self) -> None:
+        if self._cache is not None:
+            self._cache.compact()
+
+    # -- plan / simulate / merge ----------------------------------------
+
+    def plan(
+        self, points: Iterable[Tuple[str, GpuConfig]]
+    ) -> List[Tuple[Tuple[str, str], str, str, GpuConfig]]:
+        """Deduplicate *points* and subtract everything already resident.
+
+        Memory- and disk-cached points are folded into the memo table on
+        the way through; the returned list is only what must be simulated,
+        as ``(memo_key, disk_key, workload_name, config)`` tuples in first-
+        seen order.
+        """
+        pending: List[Tuple[Tuple[str, str], str, str, GpuConfig]] = []
+        seen = set()
+        for workload_name, config in points:
+            key = (workload_name, config_key(config))
+            if key in seen:
+                continue
+            seen.add(key)
+            if key in self._memory:
+                self.stats.memory_hits += 1
+                continue
+            disk_key = self._disk_key(workload_name, key[1])
+            payload = self._cache_get(disk_key)
+            if payload is not None:
+                self.stats.disk_hits += 1
+                self._memory[key] = result_from_dict(payload)
+                continue
+            pending.append((key, disk_key, workload_name, config))
+        return pending
+
+    def prefetch(
+        self, points: Iterable[Tuple[str, GpuConfig]], jobs: Optional[int] = None
+    ) -> int:
+        """Plan, fan out, and merge a batch of points; returns #simulated."""
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+
+        t0 = time.perf_counter()
+        pending = self.plan(points)
+        self.stats.add_phase("plan", time.perf_counter() - t0)
+        if not pending:
+            return 0
+
+        t1 = time.perf_counter()
+        if jobs == 1 or len(pending) == 1:
+            payloads = [
+                _simulate_point(name, config, self.horizon, self.warmup)
+                for (_key, _disk_key, name, config) in pending
+            ]
+        else:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_simulate_point, name, config, self.horizon, self.warmup)
+                    for (_key, _disk_key, name, config) in pending
+                ]
+                # collect in submission order: deterministic merge no
+                # matter which worker finishes first.
+                payloads = [future.result() for future in futures]
+        wall = time.perf_counter() - t1
+        self.stats.sim_seconds += wall
+        self.stats.add_phase("simulate", wall)
+        self.stats.points_simulated += len(pending)
+
+        t2 = time.perf_counter()
+        for (key, disk_key, _name, _config), payload in zip(pending, payloads):
+            self._cache_put(disk_key, payload)
+            self._memory[key] = result_from_dict(payload)
+        self.stats.add_phase("merge", time.perf_counter() - t2)
+        return len(pending)

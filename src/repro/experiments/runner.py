@@ -5,6 +5,17 @@ baseline, several share ``secureMem``); the :class:`Runner` memoizes
 results by (workload, configuration, window) so a full paper regeneration
 runs each distinct point exactly once.  An optional JSON cache file makes
 re-runs across processes incremental.
+
+Cache writes are batched and atomic (tmp file + ``os.replace``): the cache
+is flushed every ``flush_every`` new points, on :meth:`Runner.flush`, on
+context-manager exit, and best-effort on garbage collection, so a killed
+run never leaves a truncated file behind.  A corrupt or unreadable cache
+is ignored with a warning instead of aborting construction.
+
+:class:`~repro.experiments.parallel.ParallelRunner` subclasses this to fan
+simulation points out over a process pool with a sharded on-disk cache;
+:meth:`Runner.prefetch` is the hook figure drivers use to hand it whole
+batches of points up front.
 """
 
 from __future__ import annotations
@@ -14,6 +25,9 @@ import enum
 import hashlib
 import json
 import math
+import os
+import time
+import warnings
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -34,10 +48,31 @@ def _jsonable(obj):
     return obj
 
 
-def config_key(config: GpuConfig) -> str:
-    """A stable digest of every field of a GPU configuration."""
+def _config_digest(config: GpuConfig) -> str:
     blob = json.dumps(_jsonable(config), sort_keys=True, default=str)
     return hashlib.sha256(blob.encode()).hexdigest()[:20]
+
+
+#: digest memo keyed by the (frozen, hashable) config itself.  A full
+#: paper matrix has a few dozen distinct configs but calls ``config_key``
+#: once per ``run()``/``normalized_ipc()`` — without the memo every lookup
+#: re-serializes and re-hashes the whole dataclass tree.
+_CONFIG_KEYS: Dict[GpuConfig, str] = {}
+_CONFIG_KEYS_MAX = 4096
+
+
+def config_key(config: GpuConfig) -> str:
+    """A stable digest of every field of a GPU configuration."""
+    try:
+        cached = _CONFIG_KEYS.get(config)
+    except TypeError:  # unhashable (non-frozen subclass, dict field, ...)
+        return _config_digest(config)
+    if cached is None:
+        cached = _config_digest(config)
+        if len(_CONFIG_KEYS) >= _CONFIG_KEYS_MAX:
+            _CONFIG_KEYS.clear()
+        _CONFIG_KEYS[config] = cached
+    return cached
 
 
 def result_to_dict(result: SimulationResult) -> dict:
@@ -78,6 +113,58 @@ def gmean(values: Iterable[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+@dataclasses.dataclass
+class RunnerStats:
+    """Throughput accounting for one runner's lifetime.
+
+    ``phase_seconds`` is filled by the parallel runner (plan / simulate /
+    merge); the serial runner only accumulates ``sim_seconds``.
+    """
+
+    points_simulated: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    sim_seconds: float = 0.0
+    phase_seconds: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def lookups(self) -> int:
+        return self.points_simulated + self.memory_hits + self.disk_hits
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return (self.memory_hits + self.disk_hits) / self.lookups if self.lookups else 0.0
+
+    @property
+    def points_per_second(self) -> float:
+        return self.points_simulated / self.sim_seconds if self.sim_seconds else 0.0
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "points_simulated": self.points_simulated,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "sim_seconds": self.sim_seconds,
+            "points_per_second": self.points_per_second,
+            "phase_seconds": dict(self.phase_seconds),
+        }
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.points_simulated} points simulated",
+            f"{self.points_per_second:.2f} points/s",
+            f"{100 * self.cache_hit_rate:.1f}% cache hit-rate "
+            f"({self.memory_hits} memory / {self.disk_hits} disk)",
+        ]
+        for name, secs in self.phase_seconds.items():
+            parts.append(f"{name} {secs:.1f}s")
+        return " | ".join(parts)
+
+
 class Runner:
     """Runs (workload, config) points once and remembers the answers."""
 
@@ -87,43 +174,117 @@ class Runner:
         warmup: float = 18_000,
         benchmarks: Optional[List[str]] = None,
         cache_path: Optional[str | Path] = None,
+        flush_every: int = 16,
     ) -> None:
         self.horizon = horizon
         self.warmup = warmup
         self.benchmarks = list(benchmarks) if benchmarks is not None else list(BENCHMARK_ORDER)
+        self.stats = RunnerStats()
         self._memory: Dict[Tuple[str, str], SimulationResult] = {}
         self._cache_path = Path(cache_path) if cache_path else None
         self._disk: Dict[str, dict] = {}
-        if self._cache_path and self._cache_path.exists():
-            self._disk = json.loads(self._cache_path.read_text())
+        self._dirty = 0
+        self._flush_every = max(1, int(flush_every))
+        self._cache_open()
+
+    # -- cache primitives (overridden by ParallelRunner) ----------------
+
+    def _cache_open(self) -> None:
+        if self._cache_path is None or not self._cache_path.exists():
+            return
+        try:
+            data = json.loads(self._cache_path.read_text())
+            if not isinstance(data, dict):
+                raise ValueError(f"expected a JSON object, got {type(data).__name__}")
+            self._disk = data
+        except (ValueError, OSError) as exc:  # json.JSONDecodeError is a ValueError
+            warnings.warn(
+                f"ignoring corrupt result cache {self._cache_path}: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._disk = {}
+
+    def _cache_get(self, disk_key: str) -> Optional[dict]:
+        return self._disk.get(disk_key)
+
+    def _cache_put(self, disk_key: str, payload: dict) -> None:
+        if self._cache_path is None:
+            return
+        self._disk[disk_key] = payload
+        self._dirty += 1
+        if self._dirty >= self._flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write pending results to disk atomically (tmp + ``os.replace``)."""
+        if self._cache_path is None or not self._dirty:
+            return
+        self._cache_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._cache_path.with_name(self._cache_path.name + ".tmp")
+        tmp.write_text(json.dumps(self._disk))
+        os.replace(tmp, self._cache_path)
+        self._dirty = 0
+
+    def close(self) -> None:
+        self.flush()
+
+    def __enter__(self) -> "Runner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort: don't lose the cache tail
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
 
+    def _disk_key(self, workload_name: str, cfg_key: str) -> str:
+        return f"{workload_name}:{cfg_key}:{self.horizon}:{self.warmup}"
+
     def run(self, workload_name: str, config: GpuConfig) -> SimulationResult:
         key = (workload_name, config_key(config))
-        if key in self._memory:
-            return self._memory[key]
-        disk_key = f"{workload_name}:{key[1]}:{self.horizon}:{self.warmup}"
-        if disk_key in self._disk:
-            result = result_from_dict(self._disk[disk_key])
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.stats.memory_hits += 1
+            return cached
+        disk_key = self._disk_key(workload_name, key[1])
+        payload = self._cache_get(disk_key)
+        if payload is not None:
+            self.stats.disk_hits += 1
+            result = result_from_dict(payload)
         else:
+            t0 = time.perf_counter()
             result = simulate(
                 config, get_benchmark(workload_name), horizon=self.horizon, warmup=self.warmup
             )
-            if self._cache_path is not None:
-                self._disk[disk_key] = result_to_dict(result)
-                self._flush()
+            self.stats.sim_seconds += time.perf_counter() - t0
+            self.stats.points_simulated += 1
+            self._cache_put(disk_key, result_to_dict(result))
         self._memory[key] = result
         return result
 
-    def _flush(self) -> None:
-        self._cache_path.parent.mkdir(parents=True, exist_ok=True)
-        self._cache_path.write_text(json.dumps(self._disk))
+    def prefetch(self, points: Iterable[Tuple[str, GpuConfig]]) -> int:
+        """Make a batch of points resident before they are read.
+
+        The serial runner just runs them in order; the parallel runner
+        overrides this to fan the missing ones out over a process pool.
+        Returns the number of points that had to be simulated.
+        """
+        before = self.stats.points_simulated
+        for workload_name, config in points:
+            self.run(workload_name, config)
+        return self.stats.points_simulated - before
 
     # ------------------------------------------------------------------
 
     def sweep(self, config: GpuConfig) -> Dict[str, SimulationResult]:
         """Run every benchmark on one configuration."""
+        self.prefetch((name, config) for name in self.benchmarks)
         return {name: self.run(name, config) for name in self.benchmarks}
 
     def normalized_ipc(
@@ -137,6 +298,9 @@ class Runner:
         self, config: GpuConfig, baseline: GpuConfig
     ) -> Dict[str, float]:
         """Normalized IPC per benchmark plus the paper's Gmean aggregate."""
+        self.prefetch(
+            (name, cfg) for cfg in (config, baseline) for name in self.benchmarks
+        )
         series = {
             name: self.normalized_ipc(name, config, baseline) for name in self.benchmarks
         }

@@ -1,0 +1,243 @@
+"""Parallel execution subsystem: equivalence, sharded cache, crash safety."""
+
+import json
+
+import pytest
+
+from repro.experiments import designs
+from repro.experiments.parallel import (
+    ParallelRunner,
+    ShardedResultCache,
+    _simulate_point,
+)
+from repro.experiments.runner import Runner, config_key, result_to_dict
+
+HORIZON, WARMUP = 1200, 400
+BENCHES = ["nw", "bfs"]
+
+
+def matrix_points():
+    base = designs.build_gpu(None, 2)
+    secure = designs.build_gpu(designs.direct(40), 2)
+    return [(name, config) for config in (base, secure) for name in BENCHES]
+
+
+def serial_runner(**kwargs):
+    kwargs.setdefault("horizon", HORIZON)
+    kwargs.setdefault("warmup", WARMUP)
+    kwargs.setdefault("benchmarks", BENCHES)
+    return Runner(**kwargs)
+
+
+def parallel_runner(**kwargs):
+    kwargs.setdefault("horizon", HORIZON)
+    kwargs.setdefault("warmup", WARMUP)
+    kwargs.setdefault("benchmarks", BENCHES)
+    return ParallelRunner(**kwargs)
+
+
+class TestEquivalence:
+    def test_jobs2_bit_identical_to_serial(self):
+        serial = serial_runner()
+        par = parallel_runner(jobs=2)
+        par.prefetch(matrix_points())
+        for name, config in matrix_points():
+            assert result_to_dict(par.run(name, config)) == result_to_dict(
+                serial.run(name, config)
+            )
+
+    def test_jobs1_takes_serial_in_process_path(self):
+        par = parallel_runner(jobs=1)
+        assert par.prefetch(matrix_points()) == len(matrix_points())
+        serial = serial_runner()
+        name, config = matrix_points()[0]
+        assert result_to_dict(par.run(name, config)) == result_to_dict(
+            serial.run(name, config)
+        )
+
+    def test_worker_matches_runner_miss_path(self):
+        name, config = matrix_points()[0]
+        payload = _simulate_point(name, config, HORIZON, WARMUP)
+        assert payload == result_to_dict(serial_runner().run(name, config))
+
+
+class TestPrefetch:
+    def test_dedups_and_counts(self):
+        par = parallel_runner(jobs=1)
+        points = matrix_points()
+        assert par.prefetch(points + points) == len(points)
+        # everything resident: nothing new simulated, plan counts hits.
+        assert par.prefetch(points) == 0
+        assert par.stats.points_simulated == len(points)
+        assert par.stats.memory_hits >= len(points)
+
+    def test_serial_runner_prefetch_hook(self):
+        runner = serial_runner()
+        assert runner.prefetch(matrix_points()) == len(matrix_points())
+        assert runner.prefetch(matrix_points()) == 0
+
+    def test_run_after_prefetch_hits_memory(self):
+        par = parallel_runner(jobs=1)
+        par.prefetch(matrix_points())
+        before = par.stats.points_simulated
+        for name, config in matrix_points():
+            par.run(name, config)
+        assert par.stats.points_simulated == before
+
+
+class TestShardedCache:
+    def payload(self, n):
+        return {"workload": f"w{n}", "ipc": float(n)}
+
+    def test_round_trip_and_reload(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "cache")
+        for n in range(40):
+            cache.put(f"key-{n}", self.payload(n))
+        reloaded = ShardedResultCache(tmp_path / "cache")
+        assert len(reloaded) == 40
+        for n in range(40):
+            assert reloaded.get(f"key-{n}") == self.payload(n)
+
+    def test_spreads_over_shards(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "cache")
+        for n in range(64):
+            cache.put(f"key-{n}", self.payload(n))
+        shards = list((tmp_path / "cache").glob("shard-*.jsonl"))
+        assert len(shards) > 1
+
+    def test_overwrite_then_compact(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "cache")
+        cache.put("key", self.payload(1))
+        cache.put("key", self.payload(2))
+        cache.compact()
+        reloaded = ShardedResultCache(tmp_path / "cache")
+        assert len(reloaded) == 1
+        assert reloaded.get("key") == self.payload(2)
+        # compacted shard holds exactly one line per live key.
+        shard = next((tmp_path / "cache").glob("shard-*.jsonl"))
+        assert len(shard.read_text().splitlines()) == 1
+
+    def test_torn_final_line_is_recovered(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "cache", num_shards=1)
+        for n in range(5):
+            cache.put(f"key-{n}", self.payload(n))
+        shard = tmp_path / "cache" / "shard-00.jsonl"
+        # chop the file mid-way through the last record, as a kill would.
+        text = shard.read_text()
+        shard.write_text(text[: len(text) - 7])
+        reloaded = ShardedResultCache(tmp_path / "cache", num_shards=1)
+        assert len(reloaded) == 4
+        for n in range(4):
+            assert reloaded.get(f"key-{n}") == self.payload(n)
+
+    def test_garbage_shard_is_skipped_not_fatal(self, tmp_path):
+        directory = tmp_path / "cache"
+        directory.mkdir()
+        (directory / "shard-00.jsonl").write_text("not json at all\n{]\n")
+        cache = ShardedResultCache(directory, num_shards=1)
+        assert len(cache) == 0
+        cache.put("key", self.payload(1))
+        assert ShardedResultCache(directory, num_shards=1).get("key") == self.payload(1)
+
+    def test_legacy_single_file_imported(self, tmp_path):
+        legacy = tmp_path / "cache.json"
+        legacy.write_text(json.dumps({"old-key": self.payload(7)}))
+        cache = ShardedResultCache(legacy)
+        assert cache.get("old-key") == self.payload(7)
+        cache.put("new-key", self.payload(8))
+        assert (tmp_path / "cache.json.d").is_dir()
+        # the legacy file is untouched and both keys survive a reload.
+        assert json.loads(legacy.read_text()) == {"old-key": self.payload(7)}
+        reloaded = ShardedResultCache(legacy)
+        assert reloaded.get("old-key") == self.payload(7)
+        assert reloaded.get("new-key") == self.payload(8)
+
+
+class TestCrashSafety:
+    def test_mid_run_kill_resumes_from_completed_points(self, tmp_path):
+        points = matrix_points()
+        first = parallel_runner(jobs=1, cache_path=tmp_path / "cache")
+        first.prefetch(points)
+        # no close()/compact(): simulates a killed run — appends are
+        # already durable, so a fresh runner resumes from disk.
+        fresh = parallel_runner(jobs=1, cache_path=tmp_path / "cache")
+        assert fresh.prefetch(points) == 0
+        assert fresh.stats.disk_hits == len(points)
+        assert fresh.stats.points_simulated == 0
+
+    def test_partial_shard_only_recomputes_lost_point(self, tmp_path):
+        points = matrix_points()
+        first = parallel_runner(jobs=1, cache_path=tmp_path / "cache")
+        first.prefetch(points)
+        shards = sorted((tmp_path / "cache").glob("shard-*.jsonl"))
+        # tear the tail of one shard: at most that one record is lost.
+        victim = shards[0]
+        victim.write_text(victim.read_text()[:-10])
+        fresh = parallel_runner(jobs=1, cache_path=tmp_path / "cache")
+        assert fresh.prefetch(points) <= 1
+        for name, config in points:
+            fresh.run(name, config)  # still fully usable
+
+    def test_close_compacts_shards(self, tmp_path):
+        runner = parallel_runner(jobs=1, cache_path=tmp_path / "cache")
+        runner.prefetch(matrix_points())
+        runner.close()
+        reloaded = parallel_runner(jobs=1, cache_path=tmp_path / "cache")
+        assert reloaded.prefetch(matrix_points()) == 0
+
+
+class TestSerialRunnerCacheHardening:
+    def test_corrupt_cache_warns_and_starts_fresh(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{truncated")
+        with pytest.warns(RuntimeWarning, match="corrupt result cache"):
+            runner = serial_runner(cache_path=path)
+        result = runner.run(*matrix_points()[0])
+        assert result.ipc > 0
+
+    def test_non_object_cache_warns(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.warns(RuntimeWarning):
+            serial_runner(cache_path=path)
+
+    def test_batched_flush_is_atomic_and_on_close(self, tmp_path):
+        path = tmp_path / "cache.json"
+        with serial_runner(cache_path=path, flush_every=100) as runner:
+            runner.run(*matrix_points()[0])
+            assert not path.exists()  # batched: not rewritten per point
+        assert path.exists()  # context-manager close flushed
+        assert not path.with_name(path.name + ".tmp").exists()
+        assert json.loads(path.read_text())
+
+    def test_flush_every_triggers_write(self, tmp_path):
+        path = tmp_path / "cache.json"
+        runner = serial_runner(cache_path=path, flush_every=2)
+        runner.run(*matrix_points()[0])
+        assert not path.exists()
+        runner.run(*matrix_points()[1])
+        assert path.exists()
+
+
+class TestStats:
+    def test_throughput_accounting(self):
+        par = parallel_runner(jobs=1)
+        par.prefetch(matrix_points())
+        stats = par.stats
+        assert stats.points_simulated == len(matrix_points())
+        assert stats.points_per_second > 0
+        assert set(stats.phase_seconds) == {"plan", "simulate", "merge"}
+        exported = stats.to_dict()
+        assert exported["points_simulated"] == len(matrix_points())
+        assert json.dumps(exported)  # JSON-exportable
+        assert "points/s" in stats.summary()
+
+    def test_config_key_memoized(self):
+        config = designs.build_gpu(None, 2)
+        assert config_key(config) == config_key(config)
+        import dataclasses
+
+        clone = dataclasses.replace(config)
+        assert config_key(clone) == config_key(config)
+        other = designs.build_gpu(None, 4)
+        assert config_key(other) != config_key(config)

@@ -59,9 +59,12 @@ class TestCaching:
     def test_disk_cache_roundtrip(self, tmp_path):
         path = tmp_path / "cache.json"
         config = designs.build_gpu(None, 2)
-        r1 = tiny_runner(cache_path=path).run("nw", config)
-        r2 = tiny_runner(cache_path=path).run("nw", config)
+        with tiny_runner(cache_path=path) as writer:
+            r1 = writer.run("nw", config)
         assert path.exists()
+        with tiny_runner(cache_path=path) as reader:
+            r2 = reader.run("nw", config)
+            assert reader.stats.disk_hits == 1
         assert r2.ipc == pytest.approx(r1.ipc)
         assert r2.dram_txn == r1.dram_txn
 
