@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Local CI: lint (when ruff is available) + the tier-1 test suite.
+#
+# Usage: scripts/check.sh
+# Exit status is nonzero on the first failing step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests scripts
+else
+    echo "== ruff not installed; skipping lint =="
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q

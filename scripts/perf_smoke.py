@@ -17,6 +17,7 @@ subsystem's tier-1 tests before benchmarking.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import subprocess
@@ -26,6 +27,7 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 
+from repro.common.config import TelemetryConfig
 from repro.experiments import designs
 from repro.experiments.parallel import ParallelRunner
 from repro.experiments.runner import Runner, result_to_dict
@@ -85,6 +87,23 @@ def main() -> int:
         for name, config in points
     )
 
+    # telemetry overhead: the same matrix with tracing + sampling enabled,
+    # against the serial telemetry-off run above.  Also checks the zero-
+    # drift contract: every counter must be identical with telemetry on.
+    tel = TelemetryConfig(enabled=True, sample_every=500.0)
+    tel_points = [
+        (name, dataclasses.replace(config, telemetry=tel)) for name, config in points
+    ]
+    tel_runner = Runner(horizon=HORIZON, warmup=WARMUP, benchmarks=BENCHMARKS)
+    t0 = time.perf_counter()
+    tel_runner.prefetch(tel_points)
+    telemetry_s = time.perf_counter() - t0
+    drift_free = all(
+        result_to_dict(serial.run(name, config))
+        == result_to_dict(tel_runner.run(name, tel_config))
+        for (name, config), (_name, tel_config) in zip(points, tel_points)
+    )
+
     report = {
         "cpu_count": os.cpu_count(),
         "jobs": jobs,
@@ -100,11 +119,22 @@ def main() -> int:
         "parallel_phase_seconds": {
             k: round(v, 3) for k, v in parallel.stats.phase_seconds.items()
         },
+        "telemetry": {
+            "off_seconds": round(serial_s, 3),
+            "on_seconds": round(telemetry_s, 3),
+            "overhead_pct": (
+                round(100 * (telemetry_s - serial_s) / serial_s, 1) if serial_s else None
+            ),
+            "drift_free": drift_free,
+        },
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     if not identical:
         print("ERROR: parallel results diverge from serial", file=sys.stderr)
+        return 1
+    if not drift_free:
+        print("ERROR: telemetry changed simulation statistics", file=sys.stderr)
         return 1
     return 0
 

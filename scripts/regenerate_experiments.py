@@ -21,7 +21,6 @@ exported as JSON so the perf trajectory is comparable across changes.
 from __future__ import annotations
 
 import argparse
-import sys
 import time
 from pathlib import Path
 
@@ -240,6 +239,14 @@ close), so an interrupted run resumes from its completed points.  On an
 N-core machine a cold full regeneration speeds up near-linearly until the
 figure-level batches are smaller than the pool.  `--stats-json PATH`
 exports points/sec, cache hit-rate and per-phase wall time.
+
+Any point here can be re-examined under the telemetry subsystem
+(`python -m repro trace <bench> --design <name>`): it emits a Chrome
+`trace_event` file (chrome://tracing / Perfetto), an epoch time-series of
+MSHR occupancy, DRAM backlog and crypto-engine utilization, and the
+per-traffic-class (DATA/COUNTER/MAC/TREE) byte breakdown whose shares are
+Figure 4's request distribution.  Telemetry never changes simulated
+behaviour, so the traced point matches the cached numbers below exactly.
 
 Total regeneration time: {{TOTAL}} minutes.
 """

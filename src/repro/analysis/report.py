@@ -7,7 +7,7 @@ tables report; these helpers keep the formatting consistent everywhere
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Iterable, List, Mapping, Sequence
 
 
 def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -47,6 +47,17 @@ def render_series_table(
         )
     body = render_table(["benchmark"] + columns, rows)
     return f"{title}\n{body}"
+
+
+def render_traffic_breakdown(class_bytes: Mapping[str, float]) -> str:
+    """Per-traffic-class DRAM bytes and shares (the telemetry breakdown)."""
+    total = sum(class_bytes.values())
+    rows = [
+        [name, f"{value:.0f}", f"{(value / total if total else 0.0):.1%}"]
+        for name, value in class_bytes.items()
+    ]
+    rows.append(["total", f"{total:.0f}", "100.0%" if total else "-"])
+    return render_table(["class", "bytes", "share"], rows)
 
 
 def _fmt(cell: object) -> str:

@@ -4,6 +4,8 @@ Commands
 --------
 
 ``run``      simulate one workload on one design and print the result
+``trace``    run one workload with telemetry and export a Chrome trace
+``stats``    dump the full statistics tree for one run (``--json`` for tools)
 ``sweep``    run all 14 workloads on one design (optionally normalized)
 ``figure``   regenerate one paper figure/table and print it
 ``designs``  list the named design points
@@ -15,16 +17,20 @@ Commands
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from repro.analysis.report import render_series_table
-from repro.common.config import MetadataKind
+from repro.analysis.report import render_series_table, render_traffic_breakdown
+from repro.common.config import MetadataKind, TelemetryConfig
 from repro.experiments import designs as design_mod
 from repro.experiments import figures
 from repro.experiments.parallel import ParallelRunner
 from repro.experiments.runner import Runner
 from repro.sim.gpu import simulate
+from repro.telemetry import write_artifacts
 from repro.workloads.suite import BENCHMARK_ORDER, get_benchmark
 
 #: name -> zero-argument design factory (GPU-level ablations excluded).
@@ -77,6 +83,39 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--design", choices=sorted(DESIGNS), default="secureMem_mshr64")
     add_scale(run)
 
+    trace = sub.add_parser(
+        "trace", help="run one workload with telemetry and export a Chrome trace"
+    )
+    trace.add_argument("workload", choices=BENCHMARK_ORDER)
+    trace.add_argument("--design", choices=sorted(DESIGNS), default="secureMem_mshr64")
+    trace.add_argument(
+        "--out",
+        default=None,
+        help="artifact directory (default results/trace/<workload>-<design>/)",
+    )
+    trace.add_argument(
+        "--ring", type=int, default=65536, help="event ring-buffer capacity"
+    )
+    trace.add_argument(
+        "--sample-every",
+        type=float,
+        default=500.0,
+        help="gauge sampling epoch in cycles (0 disables sampling)",
+    )
+    add_scale(trace)
+
+    stats = sub.add_parser(
+        "stats", help="dump the full statistics tree for one run"
+    )
+    stats.add_argument("workload", choices=BENCHMARK_ORDER)
+    stats.add_argument("--design", choices=sorted(DESIGNS), default="secureMem_mshr64")
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable JSON with stable sorted keys",
+    )
+    add_scale(stats)
+
     sweep = sub.add_parser("sweep", help="all 14 workloads on one design")
     sweep.add_argument("--design", choices=sorted(DESIGNS), default="secureMem_mshr64")
     sweep.add_argument(
@@ -117,6 +156,54 @@ def _cmd_run(args) -> int:
                 f"{kind.value} miss rate     {result.metadata_miss_rate(kind):.1%} "
                 f"(secondary {result.secondary_miss_ratio(kind):.1%})"
             )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    secure = DESIGNS[args.design]()
+    config = design_mod.build_gpu(secure, num_partitions=args.partitions)
+    config = dataclasses.replace(
+        config,
+        telemetry=TelemetryConfig(
+            enabled=True, ring_capacity=args.ring, sample_every=args.sample_every
+        ),
+    )
+    result = simulate(
+        config, get_benchmark(args.workload), horizon=args.horizon, warmup=args.warmup
+    )
+    out = (
+        Path(args.out)
+        if args.out
+        else Path("results") / "trace" / f"{args.workload}-{args.design}"
+    )
+    write_artifacts(out, result.telemetry)
+    export = result.telemetry
+    print(f"workload          {args.workload}")
+    print(f"design            {args.design}")
+    print(f"IPC               {result.ipc:.2f}")
+    print()
+    print(render_traffic_breakdown(export["meta"]["class_bytes"]))
+    print()
+    print(
+        f"events            {len(export['events'])} recorded, "
+        f"{export['events_dropped']} dropped (ring {export['ring_capacity']})"
+    )
+    print(f"samples           {len(export['samples']['cycle'])} epochs")
+    print(f"artifacts         {out}")
+    print("open trace.json in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    secure = DESIGNS[args.design]()
+    config = design_mod.build_gpu(secure, num_partitions=args.partitions)
+    result = simulate(
+        config, get_benchmark(args.workload), horizon=args.horizon, warmup=args.warmup
+    )
+    if args.json:
+        print(json.dumps(result.stats.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(result.stats.render())
     return 0
 
 
@@ -222,6 +309,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "figure":

@@ -237,6 +237,36 @@ class SecureMemoryConfig:
 
 
 @dataclass(frozen=True)
+class TelemetryConfig:
+    """Observability knobs for the :mod:`repro.telemetry` subsystem.
+
+    Disabled by default: the simulator runs with no-op tracing stubs and no
+    sampler events, so timing and statistics are bit-identical to a build
+    without telemetry.  The block is deliberately excluded from the result
+    cache key (``repro.experiments.runner.config_key``) because it can
+    never affect simulated time.
+    """
+
+    enabled: bool = False
+    #: record typed events (request/cache/MSHR/DRAM) into the ring buffer.
+    trace_events: bool = True
+    #: bounded event ring: oldest events are dropped past this many.
+    ring_capacity: int = 65536
+    #: cycles between sampler epochs (gauge snapshots); 0 disables sampling.
+    sample_every: float = 500.0
+    #: hard cap on sampler rows, a runaway guard for huge horizons.
+    max_samples: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.ring_capacity < 1:
+            raise ValueError("ring_capacity must be positive")
+        if self.sample_every < 0:
+            raise ValueError("sample_every must be non-negative")
+        if self.max_samples < 1:
+            raise ValueError("max_samples must be positive")
+
+
+@dataclass(frozen=True)
 class GpuConfig:
     """Top-level GPU model configuration (Table I)."""
 
@@ -275,6 +305,8 @@ class GpuConfig:
     )
     #: address-interleaving granularity across partitions.
     partition_interleave_bytes: int = 256
+    #: observability: tracing + time-series sampling (off by default).
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self) -> None:
         if self.num_sms < 1 or self.num_partitions < 1:

@@ -66,16 +66,47 @@ class StatGroup:
         return result
 
     def merge_from(self, other: "StatGroup") -> None:
-        """Accumulate *other*'s counters (recursively) into this group."""
+        """Accumulate *other*'s counters (recursively) into this group.
+
+        Child insertion order is normalized to sorted-by-name afterwards, so
+        a tree assembled by merging shards serializes identically no matter
+        the merge order (the ``to_dict`` round-trip guarantee).
+        """
         for key, value in other._counters.items():
             self._counters[key] += value
-        for name, group in other._children.items():
-            self.child(name).merge_from(group)
+        for name in sorted(other._children):
+            self.child(name).merge_from(other._children[name])
+        self._children = {name: self._children[name] for name in sorted(self._children)}
 
     def reset(self) -> None:
         self._counters.clear()
         for group in self._children.values():
             group.reset()
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot of the whole subtree, keys sorted at every
+        level — byte-stable output for ``repro stats --json`` and tests."""
+        return {
+            "name": self.name,
+            "counters": {key: self._counters[key] for key in sorted(self._counters)},
+            "children": {
+                name: self._children[name].to_dict() for name in sorted(self._children)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StatGroup":
+        """Rebuild a tree produced by :meth:`to_dict`."""
+        group = cls(data.get("name", "stats"))
+        for key, value in data.get("counters", {}).items():
+            group._counters[key] = float(value)
+        for name, child_data in data.get("children", {}).items():
+            child = cls.from_dict(child_data)
+            child.name = name
+            group._children[name] = child
+        return group
 
     # -- rendering -------------------------------------------------------------
 

@@ -9,13 +9,13 @@ benchmark harness renders these with
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.reuse import reuse_distance_histogram
 from repro.common import params
 from repro.common.config import GpuConfig, MetadataKind
 from repro.experiments import designs
-from repro.experiments.runner import Runner, gmean
+from repro.experiments.runner import Runner
 from repro.sim.gpu import simulate
 from repro.workloads.suite import PAPER_TABLE4, get_benchmark
 

@@ -65,7 +65,13 @@ def _simulate_point(
     result = simulate(
         config, get_benchmark(workload_name), horizon=horizon, warmup=warmup
     )
-    return result_to_dict(result)
+    payload = result_to_dict(result)
+    if result.telemetry is not None:
+        # telemetry rides back to the parent out-of-band: the parent pops
+        # it before the payload reaches the result cache, so cached entries
+        # stay identical with and without tracing.
+        payload["_telemetry"] = result.telemetry
+    return payload
 
 
 class ShardedResultCache:
@@ -199,6 +205,7 @@ class ParallelRunner(Runner):
         cache_path: Optional[str | Path] = None,
         flush_every: int = 16,
         jobs: Optional[int] = None,
+        telemetry_dir: Optional[str | Path] = None,
     ) -> None:
         self.jobs = max(1, int(jobs) if jobs is not None else (os.cpu_count() or 1))
         self._cache: Optional[ShardedResultCache] = None
@@ -208,6 +215,7 @@ class ParallelRunner(Runner):
             benchmarks=benchmarks,
             cache_path=cache_path,
             flush_every=flush_every,
+            telemetry_dir=telemetry_dir,
         )
 
     # -- sharded cache primitives ---------------------------------------
@@ -297,7 +305,11 @@ class ParallelRunner(Runner):
 
         t2 = time.perf_counter()
         for (key, disk_key, _name, _config), payload in zip(pending, payloads):
+            export = payload.pop("_telemetry", None)
+            self._persist_telemetry(key[0], key[1], export)
             self._cache_put(disk_key, payload)
-            self._memory[key] = result_from_dict(payload)
+            result = result_from_dict(payload)
+            result.telemetry = export
+            self._memory[key] = result
         self.stats.add_phase("merge", time.perf_counter() - t2)
         return len(pending)

@@ -33,6 +33,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common.config import GpuConfig, MetadataKind
 from repro.sim.gpu import SimulationResult, simulate
+from repro.telemetry.session import write_artifacts
 from repro.workloads.suite import BENCHMARK_ORDER, get_benchmark
 
 
@@ -49,7 +50,12 @@ def _jsonable(obj):
 
 
 def _config_digest(config: GpuConfig) -> str:
-    blob = json.dumps(_jsonable(config), sort_keys=True, default=str)
+    fields = _jsonable(config)
+    # Telemetry is pure observability: it never changes timing or counters,
+    # so it is excluded from the digest — results cached before (or without)
+    # telemetry stay valid, and enabling tracing never forces a re-run.
+    fields.pop("telemetry", None)
+    blob = json.dumps(fields, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode()).hexdigest()[:20]
 
 
@@ -175,10 +181,16 @@ class Runner:
         benchmarks: Optional[List[str]] = None,
         cache_path: Optional[str | Path] = None,
         flush_every: int = 16,
+        telemetry_dir: Optional[str | Path] = None,
     ) -> None:
         self.horizon = horizon
         self.warmup = warmup
         self.benchmarks = list(benchmarks) if benchmarks is not None else list(BENCHMARK_ORDER)
+        #: where per-point telemetry artifacts land (next to the result
+        #: cache, one subdirectory per simulated point).  None disables
+        #: persistence; points whose configs have telemetry off export
+        #: nothing either way.
+        self.telemetry_dir = Path(telemetry_dir) if telemetry_dir else None
         self.stats = RunnerStats()
         self._memory: Dict[Tuple[str, str], SimulationResult] = {}
         self._cache_path = Path(cache_path) if cache_path else None
@@ -246,6 +258,21 @@ class Runner:
     def _disk_key(self, workload_name: str, cfg_key: str) -> str:
         return f"{workload_name}:{cfg_key}:{self.horizon}:{self.warmup}"
 
+    def _persist_telemetry(
+        self, workload_name: str, cfg_key: str, export: Optional[dict]
+    ) -> Optional[Path]:
+        """Write one point's telemetry artifacts under :attr:`telemetry_dir`.
+
+        The directory name embeds the config digest so different designs of
+        the same workload never collide.  Returns the directory, or None
+        when there is nothing to persist.
+        """
+        if export is None or self.telemetry_dir is None:
+            return None
+        directory = self.telemetry_dir / f"{workload_name}-{cfg_key[:12]}"
+        write_artifacts(directory, export)
+        return directory
+
     def run(self, workload_name: str, config: GpuConfig) -> SimulationResult:
         key = (workload_name, config_key(config))
         cached = self._memory.get(key)
@@ -264,6 +291,10 @@ class Runner:
             )
             self.stats.sim_seconds += time.perf_counter() - t0
             self.stats.points_simulated += 1
+            self._persist_telemetry(workload_name, key[1], result.telemetry)
+            # the result cache stays telemetry-free: artifacts live in
+            # telemetry_dir, and cached payloads are identical whether the
+            # point ran with tracing on or off.
             self._cache_put(disk_key, result_to_dict(result))
         self._memory[key] = result
         return result

@@ -58,6 +58,11 @@ class AesEngineBank:
         return self._pipe.utilization(elapsed)
 
     @property
+    def busy_cycles(self) -> float:
+        """Cumulative busy core cycles (the sampler's utilization gauge)."""
+        return self._pipe.busy_cycles
+
+    @property
     def throughput_gbps(self) -> float:
         """Aggregate engine throughput in GB/s (13.6 per engine at 850 MHz)."""
         bytes_per_second = (
@@ -96,3 +101,8 @@ class MacUnit:
 
     def utilization(self, elapsed: float) -> float:
         return self._pipe.utilization(elapsed)
+
+    @property
+    def busy_cycles(self) -> float:
+        """Cumulative busy core cycles (the sampler's utilization gauge)."""
+        return self._pipe.busy_cycles

@@ -46,6 +46,8 @@ from repro.sim.dram import (
 )
 from repro.sim.event import EventQueue
 from repro.sim.mshr import MshrTable
+from repro.telemetry.tracer import NULL_TRACER
+from repro.telemetry.traffic import CLASS_OF_KIND, TrafficClass
 
 _KIND_TO_CATEGORY = {
     MetadataKind.COUNTER: CAT_COUNTER,
@@ -81,12 +83,17 @@ class SecureEngine:
         layout: MetadataLayout,
         stats: StatGroup,
         trace_hook: Optional[Callable[[MetadataKind, int], None]] = None,
+        tracer=None,
+        name: str = "engine",
     ) -> None:
         self.config = config
         self.dram = dram
         self.events = events
         self.layout = layout
         self.stats = stats
+        self.name = name
+        self._trace = tracer if tracer is not None else NULL_TRACER
+        self._mdc_tid = f"{name}.mdc"
         #: optional callback invoked with (kind, block_addr) on every
         #: metadata cache access — the reuse-distance experiments tap this.
         self.trace_hook = trace_hook
@@ -129,15 +136,24 @@ class SecureEngine:
             return  # accesses never reach a cache object
         if cfg.infinite_metadata_cache:
             for kind in MetadataKind:
-                self._caches[kind] = InfiniteCache(self._kind_stats[kind].child("cache"))
+                self._caches[kind] = InfiniteCache(
+                    self._kind_stats[kind].child("cache"),
+                    tclass=CLASS_OF_KIND[kind],
+                    name=f"{self.name}.mdc.{kind.value}",
+                )
         elif cfg.unified_metadata_cache:
             unified = SectoredCache(
                 cfg.unified_cache.to_cache_config(),
                 StatGroup("unified"),
+                name=f"{self.name}.mdc.unified",
             )
             for kind in MetadataKind:
                 self._caches[kind] = unified
-            table = MshrTable(cfg.unified_cache.num_mshrs, cfg.unified_cache.mshr_merge_cap)
+            table = MshrTable(
+                cfg.unified_cache.num_mshrs,
+                cfg.unified_cache.mshr_merge_cap,
+                name=f"{self.name}.mshr.unified",
+            )
             for kind in MetadataKind:
                 self._mshrs[kind] = table
             return
@@ -149,9 +165,16 @@ class SecureEngine:
             }
             for kind, spec in specs.items():
                 self._caches[kind] = SectoredCache(
-                    spec.to_cache_config(), self._kind_stats[kind].child("cache")
+                    spec.to_cache_config(),
+                    self._kind_stats[kind].child("cache"),
+                    tclass=CLASS_OF_KIND[kind],
+                    name=f"{self.name}.mdc.{kind.value}",
                 )
-                self._mshrs[kind] = MshrTable(spec.num_mshrs, spec.mshr_merge_cap)
+                self._mshrs[kind] = MshrTable(
+                    spec.num_mshrs,
+                    spec.mshr_merge_cap,
+                    name=f"{self.name}.mshr.{kind.value}",
+                )
             return
         # infinite caches share the configured MSHR setup per kind
         for kind in MetadataKind:
@@ -160,7 +183,11 @@ class SecureEngine:
                 MetadataKind.MAC: cfg.mac_cache,
                 MetadataKind.TREE: cfg.tree_cache,
             }[kind]
-            self._mshrs[kind] = MshrTable(spec.num_mshrs, spec.mshr_merge_cap)
+            self._mshrs[kind] = MshrTable(
+                spec.num_mshrs,
+                spec.mshr_merge_cap,
+                name=f"{self.name}.mshr.{kind.value}",
+            )
 
     # ------------------------------------------------------------------
     # public interface used by the memory partition
@@ -190,9 +217,9 @@ class SecureEngine:
         self.stats.add("reads")
         cfg = self.config
         if not cfg.enabled or not self._is_protected(addr):
-            return self.dram.read(now, nbytes, CAT_DATA_READ, addr)
+            return self.dram.read(now, nbytes, CAT_DATA_READ, addr, tclass=TrafficClass.DATA)
 
-        data_ready = self.dram.read(now, nbytes, CAT_DATA_READ, addr)
+        data_ready = self.dram.read(now, nbytes, CAT_DATA_READ, addr, tclass=TrafficClass.DATA)
         verify_done = now
         if cfg.encryption is EncryptionMode.COUNTER:
             # OTP generation starts once the counter is on chip and overlaps
@@ -225,7 +252,7 @@ class SecureEngine:
         self.stats.add("writes")
         cfg = self.config
         if not cfg.enabled or not self._is_protected(addr):
-            return self.dram.write(now, nbytes, CAT_DATA_WRITE, addr)
+            return self.dram.write(now, nbytes, CAT_DATA_WRITE, addr, tclass=TrafficClass.DATA)
 
         if cfg.encryption is EncryptionMode.COUNTER:
             self._counter_access(now, addr, is_write=True)
@@ -237,7 +264,7 @@ class SecureEngine:
             self.mac_unit.process(now, n_ops=max(1, nbytes // params.SECTOR_BYTES))
         # the write sits in the controller's write queue until encrypted;
         # channel occupancy is charged now (what later accesses observe).
-        return self.dram.write(now, nbytes, CAT_DATA_WRITE, addr)
+        return self.dram.write(now, nbytes, CAT_DATA_WRITE, addr, tclass=TrafficClass.DATA)
 
     def finalize(self) -> None:
         """Flush dirty metadata (accounting only, at the end of a run)."""
@@ -324,6 +351,7 @@ class SecureEngine:
         kstats.add("accesses")
         if self.trace_hook is not None:
             self.trace_hook(kind, block_addr)
+        trace = self._trace
 
         if self.config.perfect_metadata_cache:
             kstats.add("hits")
@@ -333,16 +361,24 @@ class SecureEngine:
         result = cache.lookup(block_addr, is_write=is_write)
         if result is AccessResult.HIT:
             kstats.add("hits")
+            if trace.enabled:
+                trace.instant(
+                    "mdc_hit", "mdc", self._mdc_tid,
+                    {"kind": kind.value, "addr": block_addr},
+                )
             return now + self._hit_latency, _HIT
 
         kstats.add("misses")
         category = _KIND_TO_CATEGORY[kind]
+        tclass = CLASS_OF_KIND[kind]
         if self.config.infinite_metadata_cache:
             # ``large_mdc`` idealization: unlimited capacity means the line
             # can be allocated at miss time, so every miss is compulsory and
             # later accesses hit under the outstanding fill.
             kstats.add("primary_misses")
-            ready = self.dram.read(now, params.CACHE_LINE_BYTES, category, block_addr)
+            ready = self.dram.read(
+                now, params.CACHE_LINE_BYTES, category, block_addr, tclass=tclass
+            )
             cache.fill(block_addr, dirty=is_write)
             kstats.add("fills")
             return ready, _PRIMARY
@@ -354,23 +390,44 @@ class SecureEngine:
             mshr = self._mshrs[kind]
             entry = mshr.get(block_addr)
             if entry is not None and entry.merged < self._merge_caps[kind]:
+                # per-kind merge cap, which may be tighter than the table's
+                # own cap in unified mode — bump the entry directly.
                 entry.merged += 1
                 kstats.add("merged")
+                if trace.enabled:
+                    trace.instant(
+                        "merge", "mshr", mshr.name,
+                        {"addr": entry.line_addr, "n": entry.merged},
+                    )
                 return pending.ready_time, _SECONDARY
             # no MSHR (or cap reached): the secondary miss becomes its own
             # redundant memory fetch — the Section V-A traffic explosion.
             kstats.add("duplicate_fetches")
-            ready = self.dram.read(now, params.CACHE_LINE_BYTES, category, block_addr)
+            if trace.enabled:
+                trace.instant(
+                    "mdc_dup_fetch", "mdc", self._mdc_tid,
+                    {"kind": kind.value, "addr": block_addr},
+                )
+            ready = self.dram.read(
+                now, params.CACHE_LINE_BYTES, category, block_addr, tclass=tclass
+            )
             return ready, _SECONDARY
 
         kstats.add("primary_misses")
+        if trace.enabled:
+            trace.instant(
+                "mdc_primary_miss", "mdc", self._mdc_tid,
+                {"kind": kind.value, "addr": block_addr},
+            )
         mshr = self._mshrs[kind]
         start = now
         if mshr.enabled and mshr.full:
             # structural stall: wait for the earliest in-flight fill.
             kstats.add("mshr_full_stalls")
             start = max(now, mshr.earliest_ready())
-        ready = self.dram.read(start, params.CACHE_LINE_BYTES, category, block_addr)
+        ready = self.dram.read(
+            start, params.CACHE_LINE_BYTES, category, block_addr, tclass=tclass
+        )
         inflight[block_addr] = _Inflight(ready, is_write)
         if mshr.enabled and not mshr.full:
             mshr.allocate(block_addr, ready)
@@ -401,7 +458,13 @@ class SecureEngine:
         if not eviction.dirty:
             return
         vstats.add("writebacks")
-        self.dram.write(now, params.CACHE_LINE_BYTES, CAT_METADATA_WB, eviction.line_addr)
+        self.dram.write(
+            now,
+            params.CACHE_LINE_BYTES,
+            CAT_METADATA_WB,
+            eviction.line_addr,
+            tclass=CLASS_OF_KIND[victim_kind],
+        )
         if not self.config.uses_tree:
             return
         parent_addr = self._tree_parent_addr(victim_kind, eviction.line_addr)
@@ -479,9 +542,9 @@ class SecureEngine:
             self.stats.add("counter_overflows")
             chunk = geometry.data_bytes_per_block
             chunk_base = key[0] * chunk
-            self.dram.read(now, chunk, CAT_DATA_READ, chunk_base)
+            self.dram.read(now, chunk, CAT_DATA_READ, chunk_base, tclass=TrafficClass.DATA)
             self.aes.process(now, 2 * chunk)  # decrypt + re-encrypt
-            self.dram.write(now, chunk, CAT_DATA_WRITE, chunk_base)
+            self.dram.write(now, chunk, CAT_DATA_WRITE, chunk_base, tclass=TrafficClass.DATA)
             for minor in range(geometry.minors_per_block):
                 self._minor_counts.pop((key[0], minor), None)
         else:
@@ -493,6 +556,11 @@ class SecureEngine:
 
     def kind_stats(self, kind: MetadataKind) -> StatGroup:
         return self._kind_stats[kind]
+
+    def mshr_occupancy(self, kind: MetadataKind) -> int:
+        """In-flight fills in *kind*'s MSHR table (0 when disabled/absent)."""
+        mshr = self._mshrs.get(kind)
+        return mshr.occupancy if mshr is not None else 0
 
     def metadata_miss_rate(self, kind: MetadataKind) -> float:
         stats = self._kind_stats[kind]

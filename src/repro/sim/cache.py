@@ -17,10 +17,12 @@ from __future__ import annotations
 import enum
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import List, Set
 
 from repro.common.config import CacheConfig
 from repro.common.stats import StatGroup
+from repro.telemetry.tracer import NULL_TRACER
+from repro.telemetry.traffic import TrafficClass
 
 
 class AccessResult(enum.Enum):
@@ -53,9 +55,22 @@ class _Line:
 class SectoredCache:
     """An LRU set-associative cache, optionally sectored."""
 
-    def __init__(self, config: CacheConfig, stats: StatGroup | None = None) -> None:
+    def __init__(
+        self,
+        config: CacheConfig,
+        stats: StatGroup | None = None,
+        tclass: TrafficClass | None = None,
+        tracer=None,
+        name: str = "cache",
+    ) -> None:
         self.config = config
         self.stats = stats if stats is not None else StatGroup("cache")
+        #: which DRAM traffic class this cache's misses generate (None for
+        #: shared/unified caches whose accesses carry their own class).
+        self.tclass = tclass
+        self.name = name
+        self._trace = tracer if tracer is not None else NULL_TRACER
+        self._cls_label = tclass.name if tclass is not None else "META"
         self._sets: List[OrderedDict[int, _Line]] = [
             OrderedDict() for _ in range(config.num_sets)
         ]
@@ -89,17 +104,33 @@ class SectoredCache:
         line = cache_set.get(tag)
         bit = self._sector_bit(addr)
         self.stats.add("accesses")
+        trace = self._trace
         if line is None:
             self.stats.add("misses")
+            if trace.enabled:
+                trace.instant(
+                    "miss", "cache", self.name, {"addr": addr, "cls": self._cls_label}
+                )
             return AccessResult.MISS
         cache_set.move_to_end(tag)
         if not line.valid_mask & bit:
             self.stats.add("misses")
             self.stats.add("sector_misses")
+            if trace.enabled:
+                trace.instant(
+                    "sector_miss",
+                    "cache",
+                    self.name,
+                    {"addr": addr, "cls": self._cls_label},
+                )
             return AccessResult.SECTOR_MISS
         if is_write:
             line.dirty_mask |= bit
         self.stats.add("hits")
+        if trace.enabled:
+            trace.instant(
+                "hit", "cache", self.name, {"addr": addr, "cls": self._cls_label}
+            )
         return AccessResult.HIT
 
     def contains(self, addr: int) -> bool:
@@ -184,8 +215,19 @@ class SectoredCache:
 class InfiniteCache:
     """An unbounded cache: only cold misses, never evicts (``large_mdc``)."""
 
-    def __init__(self, stats: StatGroup | None = None, line_bytes: int = 128) -> None:
+    def __init__(
+        self,
+        stats: StatGroup | None = None,
+        line_bytes: int = 128,
+        tclass: TrafficClass | None = None,
+        tracer=None,
+        name: str = "cache",
+    ) -> None:
         self.stats = stats if stats is not None else StatGroup("cache")
+        self.tclass = tclass
+        self.name = name
+        self._trace = tracer if tracer is not None else NULL_TRACER
+        self._cls_label = tclass.name if tclass is not None else "META"
         self._resident: Set[int] = set()
         self._dirty: Set[int] = set()
         self._line_bytes = line_bytes
@@ -196,12 +238,21 @@ class InfiniteCache:
     def lookup(self, addr: int, is_write: bool = False) -> AccessResult:
         line = self.line_addr(addr)
         self.stats.add("accesses")
+        trace = self._trace
         if line in self._resident:
             if is_write:
                 self._dirty.add(line)
             self.stats.add("hits")
+            if trace.enabled:
+                trace.instant(
+                    "hit", "cache", self.name, {"addr": addr, "cls": self._cls_label}
+                )
             return AccessResult.HIT
         self.stats.add("misses")
+        if trace.enabled:
+            trace.instant(
+                "miss", "cache", self.name, {"addr": addr, "cls": self._cls_label}
+            )
         return AccessResult.MISS
 
     def contains(self, addr: int) -> bool:

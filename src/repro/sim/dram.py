@@ -17,6 +17,8 @@ from repro.common import params
 from repro.common.config import DramConfig
 from repro.common.stats import StatGroup
 from repro.sim.resource import ThroughputResource
+from repro.telemetry.tracer import NULL_TRACER
+from repro.telemetry.traffic import CLASS_OF_CATEGORY, TrafficClass
 
 #: category labels used throughout the simulator.
 CAT_DATA_READ = "data_read"
@@ -44,9 +46,13 @@ class DramChannel:
         config: DramConfig,
         core_clock_mhz: float,
         stats: StatGroup | None = None,
+        tracer=None,
+        name: str = "dram",
     ) -> None:
         self.config = config
         self.stats = stats if stats is not None else StatGroup("dram")
+        self.name = name
+        self._trace = tracer if tracer is not None else NULL_TRACER
         #: achievable service rate: peak scaled by DRAM efficiency.
         self.bytes_per_cycle = config.bytes_per_core_cycle(core_clock_mhz) * config.efficiency
         #: peak rate, the denominator of the utilization metric.
@@ -66,26 +72,68 @@ class DramChannel:
         self.stats.add("txn_total", transactions)
         self.stats.add("bytes_total", nbytes)
 
-    def read(self, now: float, nbytes: int, category: str, addr: int = 0) -> float:
+    def _class_label(self, category: str, tclass: TrafficClass | None) -> str:
+        if tclass is not None:
+            return tclass.name
+        mapped = CLASS_OF_CATEGORY.get(category)
+        return mapped.name if mapped is not None else "META"
+
+    def read(
+        self,
+        now: float,
+        nbytes: int,
+        category: str,
+        addr: int = 0,
+        tclass: TrafficClass | None = None,
+    ) -> float:
         """Issue a read; returns the time the data is available on chip.
 
         *addr* is unused by the simple model (fixed latency) but lets the
-        banked model resolve the bank and row.
+        banked model resolve the bank and row.  *tclass* attributes the
+        transfer to a traffic class for tracing; when omitted it is derived
+        from *category*.
         """
-        start = self.channel.acquire(now, self._occupancy(nbytes))
+        occupancy = self._occupancy(nbytes)
+        start = self.channel.acquire(now, occupancy)
         self._account(category, nbytes)
-        return start + self._occupancy(nbytes) + self.access_latency
+        if self._trace.enabled:
+            self._trace.span(
+                category,
+                "dram",
+                self.name,
+                start,
+                occupancy + self.access_latency,
+                {"bytes": nbytes, "cls": self._class_label(category, tclass), "addr": addr},
+            )
+        return start + occupancy + self.access_latency
 
-    def write(self, now: float, nbytes: int, category: str, addr: int = 0) -> float:
+    def write(
+        self,
+        now: float,
+        nbytes: int,
+        category: str,
+        addr: int = 0,
+        tclass: TrafficClass | None = None,
+    ) -> float:
         """Issue a write; returns when the channel accepted it.
 
         The requester does not wait for the write to land in the array, but
         the channel occupancy delays every later access — a write queue
         drained at channel bandwidth.
         """
-        start = self.channel.acquire(now, self._occupancy(nbytes))
+        occupancy = self._occupancy(nbytes)
+        start = self.channel.acquire(now, occupancy)
         self._account(category, nbytes)
-        return start + self._occupancy(nbytes)
+        if self._trace.enabled:
+            self._trace.span(
+                category,
+                "dram",
+                self.name,
+                start,
+                occupancy,
+                {"bytes": nbytes, "cls": self._class_label(category, tclass), "addr": addr},
+            )
+        return start + occupancy
 
     def backlog(self, now: float) -> float:
         return self.channel.backlog(now)
@@ -110,8 +158,15 @@ class BankedDramChannel(DramChannel):
     effect the simple model folds into its constant ``efficiency``.
     """
 
-    def __init__(self, config, core_clock_mhz: float, stats: StatGroup | None = None) -> None:
-        super().__init__(config, core_clock_mhz, stats)
+    def __init__(
+        self,
+        config,
+        core_clock_mhz: float,
+        stats: StatGroup | None = None,
+        tracer=None,
+        name: str = "dram",
+    ) -> None:
+        super().__init__(config, core_clock_mhz, stats, tracer=tracer, name=name)
         #: the bus runs at raw peak; conflicts provide the inefficiency.
         self.bytes_per_cycle = config.bytes_per_core_cycle(core_clock_mhz)
         self._row_bytes = config.row_bytes
@@ -135,14 +190,46 @@ class BankedDramChannel(DramChannel):
         bank[1] = done if hit else done + (self._row_miss - self._row_hit) * 0.25
         return done, done + latency
 
-    def read(self, now: float, nbytes: int, category: str, addr: int = 0) -> float:
+    def read(
+        self,
+        now: float,
+        nbytes: int,
+        category: str,
+        addr: int = 0,
+        tclass: TrafficClass | None = None,
+    ) -> float:
         self._account(category, nbytes)
         _done, ready = self._bank_service(now, nbytes, addr)
+        if self._trace.enabled:
+            self._trace.span(
+                category,
+                "dram",
+                self.name,
+                now,
+                ready - now,
+                {"bytes": nbytes, "cls": self._class_label(category, tclass), "addr": addr},
+            )
         return ready
 
-    def write(self, now: float, nbytes: int, category: str, addr: int = 0) -> float:
+    def write(
+        self,
+        now: float,
+        nbytes: int,
+        category: str,
+        addr: int = 0,
+        tclass: TrafficClass | None = None,
+    ) -> float:
         self._account(category, nbytes)
         done, _ready = self._bank_service(now, nbytes, addr)
+        if self._trace.enabled:
+            self._trace.span(
+                category,
+                "dram",
+                self.name,
+                now,
+                done - now,
+                {"bytes": nbytes, "cls": self._class_label(category, tclass), "addr": addr},
+            )
         return done
 
     def utilization(self, elapsed: float) -> float:
@@ -156,9 +243,13 @@ class BankedDramChannel(DramChannel):
 
 
 def make_dram_channel(
-    config: DramConfig, core_clock_mhz: float, stats: StatGroup | None = None
+    config: DramConfig,
+    core_clock_mhz: float,
+    stats: StatGroup | None = None,
+    tracer=None,
+    name: str = "dram",
 ) -> DramChannel:
     """Instantiate the configured channel model."""
     if config.model == "banked":
-        return BankedDramChannel(config, core_clock_mhz, stats)
-    return DramChannel(config, core_clock_mhz, stats)
+        return BankedDramChannel(config, core_clock_mhz, stats, tracer=tracer, name=name)
+    return DramChannel(config, core_clock_mhz, stats, tracer=tracer, name=name)

@@ -19,6 +19,8 @@ from repro.sim.event import EventQueue
 from repro.sim.interconnect import Crossbar
 from repro.sim.partition import MemoryPartition
 from repro.sim.sm import StreamingMultiprocessor
+from repro.telemetry.session import TelemetrySession
+from repro.telemetry.traffic import TrafficClass, class_bytes_from_result, live_class_bytes
 from repro.workloads.base import WorkloadSpec
 
 #: default simulated window in core cycles (the paper runs 4M cycles on
@@ -41,6 +43,9 @@ class SimulationResult:
     metadata: Dict[MetadataKind, Dict[str, float]]
     counter_overflows: float = 0.0
     stats: StatGroup = field(default_factory=lambda: StatGroup("gpu"), repr=False)
+    #: telemetry export (see TelemetrySession.export) when telemetry was
+    #: enabled for the run; None otherwise.  Excluded from caching.
+    telemetry: Optional[dict] = field(default=None, repr=False)
 
     @property
     def l2_miss_rate(self) -> float:
@@ -91,6 +96,14 @@ class Gpu:
         # slice of the protected range with its own counters/MACs/tree.
         per_partition = config.secure.protected_bytes // config.num_partitions
         self.layout = MetadataLayout(max(per_partition, 1 << 20))
+        #: telemetry is opt-in; when off, components hold NULL_TRACER and
+        #: the event loop sees no sampler events — the timed path is
+        #: bit-identical to a build without telemetry at all.
+        self.telemetry: Optional[TelemetrySession] = None
+        tracer = None
+        if config.telemetry.enabled:
+            self.telemetry = TelemetrySession(config.telemetry, self.events)
+            tracer = self.telemetry.tracer
         self.partitions: List[MemoryPartition] = [
             MemoryPartition(
                 index,
@@ -99,9 +112,12 @@ class Gpu:
                 self.layout,
                 self.stats.child(f"partition{index}"),
                 trace_hook=metadata_trace_hook if index == 0 else None,
+                tracer=tracer,
             )
             for index in range(config.num_partitions)
         ]
+        if self.telemetry is not None:
+            self._register_gauges()
         self.crossbar = Crossbar(config, self.events, self.partitions, self.stats.child("icnt"))
         warps_per_sm = min(workload.warps_per_sm, config.max_warps_per_sm)
         self.sms: List[StreamingMultiprocessor] = []
@@ -121,6 +137,43 @@ class Gpu:
                 )
             )
 
+    def _register_gauges(self) -> None:
+        """Expose per-component gauges to the telemetry sampler.
+
+        Gauges are read-only closures over live components; polling them
+        never mutates simulation state.
+        """
+        sampler = self.telemetry.sampler
+        events = self.events
+        for partition in self.partitions:
+            prefix = f"p{partition.index}"
+            sampler.register(
+                f"{prefix}.l2_mshr_occupancy",
+                lambda p=partition: p.l2_mshr.occupancy,
+            )
+            sampler.register(
+                f"{prefix}.dram_backlog",
+                lambda p=partition: p.dram.backlog(events.now),
+            )
+            for kind in MetadataKind:
+                sampler.register(
+                    f"{prefix}.mdc_mshr_{kind.value}",
+                    lambda p=partition, k=kind: p.engine.mshr_occupancy(k),
+                )
+        sampler.register(
+            "aes_busy_cycles",
+            lambda: sum(p.engine.aes.busy_cycles for p in self.partitions),
+        )
+        sampler.register(
+            "mac_busy_cycles",
+            lambda: sum(p.engine.mac_unit.busy_cycles for p in self.partitions),
+        )
+        for tclass in TrafficClass:
+            sampler.register(
+                f"bytes_{tclass.name}",
+                lambda name=tclass.name: live_class_bytes(self.partitions)[name],
+            )
+
     def run(self, horizon: float = DEFAULT_HORIZON, warmup: float = 0.0) -> SimulationResult:
         """Simulate and summarize.
 
@@ -131,6 +184,8 @@ class Gpu:
         """
         for sm in self.sms:
             sm.start()
+        if self.telemetry is not None:
+            self.telemetry.sampler.start()
         if warmup > 0:
             self.events.run(until=warmup)
             self._reset_measurement()
@@ -214,6 +269,15 @@ def simulate(
     hook = (lambda kind, addr: trace.append((kind, addr))) if metadata_trace else None
     gpu = Gpu(config, workload, metadata_trace_hook=hook)
     result = gpu.run(horizon, warmup=warmup)
+    if gpu.telemetry is not None:
+        result.telemetry = gpu.telemetry.export(
+            meta={
+                "workload": workload.name,
+                "horizon": horizon,
+                "warmup": warmup,
+                "class_bytes": class_bytes_from_result(result),
+            }
+        )
     if metadata_trace:
         return result, trace
     return result

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
+from repro.telemetry.tracer import NULL_TRACER
+
 
 class MshrEntry:
     """One in-flight line fill."""
@@ -35,11 +37,15 @@ class MshrEntry:
 class MshrTable:
     """MSHR file for one cache."""
 
-    def __init__(self, num_entries: int, merge_cap: int) -> None:
+    def __init__(
+        self, num_entries: int, merge_cap: int, tracer=None, name: str = "mshr"
+    ) -> None:
         if num_entries < 0 or merge_cap < 0:
             raise ValueError("MSHR parameters must be non-negative")
         self.num_entries = num_entries
         self.merge_cap = merge_cap
+        self.name = name
+        self._trace = tracer if tracer is not None else NULL_TRACER
         self._entries: Dict[int, MshrEntry] = {}
 
     @property
@@ -52,6 +58,11 @@ class MshrTable:
     @property
     def full(self) -> bool:
         return self.enabled and len(self._entries) >= self.num_entries
+
+    @property
+    def occupancy(self) -> int:
+        """In-flight entries right now (the sampler's MSHR gauge)."""
+        return len(self._entries)
 
     def get(self, line_addr: int) -> MshrEntry | None:
         """The in-flight entry for *line_addr*, if any."""
@@ -67,6 +78,10 @@ class MshrTable:
         entry.merged += 1
         if waiter is not None:
             entry.waiters.append(waiter)
+        if self._trace.enabled:
+            self._trace.instant(
+                "merge", "mshr", self.name, {"addr": entry.line_addr, "n": entry.merged}
+            )
         return entry.ready_time
 
     def allocate(self, line_addr: int, ready_time: float, waiter: Any = None) -> MshrEntry:

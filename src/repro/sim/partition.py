@@ -32,6 +32,8 @@ from repro.sim.dram import make_dram_channel
 from repro.sim.event import EventQueue
 from repro.sim.mshr import MshrTable
 from repro.sim.resource import ThroughputResource
+from repro.telemetry.tracer import NULL_TRACER
+from repro.telemetry.traffic import TrafficClass
 
 ResponseCallback = Callable[[float], None]
 
@@ -50,12 +52,21 @@ class MemoryPartition:
         layout: MetadataLayout,
         stats: StatGroup,
         trace_hook=None,
+        tracer=None,
     ) -> None:
         self.index = index
         self.config = config
         self.events = events
         self.stats = stats
-        self.dram = make_dram_channel(config.dram, config.core_clock_mhz, stats.child("dram"))
+        self._trace = tracer if tracer is not None else NULL_TRACER
+        self._tid = f"p{index}"
+        self.dram = make_dram_channel(
+            config.dram,
+            config.core_clock_mhz,
+            stats.child("dram"),
+            tracer=tracer,
+            name=f"p{index}.dram",
+        )
         self.engine = SecureEngine(
             config.secure,
             config,
@@ -64,9 +75,22 @@ class MemoryPartition:
             layout,
             stats.child("secure"),
             trace_hook=trace_hook,
+            tracer=tracer,
+            name=f"p{index}.engine",
         )
-        self.l2 = SectoredCache(config.l2_cache_config(), stats.child("l2"))
-        self.l2_mshr = MshrTable(config.l2_mshrs_per_partition, config.l2_mshr_merge_cap)
+        self.l2 = SectoredCache(
+            config.l2_cache_config(),
+            stats.child("l2"),
+            tclass=TrafficClass.DATA,
+            tracer=tracer,
+            name=f"p{index}.l2",
+        )
+        self.l2_mshr = MshrTable(
+            config.l2_mshrs_per_partition,
+            config.l2_mshr_merge_cap,
+            tracer=tracer,
+            name=f"p{index}.l2mshr",
+        )
         #: L2 bank service port; a bank moves one sector per core cycle, and
         #: the partition has ``l2_banks_per_partition`` of them.
         self._bank = ThroughputResource("l2-bank")
@@ -108,6 +132,21 @@ class MemoryPartition:
         interleave bits), and the secure engine's metadata is local anyway.
         """
         addr = self.to_local(addr)
+        trace = self._trace
+        if trace.enabled:
+            trace.instant(
+                "req_issue",
+                "partition",
+                self._tid,
+                {"addr": addr, "w": int(is_write)},
+            )
+            inner = respond
+            tid = self._tid
+
+            def respond(done: float, _inner=inner, _addr=addr, _w=int(is_write)) -> None:
+                trace.instant("req_done", "partition", tid, {"addr": _addr, "w": _w})
+                _inner(done)
+
         start = self._admission_time(now)
         start = self._bank.acquire(start, self._bank_occupancy) + self._bank_occupancy
         if is_write:
@@ -136,13 +175,16 @@ class MemoryPartition:
         entry = self.l2_mshr.get(sector) if self.l2_mshr.enabled else None
         if entry is not None:
             self.stats.add("l2_secondary_misses")
-            if entry.merged < self.config.l2_mshr_merge_cap:
-                entry.merged += 1
-                entry.waiters.append(respond)
+            if self.l2_mshr.can_merge(entry):
+                self.l2_mshr.merge(entry, waiter=respond)
                 return
             # merge cap reached: redundant fetch, no fill.
             ready = self.engine.read_sector(now, sector, self._fetch_bytes)
             self.stats.add("l2_duplicate_fetches")
+            if self._trace.enabled:
+                self._trace.instant(
+                    "dup_fetch", "mshr", self.l2_mshr.name, {"addr": sector}
+                )
             self.events.schedule_at(ready, respond, ready)
             return
 
@@ -161,6 +203,13 @@ class MemoryPartition:
     def _on_fill(self, sector: int) -> None:
         now = self.events.now
         entry = self.l2_mshr.release(sector)
+        if self._trace.enabled:
+            self._trace.instant(
+                "fill",
+                "mshr",
+                self.l2_mshr.name,
+                {"addr": sector, "waiters": len(entry.waiters)},
+            )
         evictions = self.l2.fill(sector)
         self._write_back(now, evictions)
         for respond in entry.waiters:

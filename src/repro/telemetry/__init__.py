@@ -1,0 +1,45 @@
+"""Observability for the simulator: tracing, sampling, traffic attribution.
+
+Three cooperating pieces (see the paper's traffic-breakdown analysis,
+Section V, which this subsystem turns into queryable artifacts):
+
+* :class:`~repro.telemetry.tracer.Tracer` — typed simulation events in a
+  bounded ring buffer, exported as Chrome ``trace_event`` JSON and JSONL;
+* :class:`~repro.telemetry.sampler.Sampler` — per-epoch gauge snapshots
+  (MSHR occupancy, DRAM backlog, crypto-engine busy cycles, per-class
+  bandwidth) in a columnar time-series;
+* :class:`~repro.telemetry.traffic.TrafficClass` — DATA / COUNTER / MAC /
+  TREE attribution of every DRAM byte.
+
+Everything is off by default (``GpuConfig.telemetry``); the disabled path
+uses no-op stubs and changes neither timing nor statistics.
+"""
+
+from repro.telemetry.sampler import Sampler
+from repro.telemetry.session import ARTIFACT_NAMES, TelemetrySession, write_artifacts
+from repro.telemetry.tracer import NULL_TRACER, NullTracer, Tracer, chrome_trace
+from repro.telemetry.traffic import (
+    CLASS_OF_CATEGORY,
+    CLASS_OF_KIND,
+    TrafficClass,
+    class_bytes_from_result,
+    class_shares,
+    live_class_bytes,
+)
+
+__all__ = [
+    "ARTIFACT_NAMES",
+    "CLASS_OF_CATEGORY",
+    "CLASS_OF_KIND",
+    "NULL_TRACER",
+    "NullTracer",
+    "Sampler",
+    "TelemetrySession",
+    "Tracer",
+    "TrafficClass",
+    "chrome_trace",
+    "class_bytes_from_result",
+    "class_shares",
+    "live_class_bytes",
+    "write_artifacts",
+]

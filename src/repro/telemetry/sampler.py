@@ -1,0 +1,62 @@
+"""Epoch sampler: periodic gauge snapshots into a columnar time-series.
+
+Components register named gauges (zero-argument callables); every
+``sample_every`` cycles the sampler appends one row — the current cycle
+plus every gauge value — to its column store.  Sampling is driven by a
+self-rescheduling simulation event, so rows land at exact epoch
+boundaries and never perturb component state (gauges are read-only).
+
+The column store is plain ``{name: [values...]}`` with a shared ``cycle``
+column, which serializes directly to JSON and loads into numpy/pandas
+without reshaping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+Gauge = Callable[[], float]
+
+
+class Sampler:
+    """Samples registered gauges every N cycles."""
+
+    def __init__(self, events, sample_every: float, max_samples: int = 100_000) -> None:
+        self.events = events
+        self.sample_every = float(sample_every)
+        self.max_samples = max(1, int(max_samples))
+        self._gauges: List[Tuple[str, Gauge]] = []
+        self.columns: Dict[str, List[float]] = {"cycle": []}
+        self.truncated = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.sample_every > 0 and bool(self._gauges)
+
+    def register(self, name: str, gauge: Gauge) -> None:
+        """Add a gauge column; *gauge* is polled once per epoch."""
+        if name in self.columns:
+            raise ValueError(f"duplicate gauge {name!r}")
+        self._gauges.append((name, gauge))
+        self.columns[name] = []
+
+    def start(self) -> None:
+        """Schedule the first epoch tick (call once, before the run)."""
+        if self.enabled:
+            self.events.schedule(self.sample_every, self._tick)
+
+    def _tick(self) -> None:
+        if len(self.columns["cycle"]) >= self.max_samples:
+            self.truncated = True
+            return  # runaway guard: stop rescheduling, keep what we have
+        self.sample_now()
+        self.events.schedule(self.sample_every, self._tick)
+
+    def sample_now(self) -> None:
+        """Append one row at the current simulation time."""
+        self.columns["cycle"].append(self.events.now)
+        for name, gauge in self._gauges:
+            self.columns[name].append(float(gauge()))
+
+    def num_samples(self) -> int:
+        return len(self.columns["cycle"])

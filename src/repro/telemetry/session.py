@@ -1,0 +1,90 @@
+"""One simulation's telemetry: tracer + sampler + artifact export.
+
+A :class:`TelemetrySession` is created by the GPU top level when
+``GpuConfig.telemetry.enabled`` is set.  After the run, :meth:`export`
+condenses everything into one deterministic, JSON-able dict (safe to move
+across process boundaries — the parallel runner's workers return it with
+their result payloads), and :func:`write_artifacts` lays the dict out on
+disk:
+
+* ``trace.json``   — Chrome ``trace_event`` file (chrome://tracing, Perfetto)
+* ``trace.jsonl``  — the typed event stream, one JSON object per line
+* ``samples.json`` — the sampler's columnar time-series
+* ``summary.json`` — run metadata, event/sample counts, per-class bytes
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.common.config import TelemetryConfig
+from repro.telemetry.tracer import NULL_TRACER, Tracer, chrome_trace
+from repro.telemetry.sampler import Sampler
+
+#: artifact file names, in the order write_artifacts produces them.
+ARTIFACT_NAMES = ("trace.json", "trace.jsonl", "samples.json", "summary.json")
+
+
+class TelemetrySession:
+    """Tracer + sampler bundle for one GPU instance."""
+
+    def __init__(self, config: TelemetryConfig, events) -> None:
+        self.config = config
+        self.tracer = (
+            Tracer(events, config.ring_capacity) if config.trace_events else NULL_TRACER
+        )
+        self.sampler = Sampler(events, config.sample_every, config.max_samples)
+
+    def export(self, meta: Optional[dict] = None) -> dict:
+        """Everything recorded, as one plain JSON-able dict."""
+        tracer = self.tracer
+        recording = isinstance(tracer, Tracer)
+        return {
+            "meta": dict(meta or {}),
+            "events": tracer.events_as_dicts() if recording else [],
+            "events_dropped": tracer.dropped if recording else 0,
+            "ring_capacity": self.config.ring_capacity,
+            "samples": {name: list(col) for name, col in self.sampler.columns.items()},
+            "samples_truncated": self.sampler.truncated,
+        }
+
+
+def write_artifacts(directory: str | Path, export: dict) -> Dict[str, Path]:
+    """Persist one session export; returns ``{artifact name: path}``.
+
+    Output is byte-deterministic for a given export (sorted keys, no
+    timestamps), so serial and parallel runs of the same point produce
+    identical artifact files.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    events = export.get("events", [])
+    meta = export.get("meta", {})
+
+    paths = {
+        "trace.json": directory / "trace.json",
+        "trace.jsonl": directory / "trace.jsonl",
+        "samples.json": directory / "samples.json",
+        "summary.json": directory / "summary.json",
+    }
+    paths["trace.json"].write_text(
+        json.dumps(chrome_trace(events, meta=meta), sort_keys=True) + "\n"
+    )
+    paths["trace.jsonl"].write_text(
+        "\n".join(json.dumps(e, sort_keys=True) for e in events) + "\n"
+    )
+    paths["samples.json"].write_text(
+        json.dumps({"columns": export.get("samples", {})}, sort_keys=True) + "\n"
+    )
+    summary = {
+        "meta": meta,
+        "events_recorded": len(events),
+        "events_dropped": export.get("events_dropped", 0),
+        "ring_capacity": export.get("ring_capacity"),
+        "num_samples": len(export.get("samples", {}).get("cycle", [])),
+        "samples_truncated": export.get("samples_truncated", False),
+    }
+    paths["summary.json"].write_text(json.dumps(summary, sort_keys=True, indent=2) + "\n")
+    return paths

@@ -1,0 +1,161 @@
+"""Typed simulation-event tracing into a bounded ring buffer.
+
+A :class:`Tracer` records the simulator's interesting moments — request
+issue/complete, cache hit/miss/secondary-miss, MSHR merges, DRAM channel
+service — as lightweight tuples stamped with the simulation clock.  The
+ring is bounded (:class:`collections.deque` with ``maxlen``) so a long run
+keeps the most recent window and counts what it dropped.
+
+When telemetry is disabled, components hold the shared :data:`NULL_TRACER`
+singleton whose ``enabled`` flag is ``False``; every emission site is
+guarded by ``if tracer.enabled:``, so the disabled path costs one
+attribute load per candidate event and allocates nothing.
+
+Exports:
+
+* ``trace.jsonl`` — one JSON object per event (``events_as_dicts``);
+* ``trace.json`` — Chrome ``trace_event`` format (:func:`chrome_trace`),
+  loadable in ``chrome://tracing`` or https://ui.perfetto.dev.  One core
+  cycle is mapped to one microsecond of trace time.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: event record: (phase, ts, dur, tid, name, cat, args) — phase follows the
+#: Chrome trace_event convention: "i" instant, "X" complete (span).
+EventRecord = Tuple[str, float, float, str, str, str, Optional[Dict[str, Any]]]
+
+
+class NullTracer:
+    """Zero-cost stand-in used whenever tracing is off."""
+
+    __slots__ = ()
+    enabled = False
+
+    def instant(self, name: str, cat: str, tid: str, args: Optional[dict] = None) -> None:
+        """No-op."""
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        tid: str,
+        ts: float,
+        dur: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        """No-op."""
+
+
+#: the shared disabled tracer; components default to this.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Bounded recorder of typed simulation events."""
+
+    __slots__ = ("_clock", "_ring", "capacity", "dropped")
+
+    enabled = True
+
+    def __init__(self, clock, capacity: int = 65536) -> None:
+        #: *clock* is anything with a ``.now`` attribute (the EventQueue).
+        self._clock = clock
+        self.capacity = max(1, int(capacity))
+        self._ring: deque[EventRecord] = deque(maxlen=self.capacity)
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- emission ----------------------------------------------------------
+
+    def _push(self, record: EventRecord) -> None:
+        ring = self._ring
+        if len(ring) == self.capacity:
+            self.dropped += 1
+        ring.append(record)
+
+    def instant(self, name: str, cat: str, tid: str, args: Optional[dict] = None) -> None:
+        """Record a point event at the current simulation time."""
+        self._push(("i", self._clock.now, 0.0, tid, name, cat, args))
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        tid: str,
+        ts: float,
+        dur: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a duration event (e.g. one DRAM channel service)."""
+        self._push(("X", ts, dur, tid, name, cat, args))
+
+    # -- export ------------------------------------------------------------
+
+    def events_as_dicts(self) -> List[dict]:
+        """The ring contents, oldest first, as plain JSON-able dicts."""
+        out = []
+        for ph, ts, dur, tid, name, cat, args in self._ring:
+            event: Dict[str, Any] = {
+                "ph": ph,
+                "ts": round(ts, 3),
+                "tid": tid,
+                "name": name,
+                "cat": cat,
+            }
+            if ph == "X":
+                event["dur"] = round(dur, 3)
+            if args:
+                event["args"] = args
+            out.append(event)
+        return out
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(e, sort_keys=True) for e in self.events_as_dicts())
+
+
+def chrome_trace(events: Iterable[dict], meta: Optional[dict] = None) -> dict:
+    """Convert exported event dicts into the Chrome ``trace_event`` format.
+
+    Thread ids are interned in first-appearance order and named via ``M``
+    (metadata) events, so chrome://tracing and Perfetto show component
+    names (``p0.l2``, ``p0.dram``, ...) instead of bare integers.
+    """
+    tids: Dict[str, int] = {}
+    trace_events: List[dict] = []
+    for event in events:
+        tid = tids.setdefault(event["tid"], len(tids))
+        chrome_event = {
+            "ph": event["ph"],
+            "ts": event["ts"],
+            "pid": 0,
+            "tid": tid,
+            "name": event["name"],
+            "cat": event["cat"],
+        }
+        if event["ph"] == "X":
+            chrome_event["dur"] = event.get("dur", 0.0)
+        if event.get("args"):
+            chrome_event["args"] = event["args"]
+        trace_events.append(chrome_event)
+    name_events = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": index,
+            "name": "thread_name",
+            "args": {"name": tid_name},
+        }
+        for tid_name, index in tids.items()
+    ]
+    return {
+        "traceEvents": name_events + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta or {}, clock="core cycles (1 cycle rendered as 1 us)"),
+    }

@@ -1,0 +1,103 @@
+"""Traffic-class attribution for DRAM bandwidth.
+
+The paper's central claim is that secure-memory slowdown is *metadata DRAM
+traffic*; :class:`TrafficClass` makes that attribution first-class.  Every
+DRAM transfer belongs to exactly one of four classes:
+
+* ``DATA`` — demand reads/writes from the L2 (including counter-overflow
+  re-encryption sweeps, which move data blocks);
+* ``COUNTER`` / ``MAC`` / ``TREE`` — metadata fetches *and* the dirty
+  metadata writebacks of that kind.
+
+The accounting is exact and costs nothing on the hot path: fetches are
+already recorded per category by the DRAM channel, and writebacks are
+recorded per metadata kind by the secure engine, so class totals are a
+pure derivation — the conservation invariant ``sum(classes) ==
+bytes_total`` holds to the byte.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable
+
+from repro.common import params
+from repro.common.config import MetadataKind
+
+
+class TrafficClass(enum.Enum):
+    """The four DRAM traffic classes of the paper's Figure 4 breakdown."""
+
+    DATA = "data"
+    COUNTER = "ctr"
+    MAC = "mac"
+    TREE = "bmt"
+
+
+#: metadata kind -> traffic class (kind labels match DRAM category labels).
+CLASS_OF_KIND: Dict[MetadataKind, TrafficClass] = {
+    MetadataKind.COUNTER: TrafficClass.COUNTER,
+    MetadataKind.MAC: TrafficClass.MAC,
+    MetadataKind.TREE: TrafficClass.TREE,
+}
+
+#: DRAM category label -> traffic class.  ``wb`` is deliberately absent:
+#: metadata writebacks are attributed per victim kind by the secure engine.
+CLASS_OF_CATEGORY: Dict[str, TrafficClass] = {
+    "data_read": TrafficClass.DATA,
+    "data_write": TrafficClass.DATA,
+    "ctr": TrafficClass.COUNTER,
+    "mac": TrafficClass.MAC,
+    "bmt": TrafficClass.TREE,
+}
+
+
+def class_bytes_from_result(result) -> Dict[str, float]:
+    """Per-class DRAM bytes for one :class:`SimulationResult`.
+
+    Works on live and cache-loaded results alike (only ``dram_txn`` and the
+    per-kind ``writebacks`` counters are read).  Keys are the class names
+    ``DATA``/``COUNTER``/``MAC``/``TREE``; values are bytes.
+    """
+    sector = params.SECTOR_BYTES
+    line = params.CACHE_LINE_BYTES
+    out = {
+        TrafficClass.DATA.name: (
+            result.dram_txn["data_read"] + result.dram_txn["data_write"]
+        )
+        * sector
+    }
+    for kind, tclass in CLASS_OF_KIND.items():
+        fetched = result.dram_txn[kind.value] * sector
+        written_back = result.metadata[kind]["writebacks"] * line
+        out[tclass.name] = fetched + written_back
+    return out
+
+
+def live_class_bytes(partitions: Iterable) -> Dict[str, float]:
+    """Per-class cumulative DRAM bytes read straight off live partitions.
+
+    The sampler polls this every epoch; epoch deltas give per-class
+    bandwidth over time.
+    """
+    totals = {tclass.name: 0.0 for tclass in TrafficClass}
+    line = params.CACHE_LINE_BYTES
+    for partition in partitions:
+        dram_stats = partition.dram.stats
+        totals[TrafficClass.DATA.name] += dram_stats.get(
+            "bytes_data_read"
+        ) + dram_stats.get("bytes_data_write")
+        for kind, tclass in CLASS_OF_KIND.items():
+            totals[tclass.name] += (
+                dram_stats.get(f"bytes_{kind.value}")
+                + partition.engine.kind_stats(kind).get("writebacks") * line
+            )
+    return totals
+
+
+def class_shares(class_bytes: Dict[str, float]) -> Dict[str, float]:
+    """Normalize a per-class byte breakdown to fractions of the total."""
+    total = sum(class_bytes.values())
+    if total <= 0:
+        return {name: 0.0 for name in class_bytes}
+    return {name: value / total for name, value in class_bytes.items()}

@@ -21,7 +21,7 @@ import json
 from pathlib import Path
 from typing import Dict, List
 
-from repro.workloads.base import TraceFactory, WarpOp, WorkloadSpec
+from repro.workloads.base import WarpOp, WorkloadSpec
 
 
 def record_trace(

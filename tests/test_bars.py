@@ -1,6 +1,5 @@
 """ASCII bar rendering."""
 
-import pytest
 
 from repro.analysis.bars import render_bar, render_bar_chart
 

@@ -8,7 +8,7 @@ with loose tolerances so they stay robust to small model changes.
 import pytest
 
 from repro import GpuConfig, simulate
-from repro.workloads.suite import BENCHMARKS, get_benchmark
+from repro.workloads.suite import BENCHMARKS
 
 HORIZON = 8000
 WARMUP = 14000

@@ -7,12 +7,11 @@ consistent (read-your-writes, no spurious integrity errors), i.e. that the
 address streams the experiments run are semantically valid programs.
 """
 
-import itertools
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.secure.functional import IntegrityError, SecureMemory, SecureMemoryMode
+from repro.secure.functional import SecureMemory, SecureMemoryMode
 from repro.workloads.suite import get_benchmark
 
 KB = 1024

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.common import params
 from repro.common.config import (
     EncryptionMode,
     GpuConfig,

@@ -5,11 +5,9 @@ check conservation laws that must hold for any input: accounting
 consistency, traffic arithmetic, and mode-specific absences.
 """
 
-from dataclasses import replace
 
 from hypothesis import given, settings, strategies as st
 
-from repro.common import params
 from repro.common.config import (
     EncryptionMode,
     GpuConfig,

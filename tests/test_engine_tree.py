@@ -1,6 +1,5 @@
 """Secure-engine tree addressing and lazy-update mechanics."""
 
-import pytest
 
 from repro.common.config import (
     EncryptionMode,

@@ -7,7 +7,7 @@ numbers (see EXPERIMENTS.md and benchmarks/ for those).
 
 import pytest
 
-from repro.experiments import designs, figures
+from repro.experiments import figures
 from repro.experiments.runner import Runner
 
 BENCHES = ["nw", "streamcluster", "heartwall"]

@@ -1,6 +1,5 @@
 """Crossbar routing and latency."""
 
-import pytest
 
 from repro.common.config import GpuConfig
 from repro.common.stats import StatGroup

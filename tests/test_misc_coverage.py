@@ -1,7 +1,6 @@
 """Coverage for paths the focused suites skip: CLI sweep, simulate's trace
 return, runner sweep, strided layout, functional edge cases."""
 
-import pytest
 
 from repro import GpuConfig, MetadataKind, simulate
 from repro.cli import main
@@ -59,8 +58,6 @@ class TestSimulateInterfaces:
 
 class TestStridedLayout:
     def test_strided_streaming_simulates(self):
-        from dataclasses import replace as _r
-
         spec = WorkloadSpec(
             name="strided",
             category="intensive",

@@ -1,6 +1,5 @@
 """Memory partition: L2 paths, MSHR merging, writebacks, back-pressure."""
 
-import pytest
 
 from repro.common.config import EncryptionMode, GpuConfig, IntegrityMode, SecureMemoryConfig
 from repro.common.stats import StatGroup

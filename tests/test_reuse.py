@@ -2,11 +2,9 @@
 
 from typing import List, Optional
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.reuse import (
-    DEFAULT_BUCKETS,
     reuse_distance_histogram,
     stack_distances,
 )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.config import GpuConfig, MetadataKind, SecureMemoryConfig
+from repro.common.config import GpuConfig, MetadataKind
 from repro.experiments import designs
 from repro.experiments.runner import (
     Runner,
@@ -11,7 +11,6 @@ from repro.experiments.runner import (
     result_from_dict,
     result_to_dict,
 )
-from repro.sim.gpu import SimulationResult
 
 
 def tiny_runner(**kwargs):

@@ -66,3 +66,39 @@ class TestHierarchy:
         root = StatGroup("root")
         root.add("hits", 2)
         assert "root.hits = 2" in root.render()
+
+
+class TestSerialization:
+    def test_to_dict_round_trip(self):
+        root = StatGroup("gpu")
+        root.add("cycles", 100)
+        root.child("p1").add("hits", 3)
+        root.child("p0").child("dram").add("bytes_total", 64)
+        restored = StatGroup.from_dict(root.to_dict())
+        assert restored.to_dict() == root.to_dict()
+        assert restored.child("p0").child("dram").get("bytes_total") == 64
+
+    def test_to_dict_sorts_keys(self):
+        root = StatGroup("gpu")
+        root.add("z", 1)
+        root.add("a", 2)
+        root.child("zeta")
+        root.child("alpha")
+        tree = root.to_dict()
+        assert list(tree["counters"]) == ["a", "z"]
+        assert list(tree["children"]) == ["alpha", "zeta"]
+
+    def test_merge_order_does_not_change_serialization(self):
+        def shard(names):
+            group = StatGroup("gpu")
+            for name in names:
+                group.child(name).add("n", 1)
+            return group
+
+        forward, backward = StatGroup("gpu"), StatGroup("gpu")
+        forward.merge_from(shard(["a", "b"]))
+        forward.merge_from(shard(["c", "d"]))
+        backward.merge_from(shard(["c", "d"]))
+        backward.merge_from(shard(["a", "b"]))
+        assert forward.to_dict() == backward.to_dict()
+        assert list(forward._children) == ["a", "b", "c", "d"]

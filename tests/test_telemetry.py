@@ -1,0 +1,323 @@
+"""Telemetry subsystem: tracer, sampler, traffic classes, persistence."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.common.config import TelemetryConfig
+from repro.experiments import designs
+from repro.experiments.parallel import ParallelRunner
+from repro.experiments.runner import Runner, config_key, result_to_dict
+from repro.sim.event import EventQueue
+from repro.sim.gpu import simulate
+from repro.telemetry import (
+    ARTIFACT_NAMES,
+    NULL_TRACER,
+    Sampler,
+    Tracer,
+    TrafficClass,
+    chrome_trace,
+    class_bytes_from_result,
+    class_shares,
+    write_artifacts,
+)
+from repro.workloads.suite import get_benchmark
+
+FAST = ["--horizon", "1200", "--warmup", "800", "--partitions", "2"]
+
+PARTITIONS = 2
+HORIZON = 1_500
+WARMUP = 800
+
+TELEMETRY = TelemetryConfig(enabled=True, sample_every=300.0)
+
+
+def secure_config(telemetry=None):
+    config = designs.build_gpu(designs.ctr_mac_bmt(), num_partitions=PARTITIONS)
+    if telemetry is not None:
+        config = dataclasses.replace(config, telemetry=telemetry)
+    return config
+
+
+def baseline_config(telemetry=None):
+    config = designs.build_gpu(None, num_partitions=PARTITIONS)
+    if telemetry is not None:
+        config = dataclasses.replace(config, telemetry=telemetry)
+    return config
+
+
+class _Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+class TestTracer:
+    def test_null_tracer_is_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.instant("x", "c", "t")
+        NULL_TRACER.span("x", "c", "t", 0.0, 1.0)
+
+    def test_ring_bounds_and_counts_drops(self):
+        tracer = Tracer(_Clock(), capacity=4)
+        for i in range(10):
+            tracer.instant(f"e{i}", "test", "t0")
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        names = [e["name"] for e in tracer.events_as_dicts()]
+        assert names == ["e6", "e7", "e8", "e9"]  # newest window survives
+
+    def test_instant_stamps_clock(self):
+        clock = _Clock()
+        tracer = Tracer(clock)
+        clock.now = 42.5
+        tracer.instant("hit", "cache", "l2", {"addr": 128})
+        (event,) = tracer.events_as_dicts()
+        assert event["ph"] == "i"
+        assert event["ts"] == 42.5
+        assert event["args"] == {"addr": 128}
+
+    def test_chrome_trace_shape(self):
+        tracer = Tracer(_Clock())
+        tracer.instant("miss", "cache", "p0.l2")
+        tracer.span("data_read", "dram", "p0.dram", 10.0, 5.0, {"bytes": 32})
+        doc = chrome_trace(tracer.events_as_dicts(), meta={"workload": "nw"})
+        events = doc["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in metas} == {"p0.l2", "p0.dram"}
+        spans = [e for e in events if e["ph"] == "X"]
+        assert spans[0]["dur"] == 5.0
+        assert all(isinstance(e["tid"], int) for e in events)
+        assert doc["otherData"]["workload"] == "nw"
+
+    def test_jsonl_is_one_object_per_line(self):
+        tracer = Tracer(_Clock())
+        tracer.instant("a", "c", "t")
+        tracer.instant("b", "c", "t")
+        lines = tracer.to_jsonl().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+
+class TestSampler:
+    def test_samples_at_epoch_boundaries(self):
+        events = EventQueue()
+        sampler = Sampler(events, sample_every=10.0)
+        ticks = [0]
+        sampler.register("ticks", lambda: ticks[0])
+        sampler.start()
+        events.schedule_at(25.0, lambda: ticks.__setitem__(0, 7))
+        events.run(until=45.0)
+        assert sampler.columns["cycle"] == [10.0, 20.0, 30.0, 40.0]
+        assert sampler.columns["ticks"] == [0.0, 0.0, 7.0, 7.0]
+
+    def test_duplicate_gauge_rejected(self):
+        sampler = Sampler(EventQueue(), sample_every=10.0)
+        sampler.register("g", lambda: 0)
+        with pytest.raises(ValueError):
+            sampler.register("g", lambda: 1)
+
+    def test_max_samples_truncates(self):
+        events = EventQueue()
+        sampler = Sampler(events, sample_every=1.0, max_samples=3)
+        sampler.register("g", lambda: 1.0)
+        sampler.start()
+        events.run(until=100.0)
+        assert sampler.num_samples() == 3
+        assert sampler.truncated is True
+
+    def test_disabled_without_gauges(self):
+        events = EventQueue()
+        sampler = Sampler(events, sample_every=10.0)
+        assert not sampler.enabled
+        sampler.start()
+        assert events.empty()
+
+
+class TestTelemetryConfig:
+    def test_defaults_disabled(self):
+        config = designs.build_gpu(None, num_partitions=2)
+        assert config.telemetry.enabled is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(ring_capacity=0)
+        with pytest.raises(ValueError):
+            TelemetryConfig(sample_every=-1.0)
+        with pytest.raises(ValueError):
+            TelemetryConfig(max_samples=0)
+
+
+class TestZeroDrift:
+    """Telemetry must never change simulated behaviour."""
+
+    def test_results_identical_on_vs_off(self):
+        workload = get_benchmark("nw")
+        off = simulate(secure_config(), workload, horizon=HORIZON, warmup=WARMUP)
+        on = simulate(
+            secure_config(TELEMETRY), workload, horizon=HORIZON, warmup=WARMUP
+        )
+        assert result_to_dict(off) == result_to_dict(on)
+        assert off.telemetry is None
+        assert on.telemetry is not None
+
+    def test_config_key_ignores_telemetry(self):
+        assert config_key(secure_config()) == config_key(secure_config(TELEMETRY))
+        assert config_key(secure_config()) != config_key(baseline_config())
+
+    def test_export_is_deterministic(self):
+        workload = get_benchmark("bfs")
+        first = simulate(
+            secure_config(TELEMETRY), workload, horizon=HORIZON, warmup=WARMUP
+        )
+        second = simulate(
+            secure_config(TELEMETRY), workload, horizon=HORIZON, warmup=WARMUP
+        )
+        assert first.telemetry == second.telemetry
+
+
+class TestTrafficClasses:
+    def test_conservation_secure(self):
+        result = simulate(
+            secure_config(TELEMETRY),
+            get_benchmark("bfs"),
+            horizon=HORIZON,
+            warmup=WARMUP,
+        )
+        class_bytes = class_bytes_from_result(result)
+        assert sum(class_bytes.values()) == result.stats.total("bytes_total")
+        assert class_bytes["COUNTER"] > 0
+        assert class_bytes["MAC"] > 0
+        assert class_bytes["TREE"] > 0
+        assert class_bytes["DATA"] > 0
+
+    def test_baseline_is_pure_data(self):
+        result = simulate(
+            baseline_config(), get_benchmark("bfs"), horizon=HORIZON, warmup=WARMUP
+        )
+        class_bytes = class_bytes_from_result(result)
+        assert class_bytes["DATA"] == result.stats.total("bytes_total")
+        assert class_bytes["COUNTER"] == 0
+        assert class_bytes["MAC"] == 0
+        assert class_bytes["TREE"] == 0
+
+    def test_shares_normalize(self):
+        shares = class_shares({"DATA": 75.0, "MAC": 25.0})
+        assert shares == {"DATA": 0.75, "MAC": 0.25}
+        assert class_shares({"DATA": 0.0}) == {"DATA": 0.0}
+
+    def test_every_class_sampled(self):
+        result = simulate(
+            secure_config(TELEMETRY),
+            get_benchmark("bfs"),
+            horizon=HORIZON,
+            warmup=WARMUP,
+        )
+        samples = result.telemetry["samples"]
+        cycles = samples["cycle"]
+        for tclass in TrafficClass:
+            column = samples[f"bytes_{tclass.name}"]
+            assert len(column) == len(cycles)
+            # cumulative gauges never decrease after the warmup stats reset
+            post = [v for c, v in zip(cycles, column) if c > WARMUP]
+            assert all(b >= a for a, b in zip(post, post[1:]))
+
+
+class TestArtifacts:
+    def test_write_artifacts_layout(self, tmp_path):
+        result = simulate(
+            secure_config(TELEMETRY),
+            get_benchmark("nw"),
+            horizon=HORIZON,
+            warmup=WARMUP,
+        )
+        paths = write_artifacts(tmp_path / "point", result.telemetry)
+        assert set(paths) == set(ARTIFACT_NAMES)
+        doc = json.loads(paths["trace.json"].read_text())
+        assert doc["traceEvents"]
+        summary = json.loads(paths["summary.json"].read_text())
+        assert summary["events_recorded"] == len(result.telemetry["events"])
+        samples = json.loads(paths["samples.json"].read_text())
+        assert "cycle" in samples["columns"]
+
+    def test_serial_and_parallel_artifacts_byte_identical(self, tmp_path):
+        config = secure_config(TELEMETRY)
+        points = [("nw", config), ("bfs", config)]
+        serial = Runner(
+            horizon=HORIZON, warmup=WARMUP, telemetry_dir=tmp_path / "serial"
+        )
+        serial.prefetch(points)
+        parallel = ParallelRunner(
+            horizon=HORIZON,
+            warmup=WARMUP,
+            jobs=2,
+            cache_path=tmp_path / "cache",
+            telemetry_dir=tmp_path / "parallel",
+        )
+        parallel.prefetch(points)
+        digest = config_key(config)[:12]
+        for workload in ("nw", "bfs"):
+            for name in ARTIFACT_NAMES:
+                a = (tmp_path / "serial" / f"{workload}-{digest}" / name).read_bytes()
+                b = (tmp_path / "parallel" / f"{workload}-{digest}" / name).read_bytes()
+                assert a == b, (workload, name)
+
+    def test_cached_payloads_free_of_telemetry(self, tmp_path):
+        config = secure_config(TELEMETRY)
+        runner = ParallelRunner(
+            horizon=HORIZON,
+            warmup=WARMUP,
+            jobs=1,
+            cache_path=tmp_path / "cache",
+            telemetry_dir=tmp_path / "telemetry",
+        )
+        runner.prefetch([("nw", config)])
+        for shard in (tmp_path / "cache").glob("shard-*.jsonl"):
+            for line in shard.read_text().splitlines():
+                assert "_telemetry" not in json.loads(line)["result"]
+
+    def test_runner_without_telemetry_dir_writes_nothing(self, tmp_path):
+        runner = Runner(horizon=HORIZON, warmup=WARMUP)
+        result = runner.run("nw", secure_config(TELEMETRY))
+        assert result.telemetry is not None
+        assert runner._persist_telemetry("nw", "abc", result.telemetry) is None
+
+
+class TestCli:
+    def test_trace_command(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        assert (
+            main(
+                [
+                    "trace",
+                    "nw",
+                    "--design",
+                    "ctr_mac_bmt",
+                    "--out",
+                    str(out),
+                    *FAST,
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "COUNTER" in text and "MAC" in text and "TREE" in text
+        for name in ARTIFACT_NAMES:
+            assert (out / name).exists()
+        doc = json.loads((out / "trace.json").read_text())
+        breakdown = doc["otherData"]["class_bytes"]
+        assert breakdown["COUNTER"] > 0
+        assert breakdown["MAC"] > 0
+        assert breakdown["TREE"] > 0
+
+    def test_stats_json_command(self, capsys):
+        assert main(["stats", "nw", "--design", "baseline", "--json", *FAST]) == 0
+        tree = json.loads(capsys.readouterr().out)
+        assert tree["name"] == "gpu"
+        assert "partition0" in tree["children"]
+        counters = tree["children"]["partition0"]["children"]["dram"]["counters"]
+        assert counters["bytes_total"] > 0
+
+    def test_stats_text_command(self, capsys):
+        assert main(["stats", "nw", "--design", "baseline", *FAST]) == 0
+        assert "gpu.partition0.dram.bytes_total" in capsys.readouterr().out

@@ -3,7 +3,6 @@
 import itertools
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.common import params
 from repro.workloads import patterns
