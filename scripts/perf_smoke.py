@@ -8,7 +8,15 @@ verifies the results are bit-identical, and writes ``BENCH_parallel.json``
 (wall times, points/sec, speedup, core count) so the perf trajectory is
 comparable across changes.
 
-Usage:  python scripts/perf_smoke.py [--jobs N] [--output PATH] [--check]
+It also benchmarks the simulation core itself and writes
+``BENCH_core.json``: serial points/sec and events/sec over ``CORE_REPS``
+interleaved repetitions (best rep kept — the standard way to reject
+scheduler noise on shared machines), the telemetry on/off overhead under
+the same methodology, rep-to-rep result identity, and the zero-drift
+check (telemetry may never change a simulated statistic).
+
+Usage:  python scripts/perf_smoke.py [--jobs N] [--output PATH]
+                                     [--core-output PATH] [--check]
 
 ``--check`` additionally runs the fast ``-k`` selection of the parallel
 subsystem's tier-1 tests before benchmarking.
@@ -40,6 +48,9 @@ BENCHMARKS = ["nw", "bfs", "fdtd2d", "streamcluster"]
 #: the fast tier-1 selection covering the parallel subsystem.
 TIER1_SELECTION = ["-q", "-k", "parallel or Sharded or CrashSafety", "tests/test_parallel.py"]
 
+#: interleaved repetitions for the core benchmark (best rep kept).
+CORE_REPS = 5
+
 
 def fixed_matrix():
     configs = {
@@ -50,12 +61,79 @@ def fixed_matrix():
     return [(name, config) for config in configs.values() for name in BENCHMARKS]
 
 
+def _timed_sweep(points):
+    """One serial pass over *points* on a fresh Runner.
+
+    Returns ``(seconds, results, events_processed)``; a fresh Runner per
+    call keeps its in-memory result cache from short-circuiting later reps.
+    """
+    runner = Runner(horizon=HORIZON, warmup=WARMUP, benchmarks=BENCHMARKS)
+    t0 = time.perf_counter()
+    runner.prefetch(points)
+    elapsed = time.perf_counter() - t0
+    results = [runner.run(name, config) for name, config in points]
+    events = sum(r.events_processed for r in results)
+    for r in results:
+        # drop the (possibly huge) telemetry export before the next rep:
+        # holding 12 of them inflates the allocator for later sweeps.
+        r.telemetry = None
+    return elapsed, results, events
+
+
+def core_bench() -> dict:
+    """Benchmark the simulation core: serial throughput + telemetry cost.
+
+    Telemetry-off and telemetry-on sweeps are interleaved rep by rep so a
+    load spike hits both sides equally; the best rep of each side is kept.
+    """
+    points = fixed_matrix()
+    tel = TelemetryConfig(enabled=True, sample_every=500.0)
+    tel_points = [
+        (name, dataclasses.replace(config, telemetry=tel)) for name, config in points
+    ]
+
+    off_times, on_times = [], []
+    off_dicts, on_dicts = [], []
+    events_processed = 0
+    for _rep in range(CORE_REPS):
+        elapsed, results, events = _timed_sweep(points)
+        off_times.append(elapsed)
+        off_dicts.append([result_to_dict(r) for r in results])
+        events_processed = events  # identical every rep when deterministic
+        elapsed, results, _events = _timed_sweep(tel_points)
+        on_times.append(elapsed)
+        on_dicts.append([result_to_dict(r) for r in results])
+
+    identical = all(d == off_dicts[0] for d in off_dicts[1:])
+    drift_free = all(d == off_dicts[0] for d in on_dicts)
+    off_best, on_best = min(off_times), min(on_times)
+    return {
+        "points": len(points),
+        "horizon": HORIZON,
+        "warmup": WARMUP,
+        "reps": CORE_REPS,
+        "methodology": "interleaved off/on reps, best rep per side",
+        "serial_seconds": round(off_best, 3),
+        "serial_points_per_second": round(len(points) / off_best, 3),
+        "events_processed": events_processed,
+        "events_per_second": round(events_processed / off_best, 1),
+        "identical_results": identical,
+        "telemetry": {
+            "off_seconds": round(off_best, 3),
+            "on_seconds": round(on_best, 3),
+            "overhead_pct": round(100 * (on_best - off_best) / off_best, 1),
+            "drift_free": drift_free,
+        },
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument(
         "--jobs", type=int, default=0, help="pool size (0 = one worker per core)"
     )
     parser.add_argument("--output", default=str(ROOT / "BENCH_parallel.json"))
+    parser.add_argument("--core-output", default=str(ROOT / "BENCH_core.json"))
     parser.add_argument(
         "--check", action="store_true", help="run the parallel-subsystem tests first"
     )
@@ -65,6 +143,12 @@ def main() -> int:
         code = subprocess.call([sys.executable, "-m", "pytest", *TIER1_SELECTION], cwd=ROOT)
         if code:
             return code
+
+    # core bench first: it runs in a clean process state, before the pool
+    # and the cache-backed runners below have touched the heap.
+    core_report = core_bench()
+    Path(args.core_output).write_text(json.dumps(core_report, indent=2) + "\n")
+    print(json.dumps(core_report, indent=2))
 
     points = fixed_matrix()
     jobs = args.jobs or (os.cpu_count() or 1)
@@ -130,10 +214,17 @@ def main() -> int:
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
+
     if not identical:
         print("ERROR: parallel results diverge from serial", file=sys.stderr)
         return 1
     if not drift_free:
+        print("ERROR: telemetry changed simulation statistics", file=sys.stderr)
+        return 1
+    if not core_report["identical_results"]:
+        print("ERROR: serial results differ between core-bench reps", file=sys.stderr)
+        return 1
+    if not core_report["telemetry"]["drift_free"]:
         print("ERROR: telemetry changed simulation statistics", file=sys.stderr)
         return 1
     return 0

@@ -4,6 +4,7 @@ Commands
 --------
 
 ``run``      simulate one workload on one design and print the result
+``profile``  run one point under cProfile and print the hottest functions
 ``trace``    run one workload with telemetry and export a Chrome trace
 ``stats``    dump the full statistics tree for one run (``--json`` for tools)
 ``sweep``    run all 14 workloads on one design (optionally normalized)
@@ -83,6 +84,24 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--design", choices=sorted(DESIGNS), default="secureMem_mshr64")
     add_scale(run)
 
+    profile = sub.add_parser(
+        "profile", help="run one simulation point under cProfile"
+    )
+    profile.add_argument("workload", choices=BENCHMARK_ORDER)
+    profile.add_argument(
+        "--design", choices=sorted(DESIGNS), default="secureMem_mshr64"
+    )
+    profile.add_argument(
+        "--top", type=int, default=25, help="functions to print (by cumulative time)"
+    )
+    profile.add_argument(
+        "--sort",
+        choices=["cumulative", "tottime", "ncalls"],
+        default="cumulative",
+        help="pstats sort order",
+    )
+    add_scale(profile)
+
     trace = sub.add_parser(
         "trace", help="run one workload with telemetry and export a Chrome trace"
     )
@@ -156,6 +175,27 @@ def _cmd_run(args) -> int:
                 f"{kind.value} miss rate     {result.metadata_miss_rate(kind):.1%} "
                 f"(secondary {result.secondary_miss_ratio(kind):.1%})"
             )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import cProfile
+    import pstats
+
+    secure = DESIGNS[args.design]()
+    config = design_mod.build_gpu(secure, num_partitions=args.partitions)
+    workload = get_benchmark(args.workload)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = simulate(config, workload, horizon=args.horizon, warmup=args.warmup)
+    profiler.disable()
+    print(f"workload          {args.workload}")
+    print(f"design            {args.design}")
+    print(f"IPC               {result.ipc:.2f}")
+    print(f"events processed  {result.events_processed}")
+    print()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
     return 0
 
 
@@ -309,6 +349,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "stats":

@@ -31,6 +31,15 @@ class StatGroup:
     def get(self, key: str) -> float:
         return self._counters.get(key, 0.0)
 
+    def raw(self) -> Dict[str, float]:
+        """The live counter mapping, for hot paths that accumulate in bulk.
+
+        ``raw()[key] += x`` is equivalent to ``add(key, x)`` (the mapping
+        is a ``defaultdict(float)``) without the method-call overhead;
+        simulation inner loops bind this once at construction.
+        """
+        return self._counters
+
     def __getitem__(self, key: str) -> float:
         return self.get(key)
 

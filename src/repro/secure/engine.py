@@ -71,6 +71,43 @@ class _Inflight:
         self.dirty = dirty
 
 
+class _KindState:
+    """Hot-path state for one metadata kind, resolved once at construction.
+
+    ``_metadata_cache_access`` runs on every protected sector; looking up
+    the per-kind cache/MSHR/stats through enum-keyed dicts there costs an
+    enum hash per dict per call.  This bundle flattens all of it into one
+    attribute load.
+    """
+
+    __slots__ = (
+        "kind",
+        "kind_value",
+        "stats",
+        "stat_add",
+        "counts",
+        "cache",
+        "mshr",
+        "merge_cap",
+        "inflight",
+        "category",
+        "tclass",
+    )
+
+    def __init__(self, kind: MetadataKind, stats: StatGroup) -> None:
+        self.kind = kind
+        self.kind_value = kind.value
+        self.stats = stats
+        self.stat_add = stats.add
+        self.counts = stats.raw()
+        self.cache = None
+        self.mshr = None
+        self.merge_cap = 0
+        self.inflight: Dict[int, _Inflight] = {}
+        self.category = _KIND_TO_CATEGORY[kind]
+        self.tclass = CLASS_OF_KIND[kind]
+
+
 class SecureEngine:
     """Secure-memory pipeline of one memory partition."""
 
@@ -123,12 +160,47 @@ class SecureEngine:
             MetadataKind.TREE: config.tree_cache.mshr_merge_cap,
         }
         self._build_caches()
-        self._inflight: Dict[MetadataKind, Dict[int, _Inflight]] = {
-            kind: {} for kind in MetadataKind
-        }
         #: per-(counter block, minor index) write counts for overflow modeling.
         self._minor_counts: Dict[Tuple[int, int], int] = {}
         self._hit_latency = config.counter_cache.hit_latency
+
+        # -- hot-path state, resolved once ------------------------------
+        # SecureMemoryConfig's mode predicates are computed properties
+        # (enum comparisons); the per-access paths below read them from
+        # plain attributes instead.
+        self._enabled = config.enabled
+        self._counter_mode = config.enabled and config.encryption is EncryptionMode.COUNTER
+        self._direct_mode = config.enabled and config.encryption is EncryptionMode.DIRECT
+        self._uses_macs = config.uses_macs
+        self._uses_tree = config.uses_tree
+        self._walk_mt = self._direct_mode and config.uses_tree
+        self._speculative = config.speculative_verification
+        self._lazy = config.lazy_update
+        self._perfect = config.perfect_metadata_cache
+        self._infinite = config.infinite_metadata_cache
+        self._all_protected = config.protected_fraction >= 1.0
+        self._protected_window = config.protected_fraction * self._SELECTIVE_WINDOW
+        self._stats_add = stats.add
+        self._counts = stats.raw()
+        self._trace_on = self._trace.enabled
+        self._trace_instant = self._trace.instant
+        self._dram_read = dram.read
+        self._dram_write = dram.write
+        #: (kind, block_addr) -> parent tree-node address (or None); pure
+        #: geometry, so memoizing cannot change results.
+        self._parent_memo: Dict[Tuple[MetadataKind, int], Optional[int]] = {}
+        self._kind_state = {
+            kind: _KindState(kind, self._kind_stats[kind]) for kind in MetadataKind
+        }
+        self._inflight: Dict[MetadataKind, Dict[int, _Inflight]] = {}
+        for kind, state in self._kind_state.items():
+            state.cache = self._caches.get(kind)
+            state.mshr = self._mshrs.get(kind)
+            state.merge_cap = self._merge_caps[kind]
+            self._inflight[kind] = state.inflight
+        self._ctr_state = self._kind_state[MetadataKind.COUNTER]
+        self._mac_state = self._kind_state[MetadataKind.MAC]
+        self._tree_state = self._kind_state[MetadataKind.TREE]
 
     def _build_caches(self) -> None:
         cfg = self.config
@@ -201,11 +273,10 @@ class SecureEngine:
         """Selective encryption: a ``protected_fraction`` of all lines,
         spread uniformly, goes through the secure path (the sensitive-data
         subset of Zuo et al.'s proposal)."""
-        fraction = self.config.protected_fraction
-        if fraction >= 1.0:
+        if self._all_protected:
             return True
         line = addr // params.CACHE_LINE_BYTES
-        return (line % self._SELECTIVE_WINDOW) < fraction * self._SELECTIVE_WINDOW
+        return (line % self._SELECTIVE_WINDOW) < self._protected_window
 
     def read_sector(self, now: float, addr: int, nbytes: int = params.SECTOR_BYTES) -> float:
         """Fetch *nbytes* of data from DRAM through the secure pipeline.
@@ -214,57 +285,55 @@ class SecureEngine:
         128 B line for the non-sectored ablation.  Returns the time the
         plaintext is available to fill the L2.
         """
-        self.stats.add("reads")
-        cfg = self.config
-        if not cfg.enabled or not self._is_protected(addr):
-            return self.dram.read(now, nbytes, CAT_DATA_READ, addr, tclass=TrafficClass.DATA)
+        self._counts["reads"] += 1.0
+        if not self._enabled or not (self._all_protected or self._is_protected(addr)):
+            return self._dram_read(now, nbytes, CAT_DATA_READ, addr, tclass=TrafficClass.DATA)
 
-        data_ready = self.dram.read(now, nbytes, CAT_DATA_READ, addr, tclass=TrafficClass.DATA)
+        data_ready = self._dram_read(now, nbytes, CAT_DATA_READ, addr, tclass=TrafficClass.DATA)
         verify_done = now
-        if cfg.encryption is EncryptionMode.COUNTER:
+        if self._counter_mode:
             # OTP generation starts once the counter is on chip and overlaps
             # the data fetch — counter-mode's whole point.
             ctr_ready, walk_done = self._counter_access(now, addr, is_write=False)
             otp_ready = self.aes.process(now, nbytes, available=ctr_ready)
             ready = max(data_ready, otp_ready) + 1  # the XOR
             verify_done = max(verify_done, walk_done)
-        elif cfg.encryption is EncryptionMode.DIRECT:
+        elif self._direct_mode:
             # decryption can only start after the ciphertext arrives: the
             # AES latency lands on the load critical path.
             ready = self.aes.process(now, nbytes, available=data_ready)
         else:
             ready = data_ready
 
-        if cfg.uses_macs:
+        if self._uses_macs:
             mac_ready, walk_done = self._mac_access(now, addr, is_write=False)
             check_done = self.mac_unit.process(
                 now, n_ops=max(1, nbytes // params.SECTOR_BYTES),
                 available=max(mac_ready, data_ready),
             )
             verify_done = max(verify_done, walk_done, check_done)
-        if not cfg.speculative_verification:
+        if not self._speculative:
             # blocking verification: the load waits for every check.
             ready = max(ready, verify_done)
         return ready
 
     def write_sector(self, now: float, addr: int, nbytes: int = params.SECTOR_BYTES) -> float:
         """Write back *nbytes* of dirty data through the secure pipeline."""
-        self.stats.add("writes")
-        cfg = self.config
-        if not cfg.enabled or not self._is_protected(addr):
-            return self.dram.write(now, nbytes, CAT_DATA_WRITE, addr, tclass=TrafficClass.DATA)
+        self._counts["writes"] += 1.0
+        if not self._enabled or not (self._all_protected or self._is_protected(addr)):
+            return self._dram_write(now, nbytes, CAT_DATA_WRITE, addr, tclass=TrafficClass.DATA)
 
-        if cfg.encryption is EncryptionMode.COUNTER:
+        if self._counter_mode:
             self._counter_access(now, addr, is_write=True)
             self.aes.process(now, nbytes)
-        elif cfg.encryption is EncryptionMode.DIRECT:
+        elif self._direct_mode:
             self.aes.process(now, nbytes)
-        if cfg.uses_macs:
+        if self._uses_macs:
             self._mac_access(now, addr, is_write=True)
             self.mac_unit.process(now, n_ops=max(1, nbytes // params.SECTOR_BYTES))
         # the write sits in the controller's write queue until encrypted;
         # channel occupancy is charged now (what later accesses observe).
-        return self.dram.write(now, nbytes, CAT_DATA_WRITE, addr, tclass=TrafficClass.DATA)
+        return self._dram_write(now, nbytes, CAT_DATA_WRITE, addr, tclass=TrafficClass.DATA)
 
     def finalize(self) -> None:
         """Flush dirty metadata (accounting only, at the end of a run)."""
@@ -279,27 +348,24 @@ class SecureEngine:
     def _counter_access(self, now: float, data_addr: int, is_write: bool) -> Tuple[float, float]:
         """Access the counter covering *data_addr*; returns (ready, walk_done)."""
         block = self.layout.counter_block_addr(data_addr)
-        ready, outcome = self._metadata_cache_access(now, MetadataKind.COUNTER, block, is_write)
+        ready, outcome = self._metadata_cache_access(now, self._ctr_state, block, is_write)
         walk_done = now
-        if outcome is _PRIMARY and self.config.uses_tree:
+        if outcome is _PRIMARY and self._uses_tree:
             walk_done = self._tree_walk(now, self.layout.bmt_path_addrs(data_addr)[:-1])
         if is_write:
             self._note_counter_increment(now, data_addr)
-            if self.config.uses_tree and not self.config.lazy_update:
+            if self._uses_tree and not self._lazy:
                 self._eager_parent_update(now, MetadataKind.COUNTER, block)
         return ready, walk_done
 
     def _mac_access(self, now: float, data_addr: int, is_write: bool) -> Tuple[float, float]:
         """Access the MAC covering *data_addr*; returns (ready, walk_done)."""
         block = self.layout.mac_block_addr(data_addr)
-        ready, outcome = self._metadata_cache_access(now, MetadataKind.MAC, block, is_write)
-        walk_mt = (
-            self.config.encryption is EncryptionMode.DIRECT and self.config.uses_tree
-        )
+        ready, outcome = self._metadata_cache_access(now, self._mac_state, block, is_write)
         walk_done = now
-        if outcome is _PRIMARY and walk_mt:
+        if outcome is _PRIMARY and self._walk_mt:
             walk_done = self._tree_walk(now, self.layout.mt_path_addrs(data_addr)[:-1])
-        if is_write and walk_mt and not self.config.lazy_update:
+        if is_write and self._walk_mt and not self._lazy:
             self._eager_parent_update(now, MetadataKind.MAC, block)
         return ready, walk_done
 
@@ -316,7 +382,7 @@ class SecureEngine:
         self.stats.add("eager_updates")
         self.mac_unit.process(now)
         _ready, outcome = self._metadata_cache_access(
-            now, MetadataKind.TREE, parent_addr, is_write=True
+            now, self._tree_state, parent_addr, is_write=True
         )
         if outcome is _PRIMARY:
             self._tree_walk_from_node(now, parent_addr)
@@ -331,9 +397,10 @@ class SecureEngine:
         usually ignore it).
         """
         done = now
+        tree_state = self._tree_state
         for node_addr in fetchable_addrs:
             ready, outcome = self._metadata_cache_access(
-                now, MetadataKind.TREE, node_addr, is_write=False
+                now, tree_state, node_addr, is_write=False
             )
             done = max(done, self.mac_unit.process(now, available=ready))
             if outcome is not _PRIMARY:
@@ -344,107 +411,104 @@ class SecureEngine:
         return done
 
     def _metadata_cache_access(
-        self, now: float, kind: MetadataKind, block_addr: int, is_write: bool
+        self, now: float, state: _KindState, block_addr: int, is_write: bool
     ) -> Tuple[float, str]:
         """One access to a metadata cache; returns (ready_time, outcome)."""
-        kstats = self._kind_stats[kind]
-        kstats.add("accesses")
+        counts = state.counts
+        counts["accesses"] += 1.0
         if self.trace_hook is not None:
-            self.trace_hook(kind, block_addr)
-        trace = self._trace
+            self.trace_hook(state.kind, block_addr)
 
-        if self.config.perfect_metadata_cache:
-            kstats.add("hits")
+        if self._perfect:
+            counts["hits"] += 1.0
             return now + self._hit_latency, _HIT
 
-        cache = self._caches[kind]
-        result = cache.lookup(block_addr, is_write=is_write)
+        result = state.cache.lookup(block_addr, is_write=is_write)
         if result is AccessResult.HIT:
-            kstats.add("hits")
-            if trace.enabled:
-                trace.instant(
+            counts["hits"] += 1.0
+            if self._trace_on:
+                self._trace_instant(
                     "mdc_hit", "mdc", self._mdc_tid,
-                    {"kind": kind.value, "addr": block_addr},
+                    {"kind": state.kind_value, "addr": block_addr},
                 )
             return now + self._hit_latency, _HIT
 
-        kstats.add("misses")
-        category = _KIND_TO_CATEGORY[kind]
-        tclass = CLASS_OF_KIND[kind]
-        if self.config.infinite_metadata_cache:
+        counts["misses"] += 1.0
+        category = state.category
+        tclass = state.tclass
+        if self._infinite:
             # ``large_mdc`` idealization: unlimited capacity means the line
             # can be allocated at miss time, so every miss is compulsory and
             # later accesses hit under the outstanding fill.
-            kstats.add("primary_misses")
-            ready = self.dram.read(
+            counts["primary_misses"] += 1.0
+            ready = self._dram_read(
                 now, params.CACHE_LINE_BYTES, category, block_addr, tclass=tclass
             )
-            cache.fill(block_addr, dirty=is_write)
-            kstats.add("fills")
+            state.cache.fill(block_addr, dirty=is_write)
+            counts["fills"] += 1.0
             return ready, _PRIMARY
-        inflight = self._inflight[kind]
+        inflight = state.inflight
         pending = inflight.get(block_addr)
         if pending is not None:
-            kstats.add("secondary_misses")
+            counts["secondary_misses"] += 1.0
             pending.dirty = pending.dirty or is_write
-            mshr = self._mshrs[kind]
+            mshr = state.mshr
             entry = mshr.get(block_addr)
-            if entry is not None and entry.merged < self._merge_caps[kind]:
+            if entry is not None and entry.merged < state.merge_cap:
                 # per-kind merge cap, which may be tighter than the table's
                 # own cap in unified mode — bump the entry directly.
                 entry.merged += 1
-                kstats.add("merged")
-                if trace.enabled:
-                    trace.instant(
+                counts["merged"] += 1.0
+                if self._trace_on:
+                    self._trace_instant(
                         "merge", "mshr", mshr.name,
                         {"addr": entry.line_addr, "n": entry.merged},
                     )
                 return pending.ready_time, _SECONDARY
             # no MSHR (or cap reached): the secondary miss becomes its own
             # redundant memory fetch — the Section V-A traffic explosion.
-            kstats.add("duplicate_fetches")
-            if trace.enabled:
-                trace.instant(
+            counts["duplicate_fetches"] += 1.0
+            if self._trace_on:
+                self._trace_instant(
                     "mdc_dup_fetch", "mdc", self._mdc_tid,
-                    {"kind": kind.value, "addr": block_addr},
+                    {"kind": state.kind_value, "addr": block_addr},
                 )
-            ready = self.dram.read(
+            ready = self._dram_read(
                 now, params.CACHE_LINE_BYTES, category, block_addr, tclass=tclass
             )
             return ready, _SECONDARY
 
-        kstats.add("primary_misses")
-        if trace.enabled:
-            trace.instant(
+        counts["primary_misses"] += 1.0
+        if self._trace_on:
+            self._trace_instant(
                 "mdc_primary_miss", "mdc", self._mdc_tid,
-                {"kind": kind.value, "addr": block_addr},
+                {"kind": state.kind_value, "addr": block_addr},
             )
-        mshr = self._mshrs[kind]
+        mshr = state.mshr
         start = now
         if mshr.enabled and mshr.full:
             # structural stall: wait for the earliest in-flight fill.
-            kstats.add("mshr_full_stalls")
+            counts["mshr_full_stalls"] += 1.0
             start = max(now, mshr.earliest_ready())
-        ready = self.dram.read(
+        ready = self._dram_read(
             start, params.CACHE_LINE_BYTES, category, block_addr, tclass=tclass
         )
         inflight[block_addr] = _Inflight(ready, is_write)
         if mshr.enabled and not mshr.full:
             mshr.allocate(block_addr, ready)
-        self.events.schedule_at(ready, self._on_metadata_fill, kind, block_addr)
+        self.events.schedule_at(ready, self._on_metadata_fill, state, block_addr)
         return ready, _PRIMARY
 
-    def _on_metadata_fill(self, kind: MetadataKind, block_addr: int) -> None:
+    def _on_metadata_fill(self, state: _KindState, block_addr: int) -> None:
         """Install a fetched metadata line; handle eviction writebacks."""
         now = self.events.now
-        pending = self._inflight[kind].pop(block_addr, None)
-        mshr = self._mshrs[kind]
+        pending = state.inflight.pop(block_addr, None)
+        mshr = state.mshr
         if mshr.enabled and mshr.get(block_addr) is not None:
             mshr.release(block_addr)
         dirty = pending.dirty if pending is not None else False
-        cache = self._caches[kind]
-        evictions = cache.fill(block_addr, dirty=dirty)
-        self._kind_stats[kind].add("fills")
+        evictions = state.cache.fill(block_addr, dirty=dirty)
+        state.counts["fills"] += 1.0
         for eviction in evictions:
             self._handle_metadata_eviction(now, eviction)
 
@@ -453,19 +517,19 @@ class SecureEngine:
         victim_kind = self.layout.kind_of(eviction.line_addr)
         if victim_kind is None:
             raise RuntimeError("metadata cache evicted a data address")
-        vstats = self._kind_stats[victim_kind]
-        vstats.add("cache_evictions")
+        victim_state = self._kind_state[victim_kind]
+        victim_state.stat_add("cache_evictions")
         if not eviction.dirty:
             return
-        vstats.add("writebacks")
-        self.dram.write(
+        victim_state.stat_add("writebacks")
+        self._dram_write(
             now,
             params.CACHE_LINE_BYTES,
             CAT_METADATA_WB,
             eviction.line_addr,
-            tclass=CLASS_OF_KIND[victim_kind],
+            tclass=victim_state.tclass,
         )
-        if not self.config.uses_tree:
+        if not self._uses_tree:
             return
         parent_addr = self._tree_parent_addr(victim_kind, eviction.line_addr)
         if parent_addr is None:
@@ -473,7 +537,7 @@ class SecureEngine:
         # lazy update: recompute the parent hash slot in the tree cache.
         self.mac_unit.process(now)
         ready, outcome = self._metadata_cache_access(
-            now, MetadataKind.TREE, parent_addr, is_write=True
+            now, self._tree_state, parent_addr, is_write=True
         )
         if outcome is _PRIMARY:
             # the fetched parent must itself be verified upward.
@@ -495,10 +559,21 @@ class SecureEngine:
         """Address of the tree node whose hash covers *block_addr*.
 
         Returns None when the parent is the on-chip root (or when the block
-        kind has no tree parent in the active mode).
+        kind has no tree parent in the active mode).  Pure geometry, so the
+        answer is memoized per (kind, block) — evictions and lazy updates
+        revisit the same victims constantly.
         """
+        key = (kind, block_addr)
+        memo = self._parent_memo
+        if key in memo:
+            return memo[key]
+        result = self._tree_parent_addr_uncached(kind, block_addr)
+        memo[key] = result
+        return result
+
+    def _tree_parent_addr_uncached(self, kind: MetadataKind, block_addr: int) -> Optional[int]:
         layout = self.layout
-        counter_mode = self.config.encryption is EncryptionMode.COUNTER
+        counter_mode = self._counter_mode
         if kind is MetadataKind.COUNTER:
             if not counter_mode:
                 return None

@@ -15,6 +15,7 @@ generates counter addresses).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Tuple
 
 from repro.common import params
@@ -22,10 +23,25 @@ from repro.common.config import MetadataKind
 from repro.secure.geometry import CounterGeometry, MacGeometry
 from repro.secure.merkle import TreeGeometry, bmt_geometry, mt_geometry
 
+#: per-layout LRU capacity for data-address -> metadata-address maps.  Sized
+#: well above any scaled workload's touched-sector count so steady-state runs
+#: never evict; bounded so a pathological address stream cannot grow without
+#: limit.
+_ADDR_MEMO_SIZE = 1 << 15
+_PATH_MEMO_SIZE = 1 << 14
+
 
 @dataclass(frozen=True)
 class MetadataLayout:
-    """Region layout for counters, MACs and both integrity trees."""
+    """Region layout for counters, MACs and both integrity trees.
+
+    Address translation is on the simulator's hottest path (every protected
+    sector access derives counter/MAC/tree addresses), so the layout is
+    aggressively memoized at construction: region bases are computed once,
+    and the four translation methods are per-instance LRU maps over the
+    exact same arithmetic.  Memoization never changes a returned value —
+    the geometry is immutable — so results stay bit-identical.
+    """
 
     protected_bytes: int = params.PROTECTED_MEMORY_BYTES
     counters: CounterGeometry = field(default_factory=CounterGeometry)
@@ -38,44 +54,64 @@ class MetadataLayout:
             raise ValueError("protected range must be line-aligned")
         object.__setattr__(self, "bmt", bmt_geometry(self.protected_bytes))
         object.__setattr__(self, "mt", mt_geometry(self.protected_bytes))
+        # region bases, chained once instead of per property access.
+        set_ = object.__setattr__
+        counter_region = self.counters.storage_bytes(self.protected_bytes)
+        mac_region = self.macs.storage_bytes(self.protected_bytes)
+        set_(self, "_counter_base", self.protected_bytes)
+        set_(self, "_counter_region_bytes", counter_region)
+        set_(self, "_mac_base", self.protected_bytes + counter_region)
+        set_(self, "_mac_region_bytes", mac_region)
+        set_(self, "_bmt_base", self._mac_base + mac_region)
+        set_(self, "_bmt_region_bytes", self.bmt.internal_storage_bytes)
+        set_(self, "_mt_base", self._bmt_base + self._bmt_region_bytes)
+        set_(self, "_mt_region_bytes", self.mt.internal_storage_bytes)
+        set_(self, "_end", self._mt_base + self._mt_region_bytes)
+        # per-instance LRU maps shadowing the class methods of the same
+        # name.  Invalid addresses raise inside the wrapped function and
+        # are never cached, so validation behavior is unchanged.
+        set_(self, "counter_block_addr", lru_cache(_ADDR_MEMO_SIZE)(self.counter_block_addr))
+        set_(self, "mac_block_addr", lru_cache(_ADDR_MEMO_SIZE)(self.mac_block_addr))
+        set_(self, "bmt_path_addrs", lru_cache(_PATH_MEMO_SIZE)(self.bmt_path_addrs))
+        set_(self, "mt_path_addrs", lru_cache(_PATH_MEMO_SIZE)(self.mt_path_addrs))
 
     # -- region bases ----------------------------------------------------------
 
     @property
     def counter_base(self) -> int:
-        return self.protected_bytes
+        return self._counter_base
 
     @property
     def counter_region_bytes(self) -> int:
-        return self.counters.storage_bytes(self.protected_bytes)
+        return self._counter_region_bytes
 
     @property
     def mac_base(self) -> int:
-        return self.counter_base + self.counter_region_bytes
+        return self._mac_base
 
     @property
     def mac_region_bytes(self) -> int:
-        return self.macs.storage_bytes(self.protected_bytes)
+        return self._mac_region_bytes
 
     @property
     def bmt_base(self) -> int:
-        return self.mac_base + self.mac_region_bytes
+        return self._bmt_base
 
     @property
     def bmt_region_bytes(self) -> int:
-        return self.bmt.internal_storage_bytes
+        return self._bmt_region_bytes
 
     @property
     def mt_base(self) -> int:
-        return self.bmt_base + self.bmt_region_bytes
+        return self._mt_base
 
     @property
     def mt_region_bytes(self) -> int:
-        return self.mt.internal_storage_bytes
+        return self._mt_region_bytes
 
     @property
     def end(self) -> int:
-        return self.mt_base + self.mt_region_bytes
+        return self._end
 
     # -- data -> metadata block addresses -----------------------------------------
 

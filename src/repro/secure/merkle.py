@@ -44,6 +44,12 @@ class TreeGeometry:
         if not sizes:  # a single leaf still gets a root above it
             sizes.append(1)
         object.__setattr__(self, "level_sizes", tuple(sizes))
+        # cumulative node counts below each level, so flat_index is O(1)
+        # instead of summing a prefix of level_sizes on every call.
+        bases: List[int] = [0]
+        for size in sizes[:-1]:
+            bases.append(bases[-1] + size)
+        object.__setattr__(self, "_level_base", tuple(bases))
 
     # -- shape ---------------------------------------------------------------
 
@@ -111,7 +117,7 @@ class TreeGeometry:
         """
         if not 0 <= index < self.nodes_at(level):
             raise ValueError(f"index {index} out of range at level {level}")
-        return sum(self.level_sizes[: level - 1]) + index
+        return self._level_base[level - 1] + index
 
     def node_offset(self, level: int, index: int) -> int:
         """Byte offset of the node inside the tree region."""

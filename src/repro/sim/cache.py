@@ -25,6 +25,13 @@ from repro.telemetry.tracer import NULL_TRACER
 from repro.telemetry.traffic import TrafficClass
 
 
+def _log2_or_none(value: int) -> int | None:
+    """``log2(value)`` when *value* is a positive power of two, else None."""
+    if value > 0 and value & (value - 1) == 0:
+        return value.bit_length() - 1
+    return None
+
+
 class AccessResult(enum.Enum):
     HIT = "hit"
     #: tag present but the requested sector is not valid (sectored caches).
@@ -81,6 +88,23 @@ class SectoredCache:
         self._sector_bytes = config.sector_bytes
         self._sectors_per_line = config.sectors_per_line
         self._full_mask = (1 << self._sectors_per_line) - 1
+        # precomputed index geometry: lines are always a power of two wide,
+        # so the tag is a shift; set counts need not be (the L2 bank has 96
+        # sets), so set selection keeps a modulo unless there is one set.
+        self._line_shift = _log2_or_none(self._line_bytes)
+        self._sector_shift = _log2_or_none(self._sector_bytes)
+        self._spl_mask = (
+            self._sectors_per_line - 1
+            if self._sector_shift is not None
+            and _log2_or_none(self._sectors_per_line) is not None
+            else None
+        )
+        self._single_set = self._sets[0] if self._num_sets == 1 else None
+        # bound once: stats/trace indirections are per-access costs.
+        self._stat_add = self.stats.add
+        self._counts = self.stats.raw()
+        self._trace_on = self._trace.enabled
+        self._trace_instant = self._trace.instant
 
     # -- address helpers ------------------------------------------------------
 
@@ -94,30 +118,50 @@ class SectoredCache:
     def _sector_bit(self, addr: int) -> int:
         if not self._sectored:
             return 1
+        if self._sector_shift is not None and self._spl_mask is not None:
+            return 1 << ((addr >> self._sector_shift) & self._spl_mask)
         return 1 << ((addr % self._line_bytes) // self._sector_bytes)
+
+    def _locate(self, addr: int) -> tuple[OrderedDict[int, _Line], int]:
+        """Set/tag for *addr* via the precomputed shift (hot-path inline)."""
+        shift = self._line_shift
+        tag = addr >> shift if shift is not None else addr // self._line_bytes
+        cache_set = self._single_set
+        if cache_set is None:
+            cache_set = self._sets[tag % self._num_sets]
+        return cache_set, tag
 
     # -- operations -----------------------------------------------------------
 
     def lookup(self, addr: int, is_write: bool = False) -> AccessResult:
         """Probe the cache; update LRU and dirty state on hit."""
-        cache_set, tag = self._set_and_tag(self.line_addr(addr))
+        shift = self._line_shift
+        tag = addr >> shift if shift is not None else addr // self._line_bytes
+        cache_set = self._single_set
+        if cache_set is None:
+            cache_set = self._sets[tag % self._num_sets]
         line = cache_set.get(tag)
-        bit = self._sector_bit(addr)
-        self.stats.add("accesses")
-        trace = self._trace
+        counts = self._counts
+        counts["accesses"] += 1.0
         if line is None:
-            self.stats.add("misses")
-            if trace.enabled:
-                trace.instant(
+            counts["misses"] += 1.0
+            if self._trace_on:
+                self._trace_instant(
                     "miss", "cache", self.name, {"addr": addr, "cls": self._cls_label}
                 )
             return AccessResult.MISS
         cache_set.move_to_end(tag)
+        if not self._sectored:
+            bit = 1
+        elif self._spl_mask is not None:
+            bit = 1 << ((addr >> self._sector_shift) & self._spl_mask)
+        else:
+            bit = self._sector_bit(addr)
         if not line.valid_mask & bit:
-            self.stats.add("misses")
-            self.stats.add("sector_misses")
-            if trace.enabled:
-                trace.instant(
+            counts["misses"] += 1.0
+            counts["sector_misses"] += 1.0
+            if self._trace_on:
+                self._trace_instant(
                     "sector_miss",
                     "cache",
                     self.name,
@@ -126,16 +170,16 @@ class SectoredCache:
             return AccessResult.SECTOR_MISS
         if is_write:
             line.dirty_mask |= bit
-        self.stats.add("hits")
-        if trace.enabled:
-            trace.instant(
+        counts["hits"] += 1.0
+        if self._trace_on:
+            self._trace_instant(
                 "hit", "cache", self.name, {"addr": addr, "cls": self._cls_label}
             )
         return AccessResult.HIT
 
     def contains(self, addr: int) -> bool:
         """Non-mutating probe (no LRU update, no stats)."""
-        cache_set, tag = self._set_and_tag(self.line_addr(addr))
+        cache_set, tag = self._locate(addr)
         line = cache_set.get(tag)
         return line is not None and bool(line.valid_mask & self._sector_bit(addr))
 
@@ -144,8 +188,7 @@ class SectoredCache:
 
         Returns evictions performed to make room (at most one).
         """
-        line_addr = self.line_addr(addr)
-        cache_set, tag = self._set_and_tag(line_addr)
+        cache_set, tag = self._locate(addr)
         evictions: List[Eviction] = []
         line = cache_set.get(tag)
         if line is None:
@@ -158,7 +201,7 @@ class SectoredCache:
         if dirty:
             line.dirty_mask |= bit if self._sectored else self._full_mask
         cache_set.move_to_end(tag)
-        self.stats.add("fills")
+        self._counts["fills"] += 1.0
         return evictions
 
     def write_insert(self, addr: int) -> List[Eviction]:
@@ -167,7 +210,7 @@ class SectoredCache:
 
     def mark_dirty(self, addr: int) -> bool:
         """Set the dirty bit for *addr* if resident; returns residency."""
-        cache_set, tag = self._set_and_tag(self.line_addr(addr))
+        cache_set, tag = self._locate(addr)
         line = cache_set.get(tag)
         bit = self._sector_bit(addr)
         if line is None or not line.valid_mask & bit:
@@ -231,26 +274,28 @@ class InfiniteCache:
         self._resident: Set[int] = set()
         self._dirty: Set[int] = set()
         self._line_bytes = line_bytes
+        self._stat_add = self.stats.add
+        self._trace_on = self._trace.enabled
+        self._trace_instant = self._trace.instant
 
     def line_addr(self, addr: int) -> int:
         return addr - addr % self._line_bytes
 
     def lookup(self, addr: int, is_write: bool = False) -> AccessResult:
         line = self.line_addr(addr)
-        self.stats.add("accesses")
-        trace = self._trace
+        self._stat_add("accesses")
         if line in self._resident:
             if is_write:
                 self._dirty.add(line)
-            self.stats.add("hits")
-            if trace.enabled:
-                trace.instant(
+            self._stat_add("hits")
+            if self._trace_on:
+                self._trace_instant(
                     "hit", "cache", self.name, {"addr": addr, "cls": self._cls_label}
                 )
             return AccessResult.HIT
-        self.stats.add("misses")
-        if trace.enabled:
-            trace.instant(
+        self._stat_add("misses")
+        if self._trace_on:
+            self._trace_instant(
                 "miss", "cache", self.name, {"addr": addr, "cls": self._cls_label}
             )
         return AccessResult.MISS

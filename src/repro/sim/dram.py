@@ -61,22 +61,49 @@ class DramChannel:
             raise ValueError("DRAM bandwidth must be positive")
         self.channel = ThroughputResource("dram-channel")
         self.access_latency = config.access_latency
+        # hot-path bindings: every transfer is accounted under precomputed
+        # stat keys (no per-access f-string), and channel occupancies are
+        # memoized per transfer size — the division result is cached, never
+        # recomputed differently, so timing stays bit-identical.
+        self._stat_add = self.stats.add
+        self._counts = self.stats.raw()
+        self._stat_keys = {cat: (f"txn_{cat}", f"bytes_{cat}") for cat in ALL_CATEGORIES}
+        self._occupancy_memo: dict[int, float] = {}
+        #: (category, tclass) -> label string; enum ``.name`` is a descriptor
+        #: lookup, too slow to repeat on every traced transfer.
+        self._label_memo: dict = {}
+        self._trace_on = self._trace.enabled
+        self._trace_span = self._trace.span
 
     def _occupancy(self, nbytes: int) -> float:
-        return nbytes / self.bytes_per_cycle
+        memo = self._occupancy_memo
+        occupancy = memo.get(nbytes)
+        if occupancy is None:
+            occupancy = memo[nbytes] = nbytes / self.bytes_per_cycle
+        return occupancy
 
     def _account(self, category: str, nbytes: int) -> None:
         transactions = max(1, nbytes // params.SECTOR_BYTES)
-        self.stats.add(f"txn_{category}", transactions)
-        self.stats.add(f"bytes_{category}", nbytes)
-        self.stats.add("txn_total", transactions)
-        self.stats.add("bytes_total", nbytes)
+        keys = self._stat_keys.get(category)
+        if keys is None:
+            keys = self._stat_keys[category] = (f"txn_{category}", f"bytes_{category}")
+        counts = self._counts
+        counts[keys[0]] += transactions
+        counts[keys[1]] += nbytes
+        counts["txn_total"] += transactions
+        counts["bytes_total"] += nbytes
 
     def _class_label(self, category: str, tclass: TrafficClass | None) -> str:
-        if tclass is not None:
-            return tclass.name
-        mapped = CLASS_OF_CATEGORY.get(category)
-        return mapped.name if mapped is not None else "META"
+        memo = self._label_memo
+        label = memo.get((category, tclass))
+        if label is None:
+            if tclass is not None:
+                label = tclass.name
+            else:
+                mapped = CLASS_OF_CATEGORY.get(category)
+                label = mapped.name if mapped is not None else "META"
+            memo[(category, tclass)] = label
+        return label
 
     def read(
         self,
@@ -96,8 +123,8 @@ class DramChannel:
         occupancy = self._occupancy(nbytes)
         start = self.channel.acquire(now, occupancy)
         self._account(category, nbytes)
-        if self._trace.enabled:
-            self._trace.span(
+        if self._trace_on:
+            self._trace_span(
                 category,
                 "dram",
                 self.name,
@@ -124,8 +151,8 @@ class DramChannel:
         occupancy = self._occupancy(nbytes)
         start = self.channel.acquire(now, occupancy)
         self._account(category, nbytes)
-        if self._trace.enabled:
-            self._trace.span(
+        if self._trace_on:
+            self._trace_span(
                 category,
                 "dram",
                 self.name,
@@ -200,8 +227,8 @@ class BankedDramChannel(DramChannel):
     ) -> float:
         self._account(category, nbytes)
         _done, ready = self._bank_service(now, nbytes, addr)
-        if self._trace.enabled:
-            self._trace.span(
+        if self._trace_on:
+            self._trace_span(
                 category,
                 "dram",
                 self.name,
@@ -221,8 +248,8 @@ class BankedDramChannel(DramChannel):
     ) -> float:
         self._account(category, nbytes)
         done, _ready = self._bank_service(now, nbytes, addr)
-        if self._trace.enabled:
-            self._trace.span(
+        if self._trace_on:
+            self._trace_span(
                 category,
                 "dram",
                 self.name,

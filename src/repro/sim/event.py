@@ -1,8 +1,27 @@
-"""A minimal discrete-event scheduler.
+"""A minimal discrete-event scheduler built on an integer-cycle calendar.
 
-Events are ``(time, seq, callback, args)`` tuples in a binary heap.  The
-sequence number makes ordering deterministic for simultaneous events and
-keeps the heap from ever comparing callbacks.
+Events are ``(time, seq, callback, args)`` tuples.  The sequence number
+makes ordering deterministic for simultaneous events and keeps the
+scheduler from ever comparing callbacks.
+
+Integer-cycle convention
+------------------------
+Every *configured* latency in the simulator (cache hit latencies, DRAM
+access latency, interconnect traversal, crypto latencies) is a whole
+number of core cycles; sub-cycle fractions arise only from throughput
+occupancies (bytes over bandwidth, instructions over issue width).  The
+scheduler exploits this: pending events are binned into a **calendar
+queue** of per-cycle buckets indexed by ``int(time)``, with a binary-heap
+fallback for events beyond the calendar window (far-future events such as
+counter-overflow sweeps or deep back-pressure stalls).  Timestamps keep
+their exact sub-cycle value, so results are bit-identical to the previous
+global-heap scheduler — only the data structure changed.
+
+Ordering contract: events fire in ``(time, seq)`` order.  Within one
+integer cycle a per-bucket heap orders entries exactly as the old global
+heap did; across the calendar/heap boundary, far events migrate into
+their bucket before the cycle is reached, so same-``(time, seq)`` order
+is preserved end to end (FIFO for equal timestamps).
 
 :meth:`EventQueue.run` is the simulator's hottest loop — a single
 experiment point processes millions of events — so it binds the heap
@@ -13,27 +32,66 @@ horizon-bounded one to keep per-event overhead at a few bytecodes.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
 
+#: one pending event: (absolute time, sequence number, callback, args).
+Entry = Tuple[float, int, Callable[..., None], Tuple[Any, ...]]
+
+
+class SchedulingError(ValueError):
+    """An event was scheduled in the past.
+
+    Carries the offending callback's name so the failing component is
+    identifiable from the message alone (the scheduler sees only opaque
+    callables).  Subclasses :class:`ValueError` for backwards
+    compatibility with callers that catch the old bare error.
+    """
+
 
 class EventQueue:
-    """Simulation clock plus pending-event heap."""
+    """Simulation clock plus a calendar queue of pending events.
+
+    The calendar holds the next :data:`CALENDAR_WINDOW` whole cycles as
+    per-cycle buckets (small heaps); anything further out waits in one
+    overflow heap and migrates into its bucket as the window slides.
+    """
+
+    #: calendar span in whole cycles; must be a power of two.  Covers every
+    #: configured latency in the model (the largest, back-pressure stalls,
+    #: is bounded by the 2048-cycle backlog window plus DRAM latency).
+    CALENDAR_WINDOW = 4096
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._seq = 0
-        self._heap: List[Tuple[float, int, Callable[..., None], Tuple[Any, ...]]] = []
+        window = self.CALENDAR_WINDOW
+        self._mask = window - 1
+        self._buckets: List[List[Entry]] = [[] for _ in range(window)]
+        #: integer cycle the calendar is anchored at.  Invariant outside
+        #: :meth:`run`: ``_cycle == int(now)``, and every bucket-resident
+        #: event has ``int(time)`` in ``[_cycle, _cycle + CALENDAR_WINDOW)``.
+        self._cycle = 0
+        self._near = 0
+        self._far: List[Entry] = []
         self._stopped = False
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` at absolute *time* (>= now)."""
         if time < self.now:
-            raise ValueError(f"cannot schedule at {time} before now={self.now}")
+            name = getattr(callback, "__qualname__", None) or repr(callback)
+            raise SchedulingError(
+                f"cannot schedule {name} at {time} before now={self.now}"
+            )
         self._seq += 1
-        _heappush(self._heap, (time, self._seq, callback, args))
+        cycle = int(time)
+        if cycle - self._cycle < 4096:  # CALENDAR_WINDOW, inlined for speed
+            _heappush(self._buckets[cycle & self._mask], (time, self._seq, callback, args))
+            self._near += 1
+        else:
+            _heappush(self._far, (time, self._seq, callback, args))
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` *delay* cycles from now."""
@@ -43,43 +101,113 @@ class EventQueue:
         """Make :meth:`run` return after the current event."""
         self._stopped = True
 
+    def clear(self) -> None:
+        """Drop every pending event (clock and calendar anchor are kept).
+
+        Used after a finished simulation: pending entries hold bound
+        methods of the components that hold this queue, i.e. the reference
+        cycles that keep a dropped model alive until a collector pass.
+        """
+        for bucket in self._buckets:
+            bucket.clear()
+        self._far.clear()
+        self._near = 0
+
     def empty(self) -> bool:
-        return not self._heap
+        return not (self._near or self._far)
+
+    def __len__(self) -> int:
+        return self._near + len(self._far)
+
+    def _advance(self, limit: Optional[int]) -> bool:
+        """Move :attr:`_cycle` to the next cycle holding an event.
+
+        Far-future events migrate into their calendar bucket as the window
+        slides over them, so bucket order subsumes the heap fallback.  With
+        *limit* set the calendar never moves past it (events beyond the
+        horizon stay put for the next :meth:`run`).  Returns True when a
+        non-empty bucket was found at the new ``_cycle``.
+        """
+        buckets = self._buckets
+        mask = self._mask
+        window = self.CALENDAR_WINDOW
+        far = self._far
+        c = self._cycle
+        while True:
+            if not self._near:
+                if not far:
+                    if limit is not None and limit > self._cycle:
+                        self._cycle = limit
+                    return False
+                target = int(far[0][0])
+                if limit is not None and target > limit:
+                    self._cycle = limit
+                    return False
+                c = target
+            else:
+                c += 1
+                if limit is not None and c > limit:
+                    self._cycle = limit
+                    return False
+            horizon = c + window
+            while far and far[0][0] < horizon:
+                entry = _heappop(far)
+                _heappush(buckets[int(entry[0]) & mask], entry)
+                self._near += 1
+            if buckets[c & mask]:
+                self._cycle = c
+                return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Process events in time order.
 
-        Stops when the heap empties, the clock passes *until*, *max_events*
-        have been processed, or :meth:`stop` is called.  Returns the number
-        of events processed.
+        Stops when the queue empties, the clock passes *until*,
+        *max_events* have been processed, or :meth:`stop` is called.
+        Returns the number of events processed.
         """
         self._stopped = False
         processed = 0
-        heap = self._heap
+        buckets = self._buckets
+        mask = self._mask
         pop = _heappop
 
         if until is None:
             # unbounded fast path: no horizon peek per event.
-            while heap and not self._stopped:
-                event_time, _seq, callback, args = pop(heap)
+            while True:
+                bucket = buckets[self._cycle & mask]
+                while bucket:
+                    event_time, _seq, callback, args = pop(bucket)
+                    self._near -= 1
+                    self.now = event_time
+                    callback(*args)
+                    processed += 1
+                    if self._stopped:
+                        return processed
+                    if max_events is not None and processed >= max_events:
+                        return processed
+                if not self._advance(None):
+                    return processed
+
+        limit = int(until)
+        if limit < self._cycle:
+            limit = self._cycle
+        while True:
+            bucket = buckets[self._cycle & mask]
+            while bucket:
+                event_time = bucket[0][0]
+                if event_time > until:
+                    self.now = until
+                    return processed
+                _time, _seq, callback, args = pop(bucket)
+                self._near -= 1
                 self.now = event_time
                 callback(*args)
                 processed += 1
+                if self._stopped:
+                    return processed
                 if max_events is not None and processed >= max_events:
-                    break
-            return processed
-
-        while heap and not self._stopped:
-            event_time = heap[0][0]
-            if event_time > until:
-                self.now = until
+                    return processed
+            if not self._advance(limit):
+                if not self._stopped and self.now < until:
+                    self.now = until
                 return processed
-            _time, _seq, callback, args = pop(heap)
-            self.now = event_time
-            callback(*args)
-            processed += 1
-            if max_events is not None and processed >= max_events:
-                return processed
-        if not self._stopped and self.now < until:
-            self.now = until
-        return processed

@@ -8,6 +8,8 @@ core cycles, and condenses the statistics every experiment needs into a
 
 from __future__ import annotations
 
+import gc
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -46,6 +48,10 @@ class SimulationResult:
     #: telemetry export (see TelemetrySession.export) when telemetry was
     #: enabled for the run; None otherwise.  Excluded from caching.
     telemetry: Optional[dict] = field(default=None, repr=False)
+    #: simulator events executed for this run (warmup + measured window).
+    #: A host-side throughput observable (events/sec benchmarks); excluded
+    #: from ``result_to_dict`` so cached results and goldens are unaffected.
+    events_processed: int = field(default=0, repr=False)
 
     @property
     def l2_miss_rate(self) -> float:
@@ -168,11 +174,17 @@ class Gpu:
             "mac_busy_cycles",
             lambda: sum(p.engine.mac_unit.busy_cycles for p in self.partitions),
         )
-        for tclass in TrafficClass:
-            sampler.register(
-                f"bytes_{tclass.name}",
-                lambda name=tclass.name: live_class_bytes(self.partitions)[name],
-            )
+        # the per-class byte totals walk every partition's stats; batch them
+        # into one poll per epoch instead of recomputing per column.
+        class_order = tuple(tclass.name for tclass in TrafficClass)
+
+        def poll_class_bytes(order=class_order):
+            totals = live_class_bytes(self.partitions)
+            return [totals[name] for name in order]
+
+        sampler.register_block(
+            [f"bytes_{name}" for name in class_order], poll_class_bytes
+        )
 
     def run(self, horizon: float = DEFAULT_HORIZON, warmup: float = 0.0) -> SimulationResult:
         """Simulate and summarize.
@@ -186,15 +198,45 @@ class Gpu:
             sm.start()
         if self.telemetry is not None:
             self.telemetry.sampler.start()
+        processed = 0
         if warmup > 0:
-            self.events.run(until=warmup)
+            if self.telemetry is not None:
+                # exported telemetry covers only the measured window (see
+                # _reset_measurement), so emitting during warmup is pure
+                # waste: park the bound emission guards until the window
+                # opens.
+                self._set_trace_emission(False)
+            processed += self.events.run(until=warmup)
             self._reset_measurement()
-        self.events.run(until=warmup + horizon)
-        return self._summarize(horizon)
+        processed += self.events.run(until=warmup + horizon)
+        result = self._summarize(horizon)
+        result.events_processed = processed
+        return result
+
+    def _set_trace_emission(self, enabled: bool) -> None:
+        """Flip the emission guards components bound at construction.
+
+        Components cache ``tracer.enabled`` in a ``_trace_on`` attribute so
+        the disabled path costs one attribute load; this is the matching
+        session-level switch that rebinds those cached guards (warmup off,
+        measured window on).
+        """
+        for partition in self.partitions:
+            partition._trace_on = enabled
+            partition.l2._trace_on = enabled
+            partition.dram._trace_on = enabled
+            partition.engine._trace_on = enabled
 
     def _reset_measurement(self) -> None:
         """Zero all counters while keeping cache/MSHR/queue state."""
         self.stats.reset()
+        if self.telemetry is not None:
+            # telemetry must describe the same window as the statistics:
+            # drop warmup-phase sampler rows along with the counters they
+            # were recorded against, and open the emission guards for the
+            # measured window.
+            self.telemetry.reset()
+            self._set_trace_emission(True)
         for sm in self.sms:
             sm.instructions = 0
             sm.issue.busy_cycles = 0.0
@@ -253,6 +295,28 @@ class Gpu:
         )
 
 
+@contextmanager
+def _gc_paused():
+    """Pause cyclic garbage collection for the duration of one simulation.
+
+    The event loop allocates heavily (closures, event tuples, trace
+    records) and nearly all of it dies by reference counting; the periodic
+    generation-0 scans only add overhead while the run is in flight.  The
+    collector is re-enabled on exit, so the dropped ``Gpu`` object graph —
+    which *is* cyclic (the event queue holds bound methods of components
+    that hold the queue) — is reclaimed on the next natural collection.
+    Respects a collector the caller already disabled.
+    """
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
 def simulate(
     config: GpuConfig,
     workload: WorkloadSpec,
@@ -267,17 +331,30 @@ def simulate(
     """
     trace: List[Tuple[MetadataKind, int]] = []
     hook = (lambda kind, addr: trace.append((kind, addr))) if metadata_trace else None
-    gpu = Gpu(config, workload, metadata_trace_hook=hook)
-    result = gpu.run(horizon, warmup=warmup)
-    if gpu.telemetry is not None:
-        result.telemetry = gpu.telemetry.export(
-            meta={
-                "workload": workload.name,
-                "horizon": horizon,
-                "warmup": warmup,
-                "class_bytes": class_bytes_from_result(result),
-            }
-        )
+    with _gc_paused():
+        gpu = Gpu(config, workload, metadata_trace_hook=hook)
+        result = gpu.run(horizon, warmup=warmup)
+        if gpu.telemetry is not None:
+            result.telemetry = gpu.telemetry.export(
+                meta={
+                    "workload": workload.name,
+                    "horizon": horizon,
+                    "warmup": warmup,
+                    "class_bytes": class_bytes_from_result(result),
+                }
+            )
+            # the ring lives inside the (cyclic) Gpu object graph, so its
+            # tens of thousands of records would otherwise wait for a
+            # collector pass; clearing here frees them by refcount the
+            # moment this frame drops the gpu.
+            gpu.telemetry.reset()
+        # pending events are the bound-method edges that make the dropped
+        # model graph cyclic; clearing them lets refcounting reclaim it.
+        gpu.events.clear()
+        # drop the model while the collector is still paused: the first
+        # collection after re-enable then scans a small heap instead of
+        # traversing the whole (now dead) object graph.
+        del gpu
     if metadata_trace:
         return result, trace
     return result

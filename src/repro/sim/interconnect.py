@@ -33,8 +33,27 @@ class Crossbar:
         self.latency = config.interconnect_latency
         self._interleave = config.partition_interleave_bytes
         self._num_partitions = config.num_partitions
+        # precomputed interleave shift/partition mask (powers of two in all
+        # shipped configurations; the div/mod path covers the rest).
+        interleave, num = self._interleave, self._num_partitions
+        if (
+            interleave > 0
+            and interleave & (interleave - 1) == 0
+            and num > 0
+            and num & (num - 1) == 0
+        ):
+            self._interleave_shift = interleave.bit_length() - 1
+            self._partition_mask = num - 1
+        else:
+            self._interleave_shift = None
+            self._partition_mask = 0
+        self._stat_add = stats.add
+        self._counts = stats.raw()
 
     def partition_of(self, addr: int) -> int:
+        shift = self._interleave_shift
+        if shift is not None:
+            return (addr >> shift) & self._partition_mask
         return (addr // self._interleave) % self._num_partitions
 
     def send(
@@ -45,7 +64,7 @@ class Crossbar:
         respond: Callable[[float], None],
     ) -> None:
         """Forward a request; *respond* fires back at the SM side."""
-        self.stats.add("requests")
+        self._counts["requests"] += 1.0
         partition = self.partitions[self.partition_of(addr)]
 
         def reply(done: float) -> None:

@@ -15,7 +15,8 @@ essential.  This model supports three regimes:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+import heapq
+from typing import Any, Dict, List, Tuple
 
 from repro.telemetry.tracer import NULL_TRACER
 
@@ -47,6 +48,11 @@ class MshrTable:
         self.name = name
         self._trace = tracer if tracer is not None else NULL_TRACER
         self._entries: Dict[int, MshrEntry] = {}
+        #: lazy min-heap of (ready_time, line_addr) mirroring allocations,
+        #: so :meth:`earliest_ready` is O(log n) instead of a full scan of
+        #: the table on every structural stall.  Stale items (released or
+        #: re-allocated lines) are skipped at read time.
+        self._ready_heap: List[Tuple[float, int]] = []
 
     @property
     def enabled(self) -> bool:
@@ -96,6 +102,7 @@ class MshrTable:
         if waiter is not None:
             entry.waiters.append(waiter)
         self._entries[line_addr] = entry
+        heapq.heappush(self._ready_heap, (ready_time, line_addr))
         return entry
 
     def release(self, line_addr: int) -> MshrEntry:
@@ -104,6 +111,16 @@ class MshrTable:
 
     def earliest_ready(self) -> float:
         """Ready time of the first fill that will free an entry."""
-        if not self._entries:
+        entries = self._entries
+        if not entries:
             return 0.0
-        return min(entry.ready_time for entry in self._entries.values())
+        heap = self._ready_heap
+        while heap:
+            ready_time, line_addr = heap[0]
+            entry = entries.get(line_addr)
+            if entry is not None and entry.ready_time == ready_time:
+                return ready_time
+            heapq.heappop(heap)  # stale: released or re-allocated since
+        # unreachable while the heap mirrors allocations; kept as a safety
+        # net so a future bulk-clear cannot silently corrupt timing.
+        return min(entry.ready_time for entry in entries.values())

@@ -103,9 +103,36 @@ class MemoryPartition:
         self._fetch_bytes = (
             params.SECTOR_BYTES if config.l2_sectored else params.CACHE_LINE_BYTES
         )
+        # to_local runs per request: precompute shift/mask forms when the
+        # interleave and partition count are powers of two (they are in
+        # every shipped configuration; the divmod path remains for odd
+        # values).
+        interleave, num = self._interleave, self._num_partitions
+        if (
+            interleave > 0
+            and interleave & (interleave - 1) == 0
+            and num > 0
+            and num & (num - 1) == 0
+        ):
+            self._interleave_shift = interleave.bit_length() - 1
+            self._offset_mask = interleave - 1
+            self._partition_shift = num.bit_length() - 1
+        else:
+            self._interleave_shift = None
+            self._offset_mask = 0
+            self._partition_shift = 0
+        self._trace_on = self._trace.enabled
+        self._trace_instant = self._trace.instant
+        self._stat_add = stats.add
 
     def to_local(self, addr: int) -> int:
         """Compress a global address into this partition's linear space."""
+        shift = self._interleave_shift
+        if shift is not None:
+            return (
+                ((addr >> shift >> self._partition_shift) << shift)
+                | (addr & self._offset_mask)
+            )
         chunk, offset = divmod(addr, self._interleave)
         return (chunk // self._num_partitions) * self._interleave + offset
 
@@ -115,7 +142,7 @@ class MemoryPartition:
         """Earliest time a new request may be admitted (back-pressure gate)."""
         backlog = self.dram.backlog(now)
         if backlog > BACKLOG_WINDOW:
-            self.stats.add("admission_stalls")
+            self._stat_add("admission_stalls")
             return now + (backlog - BACKLOG_WINDOW)
         return now
 
@@ -132,9 +159,9 @@ class MemoryPartition:
         interleave bits), and the secure engine's metadata is local anyway.
         """
         addr = self.to_local(addr)
-        trace = self._trace
-        if trace.enabled:
-            trace.instant(
+        if self._trace_on:
+            emit = self._trace_instant
+            emit(
                 "req_issue",
                 "partition",
                 self._tid,
@@ -144,7 +171,7 @@ class MemoryPartition:
             tid = self._tid
 
             def respond(done: float, _inner=inner, _addr=addr, _w=int(is_write)) -> None:
-                trace.instant("req_done", "partition", tid, {"addr": _addr, "w": _w})
+                emit("req_done", "partition", tid, {"addr": _addr, "w": _w})
                 _inner(done)
 
         start = self._admission_time(now)
@@ -174,15 +201,15 @@ class MemoryPartition:
         sector = addr - addr % self._fetch_bytes
         entry = self.l2_mshr.get(sector) if self.l2_mshr.enabled else None
         if entry is not None:
-            self.stats.add("l2_secondary_misses")
+            self._stat_add("l2_secondary_misses")
             if self.l2_mshr.can_merge(entry):
                 self.l2_mshr.merge(entry, waiter=respond)
                 return
             # merge cap reached: redundant fetch, no fill.
             ready = self.engine.read_sector(now, sector, self._fetch_bytes)
-            self.stats.add("l2_duplicate_fetches")
-            if self._trace.enabled:
-                self._trace.instant(
+            self._stat_add("l2_duplicate_fetches")
+            if self._trace_on:
+                self._trace_instant(
                     "dup_fetch", "mshr", self.l2_mshr.name, {"addr": sector}
                 )
             self.events.schedule_at(ready, respond, ready)
@@ -190,7 +217,7 @@ class MemoryPartition:
 
         start = now
         if self.l2_mshr.enabled and self.l2_mshr.full:
-            self.stats.add("l2_mshr_full_stalls")
+            self._stat_add("l2_mshr_full_stalls")
             start = max(now, self.l2_mshr.earliest_ready())
         ready = self.engine.read_sector(start, sector, self._fetch_bytes)
         if self.l2_mshr.enabled and not self.l2_mshr.full:
@@ -203,8 +230,8 @@ class MemoryPartition:
     def _on_fill(self, sector: int) -> None:
         now = self.events.now
         entry = self.l2_mshr.release(sector)
-        if self._trace.enabled:
-            self._trace.instant(
+        if self._trace_on:
+            self._trace_instant(
                 "fill",
                 "mshr",
                 self.l2_mshr.name,
@@ -224,7 +251,7 @@ class MemoryPartition:
     def _write_back(self, now: float, evictions: List) -> None:
         for eviction in evictions:
             for sector_addr in eviction.dirty_sector_addrs:
-                self.stats.add("l2_writebacks")
+                self._stat_add("l2_writebacks")
                 self.engine.write_sector(now, sector_addr, self._fetch_bytes)
 
     # ------------------------------------------------------------------

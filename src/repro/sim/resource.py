@@ -20,6 +20,7 @@ class ThroughputResource:
         self.next_free: float = 0.0
         self.busy_cycles: float = 0.0
         self._stats = stats
+        self._counts = stats.raw() if stats is not None else None
 
     def acquire(self, now: float, occupancy: float) -> float:
         """Reserve *occupancy* cycles; return the service start time."""
@@ -28,10 +29,11 @@ class ThroughputResource:
         start = self.next_free if self.next_free > now else now
         self.next_free = start + occupancy
         self.busy_cycles += occupancy
-        if self._stats is not None:
-            self._stats.add("acquisitions")
-            self._stats.add("busy_cycles", occupancy)
-            self._stats.add("queue_delay", start - now)
+        counts = self._counts
+        if counts is not None:
+            counts["acquisitions"] += 1.0
+            counts["busy_cycles"] += occupancy
+            counts["queue_delay"] += start - now
         return start
 
     def backlog(self, now: float) -> float:

@@ -30,6 +30,9 @@ SendFn = Callable[[float, int, bool, Callable[[float], None]], None]
 #: cap on how many pure-compute ops are batched into one event.
 _COMPUTE_BATCH_CAP = 64
 
+#: sector alignment mask (SECTOR_BYTES is a power of two).
+_SECTOR_ALIGN = ~(params.SECTOR_BYTES - 1)
+
 
 class _WarpState:
     __slots__ = ("warp_id", "trace", "pending", "resume_at")
@@ -69,6 +72,9 @@ class StreamingMultiprocessor:
         self._warps = [
             _WarpState(i, trace) for i, trace in enumerate(warp_traces)
         ]
+        self._stat_add = stats.add
+        self._counts = stats.raw()
+        self._issue_acquire = self.issue.acquire
 
     # ------------------------------------------------------------------
 
@@ -90,7 +96,7 @@ class StreamingMultiprocessor:
         for _ in range(_COMPUTE_BATCH_CAP):
             op = next(warp.trace, None)
             if op is None:
-                self.stats.add("warps_finished")
+                self._stat_add("warps_finished")
                 # advance the clock past the work already issued so finite
                 # traces still account their issue/compute time.
                 cursor = max(port_ready, now) + latency
@@ -98,7 +104,7 @@ class StreamingMultiprocessor:
                     self.events.schedule_at(cursor, lambda: None)
                 return
             occupancy = op.n_insts / self.issue_width
-            start = self.issue.acquire(now, occupancy)
+            start = self._issue_acquire(now, occupancy)
             port_ready = max(port_ready, start + occupancy)
             latency += op.compute_cycles
             self.instructions += op.n_insts * THREADS_PER_WARP
@@ -120,7 +126,7 @@ class StreamingMultiprocessor:
         warp.resume_at = now
         hit_ready = now
         for addr in op.mem_addrs:
-            sector = addr - addr % params.SECTOR_BYTES
+            sector = addr & _SECTOR_ALIGN
             if op.is_write:
                 self._write_sector(now, warp, sector)
                 continue
@@ -135,14 +141,14 @@ class StreamingMultiprocessor:
     def _write_sector(self, now: float, warp: _WarpState, sector: int) -> None:
         """Write-through store: forward to L2, wait for acceptance."""
         self.l1.lookup(sector, is_write=False)  # probe only; data updated in place
-        self.stats.add("stores")
+        self._counts["stores"] += 1.0
         warp.pending += 1
         self.send(now, sector, True, self._make_warp_cb(warp))
 
     def _read_sector(self, now: float, warp: _WarpState, sector: int) -> float | None:
         """Load path; returns the ready time for L1 hits, None if pending."""
         result = self.l1.lookup(sector, is_write=False)
-        self.stats.add("loads")
+        self._counts["loads"] += 1.0
         if result is AccessResult.HIT:
             return now + self._l1_hit_latency
 
@@ -153,14 +159,14 @@ class StreamingMultiprocessor:
             if len(waiters) < self._l1_merge_cap:
                 waiters.append(warp_cb)
             else:
-                self.stats.add("l1_unmerged")
+                self._stat_add("l1_unmerged")
                 self.send(now, sector, False, warp_cb)
             return None
         if len(self._l1_inflight) < self._l1_mshrs:
             self._l1_inflight[sector] = [warp_cb]
             self.send(now, sector, False, lambda t, s=sector: self._on_l1_fill(s, t))
         else:
-            self.stats.add("l1_mshr_full")
+            self._stat_add("l1_mshr_full")
             self.send(now, sector, False, warp_cb)
         return None
 

@@ -13,9 +13,12 @@ without reshaping.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 Gauge = Callable[[], float]
+
+#: a block poll returns one value per registered column, in order.
+BlockPoll = Callable[[], Sequence[float]]
 
 
 class Sampler:
@@ -25,7 +28,9 @@ class Sampler:
         self.events = events
         self.sample_every = float(sample_every)
         self.max_samples = max(1, int(max_samples))
-        self._gauges: List[Tuple[str, Gauge]] = []
+        #: registration-ordered entries: ``(name, gauge)`` for single
+        #: gauges, ``(tuple_of_names, block_poll)`` for batched blocks.
+        self._gauges: List[Tuple[object, Callable]] = []
         self.columns: Dict[str, List[float]] = {"cycle": []}
         self.truncated = False
 
@@ -39,6 +44,20 @@ class Sampler:
             raise ValueError(f"duplicate gauge {name!r}")
         self._gauges.append((name, gauge))
         self.columns[name] = []
+
+    def register_block(self, names: Sequence[str], poll: BlockPoll) -> None:
+        """Add several columns fed by ONE poll call per epoch.
+
+        *poll* must return one value per name, in order.  Use this when the
+        gauges share an expensive computation (e.g. the per-class DRAM byte
+        totals, which walk every partition): a block computes it once per
+        tick instead of once per column.
+        """
+        for name in names:
+            if name in self.columns:
+                raise ValueError(f"duplicate gauge {name!r}")
+            self.columns[name] = []
+        self._gauges.append((tuple(names), poll))
 
     def start(self) -> None:
         """Schedule the first epoch tick (call once, before the run)."""
@@ -54,9 +73,20 @@ class Sampler:
 
     def sample_now(self) -> None:
         """Append one row at the current simulation time."""
-        self.columns["cycle"].append(self.events.now)
-        for name, gauge in self._gauges:
-            self.columns[name].append(float(gauge()))
+        columns = self.columns
+        columns["cycle"].append(self.events.now)
+        for name, poll in self._gauges:
+            if type(name) is str:
+                columns[name].append(float(poll()))
+            else:  # block: one poll feeds every column in the group
+                for col, value in zip(name, poll()):
+                    columns[col].append(float(value))
+
+    def clear(self) -> None:
+        """Drop all recorded rows (gauge registrations are kept)."""
+        for column in self.columns.values():
+            column.clear()
+        self.truncated = False
 
     def num_samples(self) -> int:
         return len(self.columns["cycle"])

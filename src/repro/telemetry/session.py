@@ -37,6 +37,13 @@ class TelemetrySession:
         )
         self.sampler = Sampler(events, config.sample_every, config.max_samples)
 
+    def reset(self) -> None:
+        """Drop everything recorded so far; used at the warmup boundary so
+        exported telemetry covers exactly the measured window (matching the
+        statistics, which are zeroed at the same instant)."""
+        self.tracer.clear()
+        self.sampler.clear()
+
     def export(self, meta: Optional[dict] = None) -> dict:
         """Everything recorded, as one plain JSON-able dict."""
         tracer = self.tracer

@@ -39,6 +39,9 @@ class NullTracer:
     def instant(self, name: str, cat: str, tid: str, args: Optional[dict] = None) -> None:
         """No-op."""
 
+    def clear(self) -> None:
+        """No-op."""
+
     def span(
         self,
         name: str,
@@ -58,7 +61,7 @@ NULL_TRACER = NullTracer()
 class Tracer:
     """Bounded recorder of typed simulation events."""
 
-    __slots__ = ("_clock", "_ring", "capacity", "dropped")
+    __slots__ = ("_clock", "_ring", "_append", "capacity", "emitted")
 
     enabled = True
 
@@ -67,22 +70,32 @@ class Tracer:
         self._clock = clock
         self.capacity = max(1, int(capacity))
         self._ring: deque[EventRecord] = deque(maxlen=self.capacity)
-        self.dropped = 0
+        #: bound append: the ``maxlen`` deque evicts the oldest record
+        #: itself, so emission is a counter bump plus one append — no
+        #: capacity check, no branch.
+        self._append = self._ring.append
+        self.emitted = 0
 
     def __len__(self) -> int:
         return len(self._ring)
 
-    # -- emission ----------------------------------------------------------
+    def clear(self) -> None:
+        """Forget everything recorded so far (e.g. at a warmup boundary)."""
+        self._ring.clear()
+        self.emitted = 0
 
-    def _push(self, record: EventRecord) -> None:
-        ring = self._ring
-        if len(ring) == self.capacity:
-            self.dropped += 1
-        ring.append(record)
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring (derived, not tracked per event)."""
+        overflow = self.emitted - len(self._ring)
+        return overflow if overflow > 0 else 0
+
+    # -- emission ----------------------------------------------------------
 
     def instant(self, name: str, cat: str, tid: str, args: Optional[dict] = None) -> None:
         """Record a point event at the current simulation time."""
-        self._push(("i", self._clock.now, 0.0, tid, name, cat, args))
+        self.emitted += 1
+        self._append(("i", self._clock.now, 0.0, tid, name, cat, args))
 
     def span(
         self,
@@ -94,27 +107,58 @@ class Tracer:
         args: Optional[dict] = None,
     ) -> None:
         """Record a duration event (e.g. one DRAM channel service)."""
-        self._push(("X", ts, dur, tid, name, cat, args))
+        self.emitted += 1
+        self._append(("X", ts, dur, tid, name, cat, args))
 
     # -- export ------------------------------------------------------------
 
     def events_as_dicts(self) -> List[dict]:
         """The ring contents, oldest first, as plain JSON-able dicts."""
-        out = []
-        for ph, ts, dur, tid, name, cat, args in self._ring:
-            event: Dict[str, Any] = {
-                "ph": ph,
-                "ts": round(ts, 3),
-                "tid": tid,
-                "name": name,
-                "cat": cat,
-            }
-            if ph == "X":
-                event["dur"] = round(dur, 3)
-            if args:
-                event["args"] = args
-            out.append(event)
-        return out
+        _round = round
+        # one dict literal per shape keeps this loop allocation-minimal;
+        # exports run once per simulation but convert the whole ring.
+        return [
+            (
+                {
+                    "ph": ph,
+                    "ts": _round(ts, 3),
+                    "tid": tid,
+                    "name": name,
+                    "cat": cat,
+                    "dur": _round(dur, 3),
+                    "args": args,
+                }
+                if args
+                else {
+                    "ph": ph,
+                    "ts": _round(ts, 3),
+                    "tid": tid,
+                    "name": name,
+                    "cat": cat,
+                    "dur": _round(dur, 3),
+                }
+            )
+            if ph == "X"
+            else (
+                {
+                    "ph": ph,
+                    "ts": _round(ts, 3),
+                    "tid": tid,
+                    "name": name,
+                    "cat": cat,
+                    "args": args,
+                }
+                if args
+                else {
+                    "ph": ph,
+                    "ts": _round(ts, 3),
+                    "tid": tid,
+                    "name": name,
+                    "cat": cat,
+                }
+            )
+            for ph, ts, dur, tid, name, cat, args in self._ring
+        ]
 
     def to_jsonl(self) -> str:
         return "\n".join(json.dumps(e, sort_keys=True) for e in self.events_as_dicts())

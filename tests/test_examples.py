@@ -4,6 +4,8 @@ import importlib.util
 import sys
 from pathlib import Path
 
+import pytest
+
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
 
@@ -63,6 +65,7 @@ class TestMetadataCacheStudy:
 
 
 class TestAttackDemo:
+    @pytest.mark.slow
     def test_attack_narrative(self, capsys):
         module = load_example("attack_demo")
         module.main()

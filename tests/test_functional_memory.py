@@ -209,6 +209,7 @@ class TestCounterOverflow:
 
 
 class TestPropertyRoundTrip:
+    @pytest.mark.slow
     @given(
         st.lists(
             st.tuples(
