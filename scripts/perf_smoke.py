@@ -28,6 +28,7 @@ import argparse
 import dataclasses
 import json
 import os
+import platform
 import subprocess
 import sys
 import time
@@ -50,6 +51,25 @@ TIER1_SELECTION = ["-q", "-k", "parallel or Sharded or CrashSafety", "tests/test
 
 #: interleaved repetitions for the core benchmark (best rep kept).
 CORE_REPS = 5
+
+
+def host_metadata() -> dict:
+    """What machine produced this benchmark — for judging comparability.
+
+    A points/s delta between two BENCH files only means something when the
+    host and its load were comparable; record both alongside the numbers.
+    """
+    meta = {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+    if hasattr(os, "getloadavg"):
+        try:
+            meta["loadavg"] = [round(x, 2) for x in os.getloadavg()]
+        except OSError:
+            pass
+    return meta
 
 
 def fixed_matrix():
@@ -108,6 +128,7 @@ def core_bench() -> dict:
     drift_free = all(d == off_dicts[0] for d in on_dicts)
     off_best, on_best = min(off_times), min(on_times)
     return {
+        "host": host_metadata(),
         "points": len(points),
         "horizon": HORIZON,
         "warmup": WARMUP,
@@ -189,6 +210,7 @@ def main() -> int:
     )
 
     report = {
+        "host": host_metadata(),
         "cpu_count": os.cpu_count(),
         "jobs": jobs,
         "points": len(points),

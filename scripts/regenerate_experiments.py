@@ -171,6 +171,12 @@ def main() -> None:
     parser.add_argument(
         "--stats-json", default=None, help="write the throughput summary as JSON"
     )
+    parser.add_argument(
+        "--heartbeat",
+        default=None,
+        metavar="PATH",
+        help="append per-point progress lines (JSONL) here; tail -f to watch",
+    )
     args = parser.parse_args()
 
     horizon, warmup = (3000, 6000) if args.fast else (HORIZON, WARMUP)
@@ -179,7 +185,11 @@ def main() -> None:
     legacy = ROOT / "results" / f"experiments_p{PARTITIONS}_h{horizon}_w{warmup}.json"
     cache = legacy if legacy.is_file() else legacy.with_name(legacy.name + ".d")
     runner = ParallelRunner(
-        horizon=horizon, warmup=warmup, cache_path=cache, jobs=args.jobs or None
+        horizon=horizon,
+        warmup=warmup,
+        cache_path=cache,
+        jobs=args.jobs or None,
+        heartbeat_path=args.heartbeat,
     )
 
     sections = []

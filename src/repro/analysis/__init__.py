@@ -1,6 +1,23 @@
-"""Post-processing: reuse-distance analysis, die-area model, reporting."""
+"""Post-processing: reuse-distance analysis, die-area model, bottleneck
+attribution, reporting."""
 
 from repro.analysis.area import AreaModel
+from repro.analysis.bottleneck import (
+    dominant_overhead,
+    hop_rows,
+    overhead_components,
+    render_bottleneck_report,
+    stall_rows,
+)
 from repro.analysis.reuse import reuse_distance_histogram, stack_distances
 
-__all__ = ["AreaModel", "reuse_distance_histogram", "stack_distances"]
+__all__ = [
+    "AreaModel",
+    "dominant_overhead",
+    "hop_rows",
+    "overhead_components",
+    "render_bottleneck_report",
+    "reuse_distance_histogram",
+    "stack_distances",
+    "stall_rows",
+]

@@ -3,16 +3,17 @@
 Commands
 --------
 
-``run``      simulate one workload on one design and print the result
-``profile``  run one point under cProfile and print the hottest functions
-``trace``    run one workload with telemetry and export a Chrome trace
-``stats``    dump the full statistics tree for one run (``--json`` for tools)
-``sweep``    run all 14 workloads on one design (optionally normalized)
-``figure``   regenerate one paper figure/table and print it
-``designs``  list the named design points
-``attack``   run the functional-security attack demonstration
-``storage``  print Table II's metadata storage arithmetic
-``area``     print Tables VI-VII's die-area arithmetic
+``run``        simulate one workload on one design and print the result
+``profile``    run one point under cProfile and print the hottest functions
+``trace``      run one workload with telemetry and export a Chrome trace
+``bottleneck`` latency decomposition: per-hop queueing/service + stall causes
+``stats``      dump the full statistics tree for one run (``--json`` for tools)
+``sweep``      run all 14 workloads on one design (optionally normalized)
+``figure``     regenerate one paper figure/table and print it
+``designs``    list the named design points
+``attack``     run the functional-security attack demonstration
+``storage``    print Table II's metadata storage arithmetic
+``area``       print Tables VI-VII's die-area arithmetic
 """
 
 from __future__ import annotations
@@ -96,9 +97,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument(
         "--sort",
-        choices=["cumulative", "tottime", "ncalls"],
+        choices=["cumulative", "cumtime", "tottime", "ncalls"],
         default="cumulative",
-        help="pstats sort order",
+        help="pstats sort order (cumtime is an alias for cumulative)",
+    )
+    profile.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the profile rows as machine-readable JSON",
     )
     add_scale(profile)
 
@@ -122,6 +129,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="gauge sampling epoch in cycles (0 disables sampling)",
     )
     add_scale(trace)
+
+    bottleneck = sub.add_parser(
+        "bottleneck",
+        help="latency decomposition: per-hop queueing/service and stall causes",
+    )
+    bottleneck.add_argument("workload", choices=BENCHMARK_ORDER)
+    bottleneck.add_argument(
+        "--design", choices=sorted(DESIGNS), default="secureMem_mshr64"
+    )
+    bottleneck.add_argument(
+        "--out",
+        default=None,
+        help="also write telemetry artifacts (latency.json et al.) to this "
+        "directory (default: print only)",
+    )
+    bottleneck.add_argument(
+        "--json",
+        action="store_true",
+        help="print the latency export as JSON instead of the table report",
+    )
+    add_scale(bottleneck)
 
     stats = sub.add_parser(
         "stats", help="dump the full statistics tree for one run"
@@ -194,9 +222,46 @@ def _cmd_profile(args) -> int:
     print(f"IPC               {result.ipc:.2f}")
     print(f"events processed  {result.events_processed}")
     print()
+    sort = "cumulative" if args.sort == "cumtime" else args.sort
     stats = pstats.Stats(profiler, stream=sys.stdout)
-    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    stats.strip_dirs().sort_stats(sort).print_stats(args.top)
+    if args.json:
+        _write_profile_json(args, result, stats, sort)
+        print(f"profile json      {args.json}")
     return 0
+
+
+def _write_profile_json(args, result, stats, sort: str) -> None:
+    """Persist the profile as rows of per-function timings (sorted)."""
+    sort_index = {"cumulative": "cumtime", "tottime": "tottime", "ncalls": "ncalls"}[sort]
+    rows = []
+    for (filename, lineno, func), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        rows.append(
+            {
+                "function": func,
+                "file": filename,
+                "line": lineno,
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime": tt,
+                "cumtime": ct,
+            }
+        )
+    rows.sort(key=lambda r: (-(r[sort_index] if sort_index != "ncalls" else r["ncalls"]),
+                             r["file"], r["line"]))
+    doc = {
+        "workload": args.workload,
+        "design": args.design,
+        "horizon": args.horizon,
+        "warmup": args.warmup,
+        "ipc": result.ipc,
+        "events_processed": result.events_processed,
+        "sort": sort,
+        "rows": rows[: max(args.top, 0) or len(rows)],
+    }
+    path = Path(args.json)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
 
 
 def _cmd_trace(args) -> int:
@@ -231,6 +296,45 @@ def _cmd_trace(args) -> int:
     print(f"samples           {len(export['samples']['cycle'])} epochs")
     print(f"artifacts         {out}")
     print("open trace.json in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_bottleneck(args) -> int:
+    from repro.analysis.bottleneck import dominant_overhead, render_bottleneck_report
+
+    secure = DESIGNS[args.design]()
+    config = design_mod.build_gpu(secure, num_partitions=args.partitions)
+    # only the latency recorder is needed: leave the event ring and the
+    # sampler off so the report costs no trace memory.
+    config = dataclasses.replace(
+        config,
+        telemetry=TelemetryConfig(
+            enabled=True, trace_events=False, sample_every=0.0, latency_histograms=True
+        ),
+    )
+    result = simulate(
+        config, get_benchmark(args.workload), horizon=args.horizon, warmup=args.warmup
+    )
+    export = result.telemetry
+    latency = export["latency"]
+    class_bytes = export["meta"]["class_bytes"]
+    if args.json:
+        print(json.dumps(latency, sort_keys=True, indent=2))
+        return 0
+    print(f"workload          {args.workload}")
+    print(f"design            {args.design}")
+    print(f"IPC               {result.ipc:.2f}")
+    print(f"bandwidth util    {result.bandwidth_utilization:.1%}")
+    print()
+    print(render_bottleneck_report(latency, class_bytes))
+    dominant = dominant_overhead(latency)
+    if dominant:
+        print()
+        print(f"dominant overhead component: {dominant}")
+    if args.out:
+        out = Path(args.out)
+        write_artifacts(out, export)
+        print(f"artifacts         {out}")
     return 0
 
 
@@ -353,6 +457,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "bottleneck":
+        return _cmd_bottleneck(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "sweep":

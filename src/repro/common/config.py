@@ -256,6 +256,8 @@ class TelemetryConfig:
     sample_every: float = 500.0
     #: hard cap on sampler rows, a runaway guard for huge horizons.
     max_samples: int = 100_000
+    #: per-hop latency histograms and stall accounting (repro bottleneck).
+    latency_histograms: bool = True
 
     def __post_init__(self) -> None:
         if self.ring_capacity < 1:

@@ -39,7 +39,7 @@ import json
 import os
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -195,6 +195,13 @@ class ParallelRunner(Runner):
     single-file JSON cache at that path is imported read-only).  ``jobs``
     defaults to ``os.cpu_count()``; ``jobs=1`` never spawns a pool and
     follows the exact serial code path.
+
+    ``heartbeat_path`` names a JSONL sidecar that gets one appended line
+    per *completed* point (``{ts, done, total, elapsed_s, points_per_s,
+    eta_s}``), so a long sweep can be watched from another terminal with
+    ``tail -f``.  Counts are per :meth:`prefetch` batch.  Heartbeats are
+    best-effort: an unwritable path never fails the sweep, and the file
+    plays no part in result merging or caching.
     """
 
     def __init__(
@@ -206,8 +213,10 @@ class ParallelRunner(Runner):
         flush_every: int = 16,
         jobs: Optional[int] = None,
         telemetry_dir: Optional[str | Path] = None,
+        heartbeat_path: Optional[str | Path] = None,
     ) -> None:
         self.jobs = max(1, int(jobs) if jobs is not None else (os.cpu_count() or 1))
+        self.heartbeat_path = Path(heartbeat_path) if heartbeat_path else None
         self._cache: Optional[ShardedResultCache] = None
         super().__init__(
             horizon=horizon,
@@ -238,6 +247,33 @@ class ParallelRunner(Runner):
     def close(self) -> None:
         if self._cache is not None:
             self._cache.compact()
+
+    # -- progress heartbeat ---------------------------------------------
+
+    def _emit_heartbeat(self, done: int, total: int, started: float) -> None:
+        """Append one progress line to the heartbeat sidecar (best-effort)."""
+        if self.heartbeat_path is None:
+            return
+        elapsed = time.perf_counter() - started
+        rate = done / elapsed if elapsed > 0.0 else 0.0
+        eta = (total - done) / rate if rate > 0.0 else None
+        line = json.dumps(
+            {
+                "ts": time.time(),
+                "done": done,
+                "total": total,
+                "elapsed_s": round(elapsed, 3),
+                "points_per_s": round(rate, 3),
+                "eta_s": round(eta, 3) if eta is not None else None,
+            }
+        )
+        try:
+            self.heartbeat_path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.heartbeat_path, "a") as fh:
+                fh.write(line + "\n")
+        except OSError:
+            # observability must never fail the sweep it observes.
+            pass
 
     # -- plan / simulate / merge ----------------------------------------
 
@@ -284,10 +320,12 @@ class ParallelRunner(Runner):
 
         t1 = time.perf_counter()
         if jobs == 1 or len(pending) == 1:
-            payloads = [
-                _simulate_point(name, config, self.horizon, self.warmup)
-                for (_key, _disk_key, name, config) in pending
-            ]
+            payloads = []
+            for done, (_key, _disk_key, name, config) in enumerate(pending, start=1):
+                payloads.append(
+                    _simulate_point(name, config, self.horizon, self.warmup)
+                )
+                self._emit_heartbeat(done, len(pending), t1)
         else:
             workers = min(jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -295,8 +333,13 @@ class ParallelRunner(Runner):
                     pool.submit(_simulate_point, name, config, self.horizon, self.warmup)
                     for (_key, _disk_key, name, config) in pending
                 ]
+                if self.heartbeat_path is not None:
+                    # count completions as they land; the ordered reads
+                    # below then return instantly from the settled futures.
+                    for done, _future in enumerate(as_completed(futures), start=1):
+                        self._emit_heartbeat(done, len(pending), t1)
                 # collect in submission order: deterministic merge no
-                # matter which worker finishes first.
+                # matter which worker finished first.
                 payloads = [future.result() for future in futures]
         wall = time.perf_counter() - t1
         self.stats.sim_seconds += wall

@@ -46,6 +46,14 @@ from repro.sim.dram import (
 )
 from repro.sim.event import EventQueue
 from repro.sim.mshr import MshrTable
+from repro.telemetry.latency import (
+    HOP_CRYPTO,
+    HOP_MDC,
+    HOP_MSHR,
+    NULL_LATENCY,
+    STALL_CRYPTO,
+    STALL_MDC_MSHR_FULL,
+)
 from repro.telemetry.tracer import NULL_TRACER
 from repro.telemetry.traffic import CLASS_OF_KIND, TrafficClass
 
@@ -92,6 +100,7 @@ class _KindState:
         "inflight",
         "category",
         "tclass",
+        "cls_label",
     )
 
     def __init__(self, kind: MetadataKind, stats: StatGroup) -> None:
@@ -106,6 +115,7 @@ class _KindState:
         self.inflight: Dict[int, _Inflight] = {}
         self.category = _KIND_TO_CATEGORY[kind]
         self.tclass = CLASS_OF_KIND[kind]
+        self.cls_label = self.tclass.name
 
 
 class SecureEngine:
@@ -122,6 +132,7 @@ class SecureEngine:
         trace_hook: Optional[Callable[[MetadataKind, int], None]] = None,
         tracer=None,
         name: str = "engine",
+        latency=None,
     ) -> None:
         self.config = config
         self.dram = dram
@@ -130,6 +141,7 @@ class SecureEngine:
         self.stats = stats
         self.name = name
         self._trace = tracer if tracer is not None else NULL_TRACER
+        self._lat = latency if latency is not None else NULL_LATENCY
         self._mdc_tid = f"{name}.mdc"
         #: optional callback invoked with (kind, block_addr) on every
         #: metadata cache access — the reuse-distance experiments tap this.
@@ -184,6 +196,7 @@ class SecureEngine:
         self._counts = stats.raw()
         self._trace_on = self._trace.enabled
         self._trace_instant = self._trace.instant
+        self._lat_on = self._lat.enabled
         self._dram_read = dram.read
         self._dram_write = dram.write
         #: (kind, block_addr) -> parent tree-node address (or None); pure
@@ -315,6 +328,14 @@ class SecureEngine:
         if not self._speculative:
             # blocking verification: the load waits for every check.
             ready = max(ready, verify_done)
+        if self._lat_on:
+            # crypto cycles *exposed* beyond the raw data fetch: the OTP
+            # XOR / late counter in counter mode, the full AES latency in
+            # direct mode, blocking verification when non-speculative.
+            exposed = ready - data_ready
+            if exposed > 0.0:
+                self._lat.record(HOP_CRYPTO, "DATA", 0.0, exposed)
+                self._lat.stall(STALL_CRYPTO, exposed)
         return ready
 
     def write_sector(self, now: float, addr: int, nbytes: int = params.SECTOR_BYTES) -> float:
@@ -426,6 +447,8 @@ class SecureEngine:
         result = state.cache.lookup(block_addr, is_write=is_write)
         if result is AccessResult.HIT:
             counts["hits"] += 1.0
+            if self._lat_on:
+                self._lat.record(HOP_MDC, state.cls_label, 0.0, self._hit_latency)
             if self._trace_on:
                 self._trace_instant(
                     "mdc_hit", "mdc", self._mdc_tid,
@@ -459,6 +482,12 @@ class SecureEngine:
                 # own cap in unified mode — bump the entry directly.
                 entry.merged += 1
                 counts["merged"] += 1.0
+                if self._lat_on:
+                    # wait under the in-flight fill (MDC merges bypass
+                    # MshrTable.merge, so record the queueing here).
+                    self._lat.record(
+                        HOP_MSHR, state.cls_label, pending.ready_time - now, 0.0
+                    )
                 if self._trace_on:
                     self._trace_instant(
                         "merge", "mshr", mshr.name,
@@ -490,6 +519,9 @@ class SecureEngine:
             # structural stall: wait for the earliest in-flight fill.
             counts["mshr_full_stalls"] += 1.0
             start = max(now, mshr.earliest_ready())
+            if self._lat_on:
+                self._lat.stall(STALL_MDC_MSHR_FULL, start - now)
+                self._lat.record(HOP_MSHR, state.cls_label, start - now, 0.0)
         ready = self._dram_read(
             start, params.CACHE_LINE_BYTES, category, block_addr, tclass=tclass
         )

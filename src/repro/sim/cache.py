@@ -21,6 +21,7 @@ from typing import List, Set
 
 from repro.common.config import CacheConfig
 from repro.common.stats import StatGroup
+from repro.telemetry.latency import NULL_LATENCY
 from repro.telemetry.tracer import NULL_TRACER
 from repro.telemetry.traffic import TrafficClass
 
@@ -69,6 +70,9 @@ class SectoredCache:
         tclass: TrafficClass | None = None,
         tracer=None,
         name: str = "cache",
+        latency=None,
+        hop: str | None = None,
+        hit_latency: float = 0.0,
     ) -> None:
         self.config = config
         self.stats = stats if stats is not None else StatGroup("cache")
@@ -78,6 +82,14 @@ class SectoredCache:
         self.name = name
         self._trace = tracer if tracer is not None else NULL_TRACER
         self._cls_label = tclass.name if tclass is not None else "META"
+        #: with a latency recorder and a hop name bound, every lookup hit
+        #: records its (zero-queue) service time under that hop — the L1
+        #: uses this; caches whose hit timing is owned by their caller (L2,
+        #: metadata caches) leave *hop* unset and record nothing here.
+        self._lat = latency if latency is not None else NULL_LATENCY
+        self._hop = hop
+        self._hit_latency = hit_latency
+        self._lat_on = self._lat.enabled and hop is not None
         self._sets: List[OrderedDict[int, _Line]] = [
             OrderedDict() for _ in range(config.num_sets)
         ]
@@ -171,6 +183,8 @@ class SectoredCache:
         if is_write:
             line.dirty_mask |= bit
         counts["hits"] += 1.0
+        if self._lat_on:
+            self._lat.record(self._hop, self._cls_label, 0.0, self._hit_latency)
         if self._trace_on:
             self._trace_instant(
                 "hit", "cache", self.name, {"addr": addr, "cls": self._cls_label}
@@ -265,12 +279,19 @@ class InfiniteCache:
         tclass: TrafficClass | None = None,
         tracer=None,
         name: str = "cache",
+        latency=None,
+        hop: str | None = None,
+        hit_latency: float = 0.0,
     ) -> None:
         self.stats = stats if stats is not None else StatGroup("cache")
         self.tclass = tclass
         self.name = name
         self._trace = tracer if tracer is not None else NULL_TRACER
         self._cls_label = tclass.name if tclass is not None else "META"
+        self._lat = latency if latency is not None else NULL_LATENCY
+        self._hop = hop
+        self._hit_latency = hit_latency
+        self._lat_on = self._lat.enabled and hop is not None
         self._resident: Set[int] = set()
         self._dirty: Set[int] = set()
         self._line_bytes = line_bytes
@@ -288,6 +309,8 @@ class InfiniteCache:
             if is_write:
                 self._dirty.add(line)
             self._stat_add("hits")
+            if self._lat_on:
+                self._lat.record(self._hop, self._cls_label, 0.0, self._hit_latency)
             if self._trace_on:
                 self._trace_instant(
                     "hit", "cache", self.name, {"addr": addr, "cls": self._cls_label}

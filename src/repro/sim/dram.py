@@ -17,6 +17,7 @@ from repro.common import params
 from repro.common.config import DramConfig
 from repro.common.stats import StatGroup
 from repro.sim.resource import ThroughputResource
+from repro.telemetry.latency import HOP_DRAM, NULL_LATENCY, STALL_DRAM_QUEUE
 from repro.telemetry.tracer import NULL_TRACER
 from repro.telemetry.traffic import CLASS_OF_CATEGORY, TrafficClass
 
@@ -48,11 +49,13 @@ class DramChannel:
         stats: StatGroup | None = None,
         tracer=None,
         name: str = "dram",
+        latency=None,
     ) -> None:
         self.config = config
         self.stats = stats if stats is not None else StatGroup("dram")
         self.name = name
         self._trace = tracer if tracer is not None else NULL_TRACER
+        self._lat = latency if latency is not None else NULL_LATENCY
         #: achievable service rate: peak scaled by DRAM efficiency.
         self.bytes_per_cycle = config.bytes_per_core_cycle(core_clock_mhz) * config.efficiency
         #: peak rate, the denominator of the utilization metric.
@@ -74,6 +77,22 @@ class DramChannel:
         self._label_memo: dict = {}
         self._trace_on = self._trace.enabled
         self._trace_span = self._trace.span
+        self._lat_on = self._lat.enabled
+
+    def _record_latency(
+        self, category: str, tclass, queue: float, service: float, nbytes: int
+    ) -> None:
+        """One per-transfer latency-telemetry emission (guarded by _lat_on).
+
+        Bytes are accounted here — at the channel — so the per-class totals
+        in the latency export conserve exactly against the DRAM byte stats.
+        """
+        label = self._class_label(category, tclass)
+        lat = self._lat
+        lat.record(HOP_DRAM, label, queue, service)
+        if queue > 0.0:
+            lat.stall(STALL_DRAM_QUEUE, queue)
+        lat.account_bytes(label, nbytes)
 
     def _occupancy(self, nbytes: int) -> float:
         memo = self._occupancy_memo
@@ -123,6 +142,10 @@ class DramChannel:
         occupancy = self._occupancy(nbytes)
         start = self.channel.acquire(now, occupancy)
         self._account(category, nbytes)
+        if self._lat_on:
+            self._record_latency(
+                category, tclass, start - now, occupancy + self.access_latency, nbytes
+            )
         if self._trace_on:
             self._trace_span(
                 category,
@@ -151,6 +174,8 @@ class DramChannel:
         occupancy = self._occupancy(nbytes)
         start = self.channel.acquire(now, occupancy)
         self._account(category, nbytes)
+        if self._lat_on:
+            self._record_latency(category, tclass, start - now, occupancy, nbytes)
         if self._trace_on:
             self._trace_span(
                 category,
@@ -192,8 +217,9 @@ class BankedDramChannel(DramChannel):
         stats: StatGroup | None = None,
         tracer=None,
         name: str = "dram",
+        latency=None,
     ) -> None:
-        super().__init__(config, core_clock_mhz, stats, tracer=tracer, name=name)
+        super().__init__(config, core_clock_mhz, stats, tracer=tracer, name=name, latency=latency)
         #: the bus runs at raw peak; conflicts provide the inefficiency.
         self.bytes_per_cycle = config.bytes_per_core_cycle(core_clock_mhz)
         self._row_bytes = config.row_bytes
@@ -202,8 +228,8 @@ class BankedDramChannel(DramChannel):
         #: per bank: [open_row, busy_until]
         self._banks = [[-1, 0.0] for _ in range(config.num_banks)]
 
-    def _bank_service(self, now: float, nbytes: int, addr: int) -> tuple[float, float]:
-        """Returns (transfer_done, data_ready) honoring bank state."""
+    def _bank_service(self, now: float, nbytes: int, addr: int) -> tuple[float, float, float]:
+        """Returns (service_begin, transfer_done, data_ready) honoring bank state."""
         occupancy = self._occupancy(nbytes)
         start = self.channel.acquire(now, occupancy)
         row = addr // self._row_bytes
@@ -215,7 +241,7 @@ class BankedDramChannel(DramChannel):
         done = begin + occupancy
         bank[0] = row
         bank[1] = done if hit else done + (self._row_miss - self._row_hit) * 0.25
-        return done, done + latency
+        return begin, done, done + latency
 
     def read(
         self,
@@ -226,7 +252,9 @@ class BankedDramChannel(DramChannel):
         tclass: TrafficClass | None = None,
     ) -> float:
         self._account(category, nbytes)
-        _done, ready = self._bank_service(now, nbytes, addr)
+        begin, _done, ready = self._bank_service(now, nbytes, addr)
+        if self._lat_on:
+            self._record_latency(category, tclass, begin - now, ready - begin, nbytes)
         if self._trace_on:
             self._trace_span(
                 category,
@@ -247,7 +275,9 @@ class BankedDramChannel(DramChannel):
         tclass: TrafficClass | None = None,
     ) -> float:
         self._account(category, nbytes)
-        done, _ready = self._bank_service(now, nbytes, addr)
+        begin, done, _ready = self._bank_service(now, nbytes, addr)
+        if self._lat_on:
+            self._record_latency(category, tclass, begin - now, done - begin, nbytes)
         if self._trace_on:
             self._trace_span(
                 category,
@@ -275,8 +305,11 @@ def make_dram_channel(
     stats: StatGroup | None = None,
     tracer=None,
     name: str = "dram",
+    latency=None,
 ) -> DramChannel:
     """Instantiate the configured channel model."""
     if config.model == "banked":
-        return BankedDramChannel(config, core_clock_mhz, stats, tracer=tracer, name=name)
-    return DramChannel(config, core_clock_mhz, stats, tracer=tracer, name=name)
+        return BankedDramChannel(
+            config, core_clock_mhz, stats, tracer=tracer, name=name, latency=latency
+        )
+    return DramChannel(config, core_clock_mhz, stats, tracer=tracer, name=name, latency=latency)

@@ -107,9 +107,12 @@ class Gpu:
         #: bit-identical to a build without telemetry at all.
         self.telemetry: Optional[TelemetrySession] = None
         tracer = None
+        latency = None
         if config.telemetry.enabled:
             self.telemetry = TelemetrySession(config.telemetry, self.events)
             tracer = self.telemetry.tracer
+            if self.telemetry.latency.enabled:
+                latency = self.telemetry.latency
         self.partitions: List[MemoryPartition] = [
             MemoryPartition(
                 index,
@@ -119,12 +122,15 @@ class Gpu:
                 self.stats.child(f"partition{index}"),
                 trace_hook=metadata_trace_hook if index == 0 else None,
                 tracer=tracer,
+                latency=latency,
             )
             for index in range(config.num_partitions)
         ]
         if self.telemetry is not None:
             self._register_gauges()
-        self.crossbar = Crossbar(config, self.events, self.partitions, self.stats.child("icnt"))
+        self.crossbar = Crossbar(
+            config, self.events, self.partitions, self.stats.child("icnt"), latency=latency
+        )
         warps_per_sm = min(workload.warps_per_sm, config.max_warps_per_sm)
         self.sms: List[StreamingMultiprocessor] = []
         for sm_id in range(config.num_sms):
@@ -140,6 +146,7 @@ class Gpu:
                     self.crossbar.send,
                     self.stats.child(f"sm{sm_id}"),
                     traces,
+                    latency=latency,
                 )
             )
 
@@ -219,13 +226,28 @@ class Gpu:
         Components cache ``tracer.enabled`` in a ``_trace_on`` attribute so
         the disabled path costs one attribute load; this is the matching
         session-level switch that rebinds those cached guards (warmup off,
-        measured window on).
+        measured window on).  The latency-recorder guards (``_lat_on``)
+        follow the same protocol, additionally gated on the recorder
+        actually being configured.
         """
+        lat = (
+            enabled
+            and self.telemetry is not None
+            and self.telemetry.latency.enabled
+        )
         for partition in self.partitions:
             partition._trace_on = enabled
             partition.l2._trace_on = enabled
             partition.dram._trace_on = enabled
             partition.engine._trace_on = enabled
+            partition._lat_on = lat
+            partition.dram._lat_on = lat
+            partition.engine._lat_on = lat
+            partition.l2_mshr._lat_on = lat
+        self.crossbar._lat_on = lat
+        for sm in self.sms:
+            sm._lat_on = lat
+            sm.l1._lat_on = lat
 
     def _reset_measurement(self) -> None:
         """Zero all counters while keeping cache/MSHR/queue state."""

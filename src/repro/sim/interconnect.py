@@ -14,6 +14,7 @@ from repro.common.config import GpuConfig
 from repro.common.stats import StatGroup
 from repro.sim.event import EventQueue
 from repro.sim.partition import MemoryPartition
+from repro.telemetry.latency import HOP_ICNT, NULL_LATENCY
 
 
 class Crossbar:
@@ -25,6 +26,7 @@ class Crossbar:
         events: EventQueue,
         partitions: List[MemoryPartition],
         stats: StatGroup,
+        latency=None,
     ) -> None:
         self.config = config
         self.events = events
@@ -49,6 +51,8 @@ class Crossbar:
             self._partition_mask = 0
         self._stat_add = stats.add
         self._counts = stats.raw()
+        self._lat = latency if latency is not None else NULL_LATENCY
+        self._lat_on = self._lat.enabled
 
     def partition_of(self, addr: int) -> int:
         shift = self._interleave_shift
@@ -66,6 +70,9 @@ class Crossbar:
         """Forward a request; *respond* fires back at the SM side."""
         self._counts["requests"] += 1.0
         partition = self.partitions[self.partition_of(addr)]
+        if self._lat_on:
+            # fixed traversal cost, both directions, paid by every request.
+            self._lat.record(HOP_ICNT, "DATA", 0.0, 2.0 * self.latency)
 
         def reply(done: float) -> None:
             arrive = done + self.latency

@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Dict, List, Tuple
 
+from repro.telemetry.latency import HOP_MSHR, NULL_LATENCY
 from repro.telemetry.tracer import NULL_TRACER
 
 
@@ -39,7 +40,13 @@ class MshrTable:
     """MSHR file for one cache."""
 
     def __init__(
-        self, num_entries: int, merge_cap: int, tracer=None, name: str = "mshr"
+        self,
+        num_entries: int,
+        merge_cap: int,
+        tracer=None,
+        name: str = "mshr",
+        latency=None,
+        cls: str = "DATA",
     ) -> None:
         if num_entries < 0 or merge_cap < 0:
             raise ValueError("MSHR parameters must be non-negative")
@@ -47,6 +54,9 @@ class MshrTable:
         self.merge_cap = merge_cap
         self.name = name
         self._trace = tracer if tracer is not None else NULL_TRACER
+        self._lat = latency if latency is not None else NULL_LATENCY
+        self._lat_on = self._lat.enabled
+        self._cls = cls
         self._entries: Dict[int, MshrEntry] = {}
         #: lazy min-heap of (ready_time, line_addr) mirroring allocations,
         #: so :meth:`earliest_ready` is O(log n) instead of a full scan of
@@ -77,13 +87,20 @@ class MshrTable:
     def can_merge(self, entry: MshrEntry) -> bool:
         return self.enabled and entry.merged < self.merge_cap
 
-    def merge(self, entry: MshrEntry, waiter: Any = None) -> float:
-        """Attach a secondary miss to *entry*; returns the fill ready time."""
+    def merge(self, entry: MshrEntry, waiter: Any = None, now: float | None = None) -> float:
+        """Attach a secondary miss to *entry*; returns the fill ready time.
+
+        With *now* given (and latency telemetry bound), the cycles the
+        merged request will wait under the in-flight fill are recorded as
+        MSHR-hop queueing.
+        """
         if not self.can_merge(entry):
             raise RuntimeError("merge cap exceeded; caller must check can_merge")
         entry.merged += 1
         if waiter is not None:
             entry.waiters.append(waiter)
+        if self._lat_on and now is not None:
+            self._lat.record(HOP_MSHR, self._cls, entry.ready_time - now, 0.0)
         if self._trace.enabled:
             self._trace.instant(
                 "merge", "mshr", self.name, {"addr": entry.line_addr, "n": entry.merged}

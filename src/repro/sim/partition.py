@@ -32,6 +32,14 @@ from repro.sim.dram import make_dram_channel
 from repro.sim.event import EventQueue
 from repro.sim.mshr import MshrTable
 from repro.sim.resource import ThroughputResource
+from repro.telemetry.latency import (
+    HOP_E2E,
+    HOP_L2,
+    HOP_MSHR,
+    NULL_LATENCY,
+    STALL_L2_ADMISSION,
+    STALL_L2_MSHR_FULL,
+)
 from repro.telemetry.tracer import NULL_TRACER
 from repro.telemetry.traffic import TrafficClass
 
@@ -53,12 +61,14 @@ class MemoryPartition:
         stats: StatGroup,
         trace_hook=None,
         tracer=None,
+        latency=None,
     ) -> None:
         self.index = index
         self.config = config
         self.events = events
         self.stats = stats
         self._trace = tracer if tracer is not None else NULL_TRACER
+        self._lat = latency if latency is not None else NULL_LATENCY
         self._tid = f"p{index}"
         self.dram = make_dram_channel(
             config.dram,
@@ -66,6 +76,7 @@ class MemoryPartition:
             stats.child("dram"),
             tracer=tracer,
             name=f"p{index}.dram",
+            latency=latency,
         )
         self.engine = SecureEngine(
             config.secure,
@@ -77,6 +88,7 @@ class MemoryPartition:
             trace_hook=trace_hook,
             tracer=tracer,
             name=f"p{index}.engine",
+            latency=latency,
         )
         self.l2 = SectoredCache(
             config.l2_cache_config(),
@@ -90,6 +102,8 @@ class MemoryPartition:
             config.l2_mshr_merge_cap,
             tracer=tracer,
             name=f"p{index}.l2mshr",
+            latency=latency,
+            cls="DATA",
         )
         #: L2 bank service port; a bank moves one sector per core cycle, and
         #: the partition has ``l2_banks_per_partition`` of them.
@@ -123,6 +137,7 @@ class MemoryPartition:
             self._partition_shift = 0
         self._trace_on = self._trace.enabled
         self._trace_instant = self._trace.instant
+        self._lat_on = self._lat.enabled
         self._stat_add = stats.add
 
     def to_local(self, addr: int) -> int:
@@ -174,36 +189,67 @@ class MemoryPartition:
                 emit("req_done", "partition", tid, {"addr": _addr, "w": _w})
                 _inner(done)
 
-        start = self._admission_time(now)
-        start = self._bank.acquire(start, self._bank_occupancy) + self._bank_occupancy
+        lat_on = self._lat_on
+        if lat_on:
+            # partition-level end-to-end span: arrival -> response.  The
+            # wrap observes the completion time the model computed anyway.
+            lat_inner = respond
+            record = self._lat.record
+
+            def respond(done: float, _inner=lat_inner, _now=now, _record=record) -> None:
+                _record(HOP_E2E, "DATA", 0.0, done - _now)
+                _inner(done)
+
+        admit = self._admission_time(now)
+        if lat_on and admit > now:
+            self._lat.stall(STALL_L2_ADMISSION, admit - now)
+        bank_start = self._bank.acquire(admit, self._bank_occupancy)
+        start = bank_start + self._bank_occupancy
+        l2_queue = bank_start - now if lat_on else 0.0
         if is_write:
-            self._handle_write(start, addr, respond)
+            self._handle_write(start, addr, respond, l2_queue)
         else:
-            self._handle_read(start, addr, respond)
+            self._handle_read(start, addr, respond, l2_queue)
 
     # ------------------------------------------------------------------
 
-    def _handle_write(self, now: float, addr: int, respond: ResponseCallback) -> None:
+    def _handle_write(
+        self, now: float, addr: int, respond: ResponseCallback, l2_queue: float = 0.0
+    ) -> None:
         result = self.l2.lookup(addr, is_write=True)
         if result is not AccessResult.HIT:
             # full-sector store: allocate without fetching.
             evictions = self.l2.write_insert(addr)
             self._write_back(now, evictions)
+        if self._lat_on:
+            self._lat.record(
+                HOP_L2, "DATA", l2_queue, self._bank_occupancy + self._hit_latency
+            )
         self.events.schedule_at(now + self._hit_latency, respond, now + self._hit_latency)
 
-    def _handle_read(self, now: float, addr: int, respond: ResponseCallback) -> None:
+    def _handle_read(
+        self, now: float, addr: int, respond: ResponseCallback, l2_queue: float = 0.0
+    ) -> None:
         result = self.l2.lookup(addr, is_write=False)
         if result is AccessResult.HIT:
+            if self._lat_on:
+                self._lat.record(
+                    HOP_L2, "DATA", l2_queue, self._bank_occupancy + self._hit_latency
+                )
             done = now + self._hit_latency
             self.events.schedule_at(done, respond, done)
             return
 
+        if self._lat_on:
+            # misses pay the bank move here; the rest of their latency is
+            # attributed to the MSHR / crypto / DRAM hops downstream.
+            self._lat.record(HOP_L2, "DATA", l2_queue, self._bank_occupancy)
         sector = addr - addr % self._fetch_bytes
         entry = self.l2_mshr.get(sector) if self.l2_mshr.enabled else None
         if entry is not None:
             self._stat_add("l2_secondary_misses")
             if self.l2_mshr.can_merge(entry):
-                self.l2_mshr.merge(entry, waiter=respond)
+                self.l2_mshr.merge(entry, waiter=respond, now=now)
                 return
             # merge cap reached: redundant fetch, no fill.
             ready = self.engine.read_sector(now, sector, self._fetch_bytes)
@@ -219,6 +265,9 @@ class MemoryPartition:
         if self.l2_mshr.enabled and self.l2_mshr.full:
             self._stat_add("l2_mshr_full_stalls")
             start = max(now, self.l2_mshr.earliest_ready())
+            if self._lat_on:
+                self._lat.stall(STALL_L2_MSHR_FULL, start - now)
+                self._lat.record(HOP_MSHR, "DATA", start - now, 0.0)
         ready = self.engine.read_sector(start, sector, self._fetch_bytes)
         if self.l2_mshr.enabled and not self.l2_mshr.full:
             self.l2_mshr.allocate(sector, ready, waiter=respond)

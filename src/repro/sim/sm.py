@@ -22,6 +22,8 @@ from repro.common.stats import StatGroup
 from repro.sim.cache import AccessResult, SectoredCache
 from repro.sim.event import EventQueue
 from repro.sim.resource import ThroughputResource
+from repro.telemetry.latency import HOP_L1, HOP_SM, NULL_LATENCY, STALL_L1_MSHR_FULL
+from repro.telemetry.traffic import TrafficClass
 from repro.workloads.base import THREADS_PER_WARP, WarpOp
 
 #: send(now, sector_addr, is_write, respond) — provided by the GPU top level.
@@ -55,6 +57,7 @@ class StreamingMultiprocessor:
         send: SendFn,
         stats: StatGroup,
         warp_traces: List[Iterator[WarpOp]],
+        latency=None,
     ) -> None:
         self.sm_id = sm_id
         self.config = config
@@ -63,7 +66,16 @@ class StreamingMultiprocessor:
         self.stats = stats
         self.issue = ThroughputResource(f"sm{sm_id}-issue")
         self.issue_width = config.sm_issue_width
-        self.l1 = SectoredCache(config.l1_config, stats.child("l1"))
+        self._lat = latency if latency is not None else NULL_LATENCY
+        self._lat_on = self._lat.enabled
+        self.l1 = SectoredCache(
+            config.l1_config,
+            stats.child("l1"),
+            tclass=TrafficClass.DATA,
+            latency=latency,
+            hop=HOP_L1,
+            hit_latency=config.l1_config.hit_latency,
+        )
         self._l1_merge_cap = config.l1_config.mshr_merge_cap
         self._l1_mshrs = config.l1_config.num_mshrs
         self._l1_inflight: Dict[int, List[Callable[[float], None]]] = {}
@@ -154,6 +166,17 @@ class StreamingMultiprocessor:
 
         warp.pending += 1
         warp_cb = self._make_warp_cb(warp)
+        if self._lat_on:
+            # observe the SM-side round trip of the read miss (issue ->
+            # fill/response); pure observation, never alters the callback's
+            # timing.
+            inner = warp_cb
+            record = self._lat.record
+
+            def warp_cb(time: float, _inner=inner, _now=now, _record=record) -> None:
+                _record(HOP_SM, "DATA", 0.0, time - _now)
+                _inner(time)
+
         waiters = self._l1_inflight.get(sector)
         if waiters is not None:
             if len(waiters) < self._l1_merge_cap:
@@ -167,6 +190,18 @@ class StreamingMultiprocessor:
             self.send(now, sector, False, lambda t, s=sector: self._on_l1_fill(s, t))
         else:
             self._stat_add("l1_mshr_full")
+            if self._lat_on:
+                # the warp rides an untracked (unmergeable) fetch: charge its
+                # whole round trip to L1 MSHR exhaustion.
+                inner_full = warp_cb
+                stall = self._lat.stall
+
+                def warp_cb(
+                    time: float, _inner=inner_full, _now=now, _stall=stall
+                ) -> None:
+                    _stall(STALL_L1_MSHR_FULL, time - _now)
+                    _inner(time)
+
             self.send(now, sector, False, warp_cb)
         return None
 

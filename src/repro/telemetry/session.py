@@ -10,6 +10,8 @@ disk:
 * ``trace.json``   — Chrome ``trace_event`` file (chrome://tracing, Perfetto)
 * ``trace.jsonl``  — the typed event stream, one JSON object per line
 * ``samples.json`` — the sampler's columnar time-series
+* ``latency.json`` — per-hop latency histograms, stall accounting, and the
+  byte-conservation check against the DRAM totals
 * ``summary.json`` — run metadata, event/sample counts, per-class bytes
 """
 
@@ -20,15 +22,22 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from repro.common.config import TelemetryConfig
+from repro.telemetry.latency import NULL_LATENCY, LatencyRecorder, conservation_check
 from repro.telemetry.tracer import NULL_TRACER, Tracer, chrome_trace
 from repro.telemetry.sampler import Sampler
 
 #: artifact file names, in the order write_artifacts produces them.
-ARTIFACT_NAMES = ("trace.json", "trace.jsonl", "samples.json", "summary.json")
+ARTIFACT_NAMES = (
+    "trace.json",
+    "trace.jsonl",
+    "samples.json",
+    "latency.json",
+    "summary.json",
+)
 
 
 class TelemetrySession:
-    """Tracer + sampler bundle for one GPU instance."""
+    """Tracer + sampler + latency-recorder bundle for one GPU instance."""
 
     def __init__(self, config: TelemetryConfig, events) -> None:
         self.config = config
@@ -36,6 +45,7 @@ class TelemetrySession:
             Tracer(events, config.ring_capacity) if config.trace_events else NULL_TRACER
         )
         self.sampler = Sampler(events, config.sample_every, config.max_samples)
+        self.latency = LatencyRecorder() if config.latency_histograms else NULL_LATENCY
 
     def reset(self) -> None:
         """Drop everything recorded so far; used at the warmup boundary so
@@ -43,6 +53,7 @@ class TelemetrySession:
         statistics, which are zeroed at the same instant)."""
         self.tracer.clear()
         self.sampler.clear()
+        self.latency.clear()
 
     def export(self, meta: Optional[dict] = None) -> dict:
         """Everything recorded, as one plain JSON-able dict."""
@@ -55,6 +66,7 @@ class TelemetrySession:
             "ring_capacity": self.config.ring_capacity,
             "samples": {name: list(col) for name, col in self.sampler.columns.items()},
             "samples_truncated": self.sampler.truncated,
+            "latency": self.latency.export(),
         }
 
 
@@ -70,12 +82,7 @@ def write_artifacts(directory: str | Path, export: dict) -> Dict[str, Path]:
     events = export.get("events", [])
     meta = export.get("meta", {})
 
-    paths = {
-        "trace.json": directory / "trace.json",
-        "trace.jsonl": directory / "trace.jsonl",
-        "samples.json": directory / "samples.json",
-        "summary.json": directory / "summary.json",
-    }
+    paths = {name: directory / name for name in ARTIFACT_NAMES}
     paths["trace.json"].write_text(
         json.dumps(chrome_trace(events, meta=meta), sort_keys=True) + "\n"
     )
@@ -84,6 +91,13 @@ def write_artifacts(directory: str | Path, export: dict) -> Dict[str, Path]:
     )
     paths["samples.json"].write_text(
         json.dumps({"columns": export.get("samples", {})}, sort_keys=True) + "\n"
+    )
+    latency = export.get("latency")
+    latency_doc: dict = {"latency": latency}
+    if latency is not None and "class_bytes" in meta:
+        latency_doc["conservation"] = conservation_check(latency, meta["class_bytes"])
+    paths["latency.json"].write_text(
+        json.dumps(latency_doc, sort_keys=True, indent=2) + "\n"
     )
     summary = {
         "meta": meta,

@@ -102,3 +102,32 @@ class TestSerialization:
         backward.merge_from(shard(["a", "b"]))
         assert forward.to_dict() == backward.to_dict()
         assert list(forward._children) == ["a", "b", "c", "d"]
+
+    def test_round_trip_preserves_merge_normalization(self):
+        # Regression: a tree rebuilt by from_dict must keep behaving like
+        # the original under merge_from — sorted children at every level
+        # and histogram-style bucket counters that keep accumulating —
+        # so a cache-restored shard merges identically to a live one.
+        def shard(child_name, buckets):
+            group = StatGroup("gpu")
+            hist = group.child(child_name).child("latency_hist")
+            for bucket, count in buckets.items():
+                hist.add(f"bucket_{bucket}", count)
+            return group
+
+        live = StatGroup("gpu")
+        live.merge_from(shard("p1", {3: 2, 0: 1}))
+        restored = StatGroup.from_dict(live.to_dict())
+        assert restored.to_dict() == live.to_dict()
+
+        # merging *after* the round trip must match merging before it.
+        extra = shard("p0", {3: 5, 7: 1})
+        live.merge_from(extra)
+        restored.merge_from(extra)
+        assert restored.to_dict() == live.to_dict()
+        assert list(restored._children) == ["p0", "p1"]
+        hist = restored.child("p0").child("latency_hist")
+        assert hist.get("bucket_3") == 5
+        # values come back as floats and keep accumulating.
+        hist.add("bucket_3", 1)
+        assert hist.get("bucket_3") == 6.0
