@@ -28,7 +28,6 @@ import argparse
 import dataclasses
 import json
 import os
-import platform
 import subprocess
 import sys
 import time
@@ -36,6 +35,7 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 
+from repro.common import host_metadata
 from repro.common.config import TelemetryConfig
 from repro.experiments import designs
 from repro.experiments.parallel import ParallelRunner
@@ -51,25 +51,6 @@ TIER1_SELECTION = ["-q", "-k", "parallel or Sharded or CrashSafety", "tests/test
 
 #: interleaved repetitions for the core benchmark (best rep kept).
 CORE_REPS = 5
-
-
-def host_metadata() -> dict:
-    """What machine produced this benchmark — for judging comparability.
-
-    A points/s delta between two BENCH files only means something when the
-    host and its load were comparable; record both alongside the numbers.
-    """
-    meta = {
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-    }
-    if hasattr(os, "getloadavg"):
-        try:
-            meta["loadavg"] = [round(x, 2) for x in os.getloadavg()]
-        except OSError:
-            pass
-    return meta
 
 
 def fixed_matrix():

@@ -177,6 +177,13 @@ def main() -> None:
         metavar="PATH",
         help="append per-point progress lines (JSONL) here; tail -f to watch",
     )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="append one run-ledger record per point here (JSONL); feeds "
+        "`repro diff` and `repro dashboard`",
+    )
     args = parser.parse_args()
 
     horizon, warmup = (3000, 6000) if args.fast else (HORIZON, WARMUP)
@@ -190,6 +197,7 @@ def main() -> None:
         cache_path=cache,
         jobs=args.jobs or None,
         heartbeat_path=args.heartbeat,
+        ledger_path=args.ledger,
     )
 
     sections = []
@@ -259,6 +267,46 @@ Figure 4's request distribution.  Telemetry never changes simulated
 behaviour, so the traced point matches the cached numbers below exactly.
 
 Total regeneration time: {{TOTAL}} minutes.
+
+## Sweep observability
+
+Every regeneration can leave an audit trail and be checked against the
+paper after the fact (`src/repro/obsv/`):
+
+- **Run ledger** — `--ledger PATH` appends one schema-versioned JSON
+  line per `(workload, config)` point: config digest, measurement
+  window, outcome (`simulated` / `cached` / `failed`), wall-clock
+  duration, the key statistics (IPC, cycles, bandwidth utilization, L2
+  miss rate, per-class DRAM transactions), the telemetry-artifact path,
+  and — for failed points — the exception string.  Appends are single
+  writes to a file opened in append mode, so a killed run loses at most
+  one torn final line (skipped at read); re-running against the same
+  cache resumes without duplicate records, and a serial and a parallel
+  run of the same sweep produce record-equivalent ledgers.
+- **Fidelity scorecard** — `python -m repro scorecard` re-evaluates the
+  paper's five Section-V conclusions (mean secure-memory IPC loss, lbm
+  as the worst case, separate-beats-unified metadata caches, cheap
+  direct encryption, one-AES-engine sufficiency) as declarative
+  expectations with pass/warn/fail tolerance bands, reading this cache
+  (`--profile paper`, pure cache hits) or the small CI scale
+  (`--profile smoke`).  `--json scorecard.json` exports the document;
+  the command exits 1 when any conclusion FAILs its band.
+- **Sweep diffing** — `python -m repro diff A B` joins two ledgers
+  point-by-point (`--match workload` to compare different configs),
+  compares each key statistic under a noise-aware relative tolerance
+  with a direction (lower IPC regresses, fewer cycles improve), flags
+  per-workload outliers with a robust MAD z-score, and merges each
+  sweep's persisted latency histograms for an end-to-end tail
+  comparison.  Exit 1 on any regression.
+- **Dashboard** — `python -m repro dashboard -o report.html` renders
+  ledger, heartbeat progress, scorecard, per-class traffic, bottleneck
+  stalls and the `BENCH_*.json` perf trajectory into one self-contained
+  HTML file (inline CSS/JS/SVG, no external requests) suitable for CI
+  artifacts.
+
+Observability is strictly passive: ledger and heartbeat writes are
+best-effort and never fail the sweep they observe, and none of these
+artifacts participate in result caching.
 """
 
     text = header + "\n" + "\n".join(sections)

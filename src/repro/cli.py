@@ -10,6 +10,9 @@ Commands
 ``stats``      dump the full statistics tree for one run (``--json`` for tools)
 ``sweep``      run all 14 workloads on one design (optionally normalized)
 ``figure``     regenerate one paper figure/table and print it
+``scorecard``  evaluate the paper-fidelity scorecard (exit 1 on FAIL)
+``diff``       compare two sweep run-ledgers metric-by-metric
+``dashboard``  render a self-contained HTML observability report
 ``designs``    list the named design points
 ``attack``     run the functional-security attack demonstration
 ``storage``    print Table II's metadata storage arithmetic
@@ -128,6 +131,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=500.0,
         help="gauge sampling epoch in cycles (0 disables sampling)",
     )
+    trace.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write a machine-readable trace summary (class bytes, "
+        "event/sample counts) to this file",
+    )
     add_scale(trace)
 
     bottleneck = sub.add_parser(
@@ -146,8 +156,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bottleneck.add_argument(
         "--json",
-        action="store_true",
-        help="print the latency export as JSON instead of the table report",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the latency export as JSON: to stdout (bare --json, "
+        "instead of the table report) or to PATH (table still printed)",
     )
     add_scale(bottleneck)
 
@@ -176,6 +190,120 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(set(figures.ALL_FIGURES) | {"fig10_11", "table2", "table6_7"}),
     )
     add_scale(figure)
+
+    scorecard = sub.add_parser(
+        "scorecard",
+        help="evaluate the paper's Section-V conclusions against a sweep",
+    )
+    scorecard.add_argument(
+        "--profile",
+        choices=["paper", "smoke"],
+        default="paper",
+        help="which calibrated expectation set / scale to evaluate at",
+    )
+    scorecard.add_argument(
+        "--partitions", type=int, default=None, help="override the profile's scale"
+    )
+    scorecard.add_argument("--horizon", type=float, default=None)
+    scorecard.add_argument("--warmup", type=float, default=None)
+    scorecard.add_argument(
+        "--bench",
+        action="append",
+        default=None,
+        metavar="NAME",
+        choices=BENCHMARK_ORDER,
+        help="restrict to these benchmarks (repeatable; default: profile's set)",
+    )
+    scorecard.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for missing points (0 = all cores; 1 = serial)",
+    )
+    scorecard.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="result cache (default: results/experiments_p<P>_h<H>_w<W>.json, "
+        "the regeneration cache for the chosen scale)",
+    )
+    scorecard.add_argument(
+        "--ledger", default=None, metavar="PATH", help="append a run ledger here"
+    )
+    scorecard.add_argument(
+        "--heartbeat",
+        default=None,
+        metavar="PATH",
+        help="progress heartbeat JSONL (parallel runs only)",
+    )
+    scorecard.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the scorecard.json document here",
+    )
+
+    diff = sub.add_parser(
+        "diff", help="compare two sweep run-ledgers metric-by-metric"
+    )
+    diff.add_argument("ledger_a", metavar="A", help="run-ledger JSONL (before)")
+    diff.add_argument("ledger_b", metavar="B", help="run-ledger JSONL (after)")
+    diff.add_argument(
+        "--match",
+        choices=["key", "workload"],
+        default="key",
+        help="join points by full key (same configs) or by workload "
+        "(compare different configs)",
+    )
+    diff.add_argument(
+        "--rel-tol",
+        type=float,
+        default=None,
+        help="relative tolerance below which a metric counts as unchanged",
+    )
+    diff.add_argument(
+        "--json", default=None, metavar="PATH", help="write the diff report here"
+    )
+
+    dashboard = sub.add_parser(
+        "dashboard", help="render a self-contained HTML observability report"
+    )
+    dashboard.add_argument(
+        "-o", "--out", required=True, metavar="PATH", help="output HTML file"
+    )
+    dashboard.add_argument("--title", default="Sweep observability report")
+    dashboard.add_argument(
+        "--ledger", default=None, metavar="PATH", help="run-ledger JSONL"
+    )
+    dashboard.add_argument(
+        "--heartbeat", default=None, metavar="PATH", help="heartbeat JSONL"
+    )
+    dashboard.add_argument(
+        "--scorecard",
+        default=None,
+        metavar="PATH",
+        help="scorecard.json (repro scorecard --json)",
+    )
+    dashboard.add_argument(
+        "--bottleneck",
+        default=None,
+        metavar="PATH",
+        help="latency export JSON (repro bottleneck --json PATH)",
+    )
+    dashboard.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="trace summary JSON (repro trace --json PATH)",
+    )
+    dashboard.add_argument(
+        "--bench",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="BENCH_*.json perf snapshots (repeatable; default: "
+        "BENCH_*.json in the working directory)",
+    )
 
     sub.add_parser("designs", help="list the named design points")
     sub.add_parser("attack", help="run the functional-security attack demo")
@@ -296,6 +424,24 @@ def _cmd_trace(args) -> int:
     print(f"samples           {len(export['samples']['cycle'])} epochs")
     print(f"artifacts         {out}")
     print("open trace.json in chrome://tracing or https://ui.perfetto.dev")
+    if args.json:
+        doc = {
+            "workload": args.workload,
+            "design": args.design,
+            "horizon": args.horizon,
+            "warmup": args.warmup,
+            "ipc": result.ipc,
+            "bandwidth_utilization": result.bandwidth_utilization,
+            "class_bytes": dict(export["meta"]["class_bytes"]),
+            "events": len(export["events"]),
+            "events_dropped": export["events_dropped"],
+            "samples": len(export["samples"]["cycle"]),
+            "artifacts": str(out),
+        }
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+        print(f"trace json        {path}")
     return 0
 
 
@@ -318,9 +464,13 @@ def _cmd_bottleneck(args) -> int:
     export = result.telemetry
     latency = export["latency"]
     class_bytes = export["meta"]["class_bytes"]
-    if args.json:
+    if args.json == "-":
         print(json.dumps(latency, sort_keys=True, indent=2))
         return 0
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(latency, sort_keys=True, indent=2) + "\n")
     print(f"workload          {args.workload}")
     print(f"design            {args.design}")
     print(f"IPC               {result.ipc:.2f}")
@@ -335,6 +485,8 @@ def _cmd_bottleneck(args) -> int:
         out = Path(args.out)
         write_artifacts(out, export)
         print(f"artifacts         {out}")
+    if args.json and args.json != "-":
+        print(f"latency json      {args.json}")
     return 0
 
 
@@ -396,6 +548,117 @@ def _cmd_figure(args) -> int:
         return 0
     table = figures.ALL_FIGURES[args.name](runner, args.partitions)
     print(render_series_table(args.name, table))
+    return 0
+
+
+def _write_json(path: str | Path, doc: dict) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+
+
+def _cmd_scorecard(args) -> int:
+    from repro.obsv.scorecard import PROFILES, build_scorecard, render_scorecard
+
+    profile = PROFILES[args.profile]
+    partitions = args.partitions if args.partitions is not None else profile["partitions"]
+    horizon = args.horizon if args.horizon is not None else profile["horizon"]
+    warmup = args.warmup if args.warmup is not None else profile["warmup"]
+    benchmarks = args.bench if args.bench is not None else profile["benchmarks"]
+    if args.cache is not None:
+        cache = Path(args.cache)
+    else:
+        # the regeneration cache for this scale: a populated results/
+        # directory makes the paper profile pure cache reads.
+        cache = Path("results") / (
+            f"experiments_p{partitions}_h{horizon:g}_w{warmup:g}.json"
+        )
+        if not cache.is_file():
+            sharded = cache.with_name(cache.name + ".d")
+            cache = sharded if sharded.is_dir() else cache
+    # always the parallel runner: jobs=1 follows the exact serial path,
+    # and it opens both cache formats (legacy single-file and sharded).
+    runner = ParallelRunner(
+        horizon=horizon,
+        warmup=warmup,
+        benchmarks=benchmarks,
+        cache_path=cache,
+        jobs=args.jobs or None,
+        heartbeat_path=args.heartbeat,
+        ledger_path=args.ledger,
+    )
+    with runner:
+        doc = build_scorecard(runner, args.profile, partitions)
+    print(render_scorecard(doc))
+    if args.json:
+        _write_json(args.json, doc)
+        print(f"\nscorecard json    {args.json}")
+    return 1 if doc["status"] == "fail" else 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.obsv.diff import REL_TOL, diff_ledgers, render_diff
+    from repro.obsv.ledger import read_ledger
+
+    for path in (args.ledger_a, args.ledger_b):
+        if not Path(path).exists():
+            print(f"error: no such ledger: {path}", file=sys.stderr)
+            return 2
+    report = diff_ledgers(
+        read_ledger(args.ledger_a),
+        read_ledger(args.ledger_b),
+        match=args.match,
+        rel_tol=args.rel_tol if args.rel_tol is not None else REL_TOL,
+    )
+    print(render_diff(report))
+    if args.json:
+        _write_json(args.json, report)
+        print(f"\ndiff json         {args.json}")
+    return 1 if report["regressions"] else 0
+
+
+def _cmd_dashboard(args) -> int:
+    from repro.obsv.dashboard import build_dashboard, load_json, load_jsonl
+    from repro.obsv.ledger import read_ledger
+
+    bench_paths = (
+        [Path(p) for p in args.bench]
+        if args.bench is not None
+        else sorted(Path(".").glob("BENCH_*.json"))
+    )
+    bench = {}
+    bench_sources = {}
+    for path in bench_paths:
+        doc = load_json(path)
+        if doc is not None:
+            bench[path.stem] = doc
+            bench_sources[f"bench:{path.stem}"] = str(path)
+    sources = {
+        name: str(value)
+        for name, value in (
+            ("ledger", args.ledger),
+            ("heartbeat", args.heartbeat),
+            ("scorecard", args.scorecard),
+            ("bottleneck", args.bottleneck),
+            ("trace", args.trace),
+        )
+        if value
+    }
+    sources.update(bench_sources)
+    html_text = build_dashboard(
+        title=args.title,
+        ledger_records=read_ledger(args.ledger) if args.ledger else None,
+        heartbeat_lines=load_jsonl(args.heartbeat),
+        scorecard=load_json(args.scorecard),
+        bottleneck=load_json(args.bottleneck),
+        trace=load_json(args.trace),
+        bench=bench,
+        sources=sources,
+    )
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(html_text)
+    print(f"dashboard         {out} ({len(html_text)} bytes, self-contained)")
     return 0
 
 
@@ -465,6 +728,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "scorecard":
+        return _cmd_scorecard(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
+    if args.command == "dashboard":
+        return _cmd_dashboard(args)
     if args.command == "designs":
         return _cmd_designs()
     if args.command == "attack":

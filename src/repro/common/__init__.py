@@ -7,6 +7,7 @@ from repro.common.config import (
     MetadataCacheConfig,
     SecureMemoryConfig,
 )
+from repro.common.hostinfo import host_metadata
 from repro.common.stats import StatGroup
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "MetadataCacheConfig",
     "SecureMemoryConfig",
     "StatGroup",
+    "host_metadata",
 ]

@@ -1,0 +1,31 @@
+"""Host provenance metadata shared by benchmarks and the run ledger.
+
+A throughput number or a sweep record only means something when the
+machine (and its load) that produced it is known; every durable artifact
+that carries performance data embeds this dict alongside the numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+
+
+def host_metadata() -> dict:
+    """What machine produced an artifact — for judging comparability.
+
+    A points/s delta between two benchmark files (or two sweep ledgers)
+    only means something when the host and its load were comparable;
+    record both alongside the numbers.
+    """
+    meta = {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+    if hasattr(os, "getloadavg"):
+        try:
+            meta["loadavg"] = [round(x, 2) for x in os.getloadavg()]
+        except OSError:
+            pass
+    return meta

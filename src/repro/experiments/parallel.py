@@ -62,14 +62,17 @@ def _simulate_point(
     Exactly the serial :meth:`Runner.run` miss path, so parallel and
     serial execution produce identical results.
     """
+    t0 = time.perf_counter()
     result = simulate(
         config, get_benchmark(workload_name), horizon=horizon, warmup=warmup
     )
+    elapsed = time.perf_counter() - t0
     payload = result_to_dict(result)
+    # the worker's wall time and telemetry ride back to the parent
+    # out-of-band: both are popped before the payload reaches the result
+    # cache, so cached entries stay bit-identical with and without them.
+    payload["_elapsed_s"] = round(elapsed, 6)
     if result.telemetry is not None:
-        # telemetry rides back to the parent out-of-band: the parent pops
-        # it before the payload reaches the result cache, so cached entries
-        # stay identical with and without tracing.
         payload["_telemetry"] = result.telemetry
     return payload
 
@@ -89,6 +92,9 @@ class ShardedResultCache:
         #: per-shard live line counts; a shard with more lines than live
         #: keys carries dead weight (overwrites / recovered corruption).
         self._lines: Dict[int, int] = {}
+        #: whether this session wrote anything; a read-only consumer (a
+        #: scorecard over a warm cache) must leave the disk untouched.
+        self._mutated = False
         self._load()
 
     # ------------------------------------------------------------------
@@ -166,10 +172,18 @@ class ShardedResultCache:
         with open(path, "a") as fh:
             fh.write(line + "\n")
         self._lines[index] = self._lines.get(index, 0) + 1
+        self._mutated = True
 
     def compact(self) -> None:
-        """Rewrite shards with one line per live key, atomically."""
-        if not self._data:
+        """Rewrite shards with one line per live key, atomically.
+
+        A session that never wrote (pure cache reads, e.g. a scorecard
+        over a warm cache) skips compaction entirely: puts are durable
+        the moment they happen, so there is nothing to rewrite, and a
+        read-only consumer must not materialize shards from a legacy
+        single-file cache it imported.
+        """
+        if not self._data or not self._mutated:
             return
         by_shard: Dict[int, List[str]] = {}
         for key in sorted(self._data):
@@ -198,10 +212,12 @@ class ParallelRunner(Runner):
 
     ``heartbeat_path`` names a JSONL sidecar that gets one appended line
     per *completed* point (``{ts, done, total, elapsed_s, points_per_s,
-    eta_s}``), so a long sweep can be watched from another terminal with
-    ``tail -f``.  Counts are per :meth:`prefetch` batch.  Heartbeats are
-    best-effort: an unwritable path never fails the sweep, and the file
-    plays no part in result merging or caching.
+    eta_s}``) and one terminal ``{"event": "done", ...}`` line per batch
+    that simulated anything, so a long sweep can be watched from another
+    terminal with ``tail -f`` and a dead one told apart from a slow one.
+    Counts are per :meth:`prefetch` batch.  Heartbeats are best-effort:
+    an unwritable path never fails the sweep, and the file plays no part
+    in result merging or caching.
     """
 
     def __init__(
@@ -214,6 +230,7 @@ class ParallelRunner(Runner):
         jobs: Optional[int] = None,
         telemetry_dir: Optional[str | Path] = None,
         heartbeat_path: Optional[str | Path] = None,
+        ledger_path: Optional[str | Path] = None,
     ) -> None:
         self.jobs = max(1, int(jobs) if jobs is not None else (os.cpu_count() or 1))
         self.heartbeat_path = Path(heartbeat_path) if heartbeat_path else None
@@ -225,6 +242,7 @@ class ParallelRunner(Runner):
             cache_path=cache_path,
             flush_every=flush_every,
             telemetry_dir=telemetry_dir,
+            ledger_path=ledger_path,
         )
 
     # -- sharded cache primitives ---------------------------------------
@@ -250,6 +268,15 @@ class ParallelRunner(Runner):
 
     # -- progress heartbeat ---------------------------------------------
 
+    def _append_heartbeat(self, record: dict) -> None:
+        try:
+            self.heartbeat_path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.heartbeat_path, "a") as fh:
+                fh.write(json.dumps(record) + "\n")
+        except OSError:
+            # observability must never fail the sweep it observes.
+            pass
+
     def _emit_heartbeat(self, done: int, total: int, started: float) -> None:
         """Append one progress line to the heartbeat sidecar (best-effort)."""
         if self.heartbeat_path is None:
@@ -257,7 +284,7 @@ class ParallelRunner(Runner):
         elapsed = time.perf_counter() - started
         rate = done / elapsed if elapsed > 0.0 else 0.0
         eta = (total - done) / rate if rate > 0.0 else None
-        line = json.dumps(
+        self._append_heartbeat(
             {
                 "ts": time.time(),
                 "done": done,
@@ -267,13 +294,32 @@ class ParallelRunner(Runner):
                 "eta_s": round(eta, 3) if eta is not None else None,
             }
         )
-        try:
-            self.heartbeat_path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.heartbeat_path, "a") as fh:
-                fh.write(line + "\n")
-        except OSError:
-            # observability must never fail the sweep it observes.
-            pass
+
+    def _emit_heartbeat_done(
+        self, done: int, total: int, started: float, failures: int
+    ) -> None:
+        """Append the terminal ``done`` line closing out one batch.
+
+        Its presence distinguishes a finished sweep from one whose
+        process died mid-batch; ``status`` records whether every point
+        completed.
+        """
+        if self.heartbeat_path is None:
+            return
+        elapsed = time.perf_counter() - started
+        rate = done / elapsed if elapsed > 0.0 else 0.0
+        self._append_heartbeat(
+            {
+                "event": "done",
+                "ts": time.time(),
+                "done": done,
+                "total": total,
+                "elapsed_s": round(elapsed, 3),
+                "points_per_s": round(rate, 3),
+                "status": "failed" if failures else "ok",
+                "failures": failures,
+            }
+        )
 
     # -- plan / simulate / merge ----------------------------------------
 
@@ -301,7 +347,14 @@ class ParallelRunner(Runner):
             payload = self._cache_get(disk_key)
             if payload is not None:
                 self.stats.disk_hits += 1
-                self._memory[key] = result_from_dict(payload)
+                result = result_from_dict(payload)
+                self._memory[key] = result
+                if self.ledger is not None:
+                    from repro.obsv.ledger import key_stats
+
+                    self._record_ledger(
+                        workload_name, key[1], "cached", stats=key_stats(result)
+                    )
                 continue
             pending.append((key, disk_key, workload_name, config))
         return pending
@@ -319,12 +372,17 @@ class ParallelRunner(Runner):
             return 0
 
         t1 = time.perf_counter()
+        errors: List[Tuple[int, BaseException]] = []
         if jobs == 1 or len(pending) == 1:
-            payloads = []
+            payloads: List[Optional[dict]] = []
             for done, (_key, _disk_key, name, config) in enumerate(pending, start=1):
-                payloads.append(
-                    _simulate_point(name, config, self.horizon, self.warmup)
-                )
+                try:
+                    payloads.append(
+                        _simulate_point(name, config, self.horizon, self.warmup)
+                    )
+                except (Exception, KeyboardInterrupt) as exc:
+                    errors.append((done - 1, exc))
+                    payloads.append(None)
                 self._emit_heartbeat(done, len(pending), t1)
         else:
             workers = min(jobs, len(pending))
@@ -339,20 +397,52 @@ class ParallelRunner(Runner):
                     for done, _future in enumerate(as_completed(futures), start=1):
                         self._emit_heartbeat(done, len(pending), t1)
                 # collect in submission order: deterministic merge no
-                # matter which worker finished first.
-                payloads = [future.result() for future in futures]
+                # matter which worker finished first.  A failed point
+                # leaves a None slot; every completed point still merges.
+                payloads = []
+                for index, future in enumerate(futures):
+                    try:
+                        payloads.append(future.result())
+                    except (Exception, KeyboardInterrupt) as exc:
+                        errors.append((index, exc))
+                        payloads.append(None)
         wall = time.perf_counter() - t1
+        completed = sum(1 for payload in payloads if payload is not None)
         self.stats.sim_seconds += wall
         self.stats.add_phase("simulate", wall)
-        self.stats.points_simulated += len(pending)
+        self.stats.points_simulated += completed
 
         t2 = time.perf_counter()
         for (key, disk_key, _name, _config), payload in zip(pending, payloads):
+            if payload is None:
+                continue
             export = payload.pop("_telemetry", None)
-            self._persist_telemetry(key[0], key[1], export)
+            elapsed = payload.pop("_elapsed_s", None)
+            tel_dir = self._persist_telemetry(key[0], key[1], export)
             self._cache_put(disk_key, payload)
             result = result_from_dict(payload)
             result.telemetry = export
             self._memory[key] = result
+            if self.ledger is not None:
+                from repro.obsv.ledger import key_stats
+
+                self._record_ledger(
+                    key[0],
+                    key[1],
+                    "simulated",
+                    duration_s=elapsed,
+                    stats=key_stats(result),
+                    telemetry_dir=tel_dir,
+                )
+        for index, exc in errors:
+            key = pending[index][0]
+            self._record_ledger(
+                key[0], key[1], "failed", error=f"{type(exc).__name__}: {exc}"
+            )
         self.stats.add_phase("merge", time.perf_counter() - t2)
-        return len(pending)
+        self._emit_heartbeat_done(completed, len(pending), t1, len(errors))
+        if errors:
+            # completed points are already durably cached and ledgered;
+            # surface the first failure to the caller.
+            raise errors[0][1]
+        return completed

@@ -182,6 +182,7 @@ class Runner:
         cache_path: Optional[str | Path] = None,
         flush_every: int = 16,
         telemetry_dir: Optional[str | Path] = None,
+        ledger_path: Optional[str | Path] = None,
     ) -> None:
         self.horizon = horizon
         self.warmup = warmup
@@ -191,6 +192,16 @@ class Runner:
         #: persistence; points whose configs have telemetry off export
         #: nothing either way.
         self.telemetry_dir = Path(telemetry_dir) if telemetry_dir else None
+        #: optional run ledger — one append-only JSONL record per point
+        #: that reached disk (simulated, served from the disk cache, or
+        #: failed).  Memory hits are never recorded: they are re-reads of
+        #: a point this process already accounted for.
+        self.ledger = None
+        if ledger_path is not None:
+            # deferred import: repro.obsv.scorecard imports this module.
+            from repro.obsv.ledger import RunLedger
+
+            self.ledger = RunLedger(ledger_path)
         self.stats = RunnerStats()
         self._memory: Dict[Tuple[str, str], SimulationResult] = {}
         self._cache_path = Path(cache_path) if cache_path else None
@@ -273,6 +284,30 @@ class Runner:
         write_artifacts(directory, export)
         return directory
 
+    def _record_ledger(
+        self,
+        workload_name: str,
+        cfg_key: str,
+        outcome: str,
+        duration_s: Optional[float] = None,
+        stats: Optional[dict] = None,
+        telemetry_dir: Optional[Path] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        if self.ledger is None:
+            return
+        self.ledger.record_point(
+            workload_name,
+            cfg_key,
+            self.horizon,
+            self.warmup,
+            outcome,
+            duration_s=duration_s,
+            stats=stats,
+            telemetry_dir=telemetry_dir,
+            error=error,
+        )
+
     def run(self, workload_name: str, config: GpuConfig) -> SimulationResult:
         key = (workload_name, config_key(config))
         cached = self._memory.get(key)
@@ -284,18 +319,49 @@ class Runner:
         if payload is not None:
             self.stats.disk_hits += 1
             result = result_from_dict(payload)
+            if self.ledger is not None:
+                from repro.obsv.ledger import key_stats
+
+                self._record_ledger(
+                    workload_name, key[1], "cached", stats=key_stats(result)
+                )
         else:
             t0 = time.perf_counter()
-            result = simulate(
-                config, get_benchmark(workload_name), horizon=self.horizon, warmup=self.warmup
-            )
-            self.stats.sim_seconds += time.perf_counter() - t0
+            try:
+                result = simulate(
+                    config,
+                    get_benchmark(workload_name),
+                    horizon=self.horizon,
+                    warmup=self.warmup,
+                )
+            except (Exception, KeyboardInterrupt) as exc:
+                self._record_ledger(
+                    workload_name,
+                    key[1],
+                    "failed",
+                    duration_s=time.perf_counter() - t0,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                raise
+            elapsed = time.perf_counter() - t0
+            self.stats.sim_seconds += elapsed
             self.stats.points_simulated += 1
-            self._persist_telemetry(workload_name, key[1], result.telemetry)
+            tel_dir = self._persist_telemetry(workload_name, key[1], result.telemetry)
             # the result cache stays telemetry-free: artifacts live in
             # telemetry_dir, and cached payloads are identical whether the
             # point ran with tracing on or off.
             self._cache_put(disk_key, result_to_dict(result))
+            if self.ledger is not None:
+                from repro.obsv.ledger import key_stats
+
+                self._record_ledger(
+                    workload_name,
+                    key[1],
+                    "simulated",
+                    duration_s=elapsed,
+                    stats=key_stats(result),
+                    telemetry_dir=tel_dir,
+                )
         self._memory[key] = result
         return result
 

@@ -1,0 +1,52 @@
+"""Sweep-level observability: run ledger, scorecard, diffing, dashboard.
+
+The experiment layer answers "what IPC does this config get"; this
+package answers the meta-questions around a sweep — what actually ran
+(:mod:`repro.obsv.ledger`), whether the numbers still reproduce the
+paper's conclusions (:mod:`repro.obsv.scorecard`), what moved between
+two sweeps (:mod:`repro.obsv.diff`), and one self-contained HTML page
+tying it all together (:mod:`repro.obsv.dashboard`).
+"""
+
+from repro.obsv.dashboard import build_dashboard
+from repro.obsv.diff import diff_ledgers, render_diff
+from repro.obsv.ledger import (
+    LEDGER_SCHEMA,
+    RunLedger,
+    canonical_points,
+    key_stats,
+    ledger_points,
+    point_key,
+    read_ledger,
+    summarize_ledger,
+)
+from repro.obsv.scorecard import (
+    EXPECTATIONS,
+    PROFILES,
+    Expectation,
+    build_scorecard,
+    evaluate,
+    overall_status,
+    render_scorecard,
+)
+
+__all__ = [
+    "EXPECTATIONS",
+    "Expectation",
+    "LEDGER_SCHEMA",
+    "PROFILES",
+    "RunLedger",
+    "build_dashboard",
+    "build_scorecard",
+    "canonical_points",
+    "diff_ledgers",
+    "evaluate",
+    "key_stats",
+    "ledger_points",
+    "overall_status",
+    "point_key",
+    "read_ledger",
+    "render_diff",
+    "render_scorecard",
+    "summarize_ledger",
+]

@@ -1,0 +1,497 @@
+"""Self-contained static HTML dashboard for one sweep.
+
+``repro dashboard -o report.html`` renders everything the sweep-level
+observability stack knows — heartbeat progress, the run ledger's outcome
+and per-workload summaries, per-class traffic shares, bottleneck stalls,
+the paper-fidelity scorecard, and the BENCH_* perf trajectory — into one
+HTML file with **no external dependencies**: stdlib-only generation,
+inline CSS/JS, inline SVG charts, no network fetches, no packages.  The
+file can be attached to CI artifacts, mailed, or opened from disk.
+
+Every section renders whether or not its input was provided (missing
+inputs show "no data"), so consumers can assert on structure.  Colors
+follow a validated palette with light and dark modes; status is never
+conveyed by color alone (each badge carries a glyph and a word).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.obsv.ledger import ledger_points, summarize_ledger
+
+#: section ids, in render order — the smoke test asserts all are present.
+SECTIONS = (
+    "summary",
+    "progress",
+    "scorecard",
+    "ledger",
+    "traffic",
+    "bottleneck",
+    "bench",
+)
+
+#: fixed categorical slot per traffic category (identity follows the
+#: entity, never its rank; hues assigned in validated adjacent order).
+_TRAFFIC_SLOTS = ("data", "ctr", "mac", "bmt", "wb")
+
+_STYLE = """
+:root {
+  color-scheme: light dark;
+}
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --series-4: #eda100;
+  --series-5: #e87ba4;
+  --status-good: #0ca30c;
+  --status-warning: #fab219;
+  --status-critical: #d03b3b;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  color: var(--text-primary);
+  background: var(--page);
+  margin: 0;
+  padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --grid: #2c2c2a;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --series-4: #c98500;
+    --series-5: #d55181;
+  }
+}
+.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
+.viz-root h2 { font-size: 14px; margin: 0 0 8px; color: var(--text-secondary);
+               text-transform: uppercase; letter-spacing: 0.04em; }
+.viz-root .subtitle { color: var(--text-secondary); margin: 0 0 20px; font-size: 13px; }
+.viz-root section { background: var(--surface-1); border: 1px solid var(--border);
+                    border-radius: 8px; padding: 16px; margin-bottom: 16px; }
+.viz-root .tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.viz-root .tile { min-width: 130px; padding: 10px 14px; border: 1px solid var(--border);
+                  border-radius: 6px; }
+.viz-root .tile .label { font-size: 11px; color: var(--muted); text-transform: uppercase;
+                         letter-spacing: 0.05em; }
+.viz-root .tile .value { font-size: 22px; margin-top: 2px; }
+.viz-root table { border-collapse: collapse; font-size: 13px; width: 100%; }
+.viz-root th { text-align: left; color: var(--muted); font-weight: 500;
+               border-bottom: 1px solid var(--grid); padding: 4px 10px 4px 0; }
+.viz-root td { border-bottom: 1px solid var(--grid); padding: 4px 10px 4px 0;
+               font-variant-numeric: tabular-nums; }
+.viz-root .nodata { color: var(--muted); font-size: 13px; }
+.viz-root .badge { display: inline-block; padding: 1px 8px; border-radius: 10px;
+                   font-size: 12px; color: #ffffff; }
+.viz-root .badge.pass { background: var(--status-good); }
+.viz-root .badge.warn { background: var(--status-warning); color: #0b0b0b; }
+.viz-root .badge.fail { background: var(--status-critical); }
+.viz-root .badge.skip { background: var(--muted); }
+.viz-root .swatch { display: inline-block; width: 10px; height: 10px;
+                    border-radius: 2px; margin-right: 5px; vertical-align: baseline; }
+.viz-root .legend { font-size: 12px; color: var(--text-secondary); margin-top: 6px; }
+.viz-root .legend span { margin-right: 14px; }
+.viz-root .barlabel { font-size: 12px; color: var(--text-secondary); }
+.viz-root details { margin-top: 10px; }
+.viz-root summary { cursor: pointer; color: var(--muted); font-size: 12px; }
+.viz-root pre { font-size: 11px; overflow-x: auto; color: var(--text-secondary); }
+.viz-root footer { color: var(--muted); font-size: 12px; margin-top: 8px; }
+"""
+
+_SCRIPT = """
+document.addEventListener('keydown', function (e) {
+  if (e.key !== 'e' || e.target.tagName === 'INPUT') return;
+  var all = document.querySelectorAll('details');
+  var open = Array.prototype.some.call(all, function (d) { return d.open; });
+  all.forEach(function (d) { d.open = !open; });
+});
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+def _tile(label: str, value: str, extra: str = "") -> str:
+    return (
+        f'<div class="tile"><div class="label">{_esc(label)}</div>'
+        f'<div class="value">{value}</div>{extra}</div>'
+    )
+
+
+def _badge(status: str) -> str:
+    glyph = {"pass": "&#10003;", "warn": "!", "fail": "&#10007;", "skip": "&#8211;"}
+    cls = status if status in ("pass", "warn", "fail") else "skip"
+    return f'<span class="badge {cls}">{glyph.get(status, "?")} {_esc(status)}</span>'
+
+
+def _table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    head = "".join(f"<th>{h}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{cell}</td>" for cell in row) + "</tr>" for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def _nodata(what: str) -> str:
+    return f'<p class="nodata">no {_esc(what)} data provided</p>'
+
+
+def _hbar(fraction: float, color_var: str, width: int = 360) -> str:
+    """One thin horizontal bar (4px rounded data end, baseline-anchored)."""
+    w = max(0.0, min(1.0, fraction)) * width
+    return (
+        f'<svg width="{width}" height="12" role="img" aria-hidden="true">'
+        f'<rect x="0" y="2" width="{width}" height="8" rx="4" fill="var(--grid)"/>'
+        f'<rect x="0" y="2" width="{w:.1f}" height="8" rx="4" fill="var({color_var})"/>'
+        "</svg>"
+    )
+
+
+def _stacked_bar(shares: Dict[str, float], width: int = 560) -> str:
+    """A single stacked share bar with 2px surface gaps between segments."""
+    total = sum(shares.values())
+    if total <= 0:
+        return ""
+    parts, x = [], 0.0
+    gap = 2.0
+    usable = width - gap * (len([v for v in shares.values() if v > 0]) - 1)
+    for i, name in enumerate(_TRAFFIC_SLOTS):
+        value = shares.get(name, 0.0)
+        if value <= 0:
+            continue
+        w = usable * value / total
+        parts.append(
+            f'<rect x="{x:.1f}" y="0" width="{max(w, 1.0):.1f}" height="14" rx="3" '
+            f'fill="var(--series-{i + 1})"/>'
+        )
+        x += w + gap
+    legend = "".join(
+        f'<span><span class="swatch" style="background:var(--series-{i + 1})"></span>'
+        f"{_esc(name)} {100 * shares.get(name, 0.0) / total:.1f}%</span>"
+        for i, name in enumerate(_TRAFFIC_SLOTS)
+        if shares.get(name, 0.0) > 0
+    )
+    return (
+        f'<svg width="{width}" height="14" role="img" '
+        f'aria-label="traffic class shares">{"".join(parts)}</svg>'
+        f'<div class="legend">{legend}</div>'
+    )
+
+
+# ---------------------------------------------------------------------------
+# sections
+# ---------------------------------------------------------------------------
+
+
+def _section(section_id: str, title: str, body: str) -> str:
+    return f'<section id="{section_id}"><h2>{_esc(title)}</h2>{body}</section>'
+
+
+def _summary_section(
+    summary: Optional[dict], heartbeat: List[dict], scorecard: Optional[dict]
+) -> str:
+    tiles = []
+    if summary and summary["points"]:
+        outcomes = summary["outcomes"]
+        tiles.append(_tile("sweep points", f"{summary['points']}"))
+        tiles.append(
+            _tile(
+                "outcomes",
+                " / ".join(f"{v} {k}" for k, v in outcomes.items()) or "-",
+            )
+        )
+        tiles.append(_tile("workloads", f"{len(summary['workloads'])}"))
+        tiles.append(_tile("configs", f"{summary['configs']}"))
+        tiles.append(_tile("sim time", f"{summary['sim_seconds']:.1f}s"))
+        if summary["failures"]:
+            tiles.append(_tile("failures", _badge("fail") + f" {len(summary['failures'])}"))
+    done_line = next((l for l in reversed(heartbeat) if l.get("event") == "done"), None)
+    if done_line:
+        rate = done_line.get("points_per_s")
+        if rate:
+            tiles.append(_tile("throughput", f"{rate:.2f} pts/s"))
+    if scorecard:
+        tiles.append(_tile("fidelity", _badge(scorecard.get("status", "skip"))))
+    if not tiles:
+        return _nodata("sweep")
+    return f'<div class="tiles">{"".join(tiles)}</div>'
+
+
+def _progress_section(heartbeat: List[dict]) -> str:
+    if not heartbeat:
+        return _nodata("heartbeat")
+    points = [l for l in heartbeat if l.get("event", "point") == "point"]
+    done_line = next((l for l in reversed(heartbeat) if l.get("event") == "done"), None)
+    last = done_line or (points[-1] if points else heartbeat[-1])
+    done, total = last.get("done", 0), last.get("total", 0) or 1
+    fraction = done / total
+    status = "complete" if done_line else "in progress"
+    if done_line and done_line.get("status") == "failed":
+        status = f"failed ({done_line.get('failures', '?')} point(s))"
+    eta = last.get("eta_s")
+    detail = (
+        f"{done}/{total} points &middot; {last.get('points_per_s', 0):.2f} pts/s"
+        + (f" &middot; eta {eta:.0f}s" if isinstance(eta, (int, float)) and not done_line else "")
+        + f" &middot; {_esc(status)}"
+    )
+    return (
+        _hbar(fraction, "--series-1", width=560)
+        + f'<div class="barlabel">{detail}</div>'
+    )
+
+
+def _scorecard_section(scorecard: Optional[dict]) -> str:
+    if not scorecard:
+        return _nodata("scorecard")
+    rows = [
+        [
+            _badge(r["status"]),
+            _esc(r["id"]),
+            "-" if r["observed"] is None else f"{r['observed']:.3f}",
+            _esc(
+                {
+                    "band": f"~{r['target']:.3f} +/-{r['tolerance']:.3f}",
+                    "at_least": f">= {r['target']:.3f}",
+                    "at_most": f"<= {r['target']:.3f}",
+                }[r["mode"]]
+            ),
+            _esc(r["paper"]),
+        ]
+        for r in scorecard.get("results", [])
+    ]
+    head = (
+        f'<p class="barlabel">profile {_esc(scorecard.get("profile", "?"))} &middot; '
+        f"overall {_badge(scorecard.get('status', 'skip'))}</p>"
+    )
+    return head + _table(["status", "check", "observed", "expected", "paper"], rows)
+
+
+def _ledger_section(summary: Optional[dict], records: List[dict]) -> str:
+    if not summary or not summary["points"]:
+        return _nodata("ledger")
+    parts = []
+    if summary["failures"]:
+        parts.append(
+            "<h2>failed points</h2>"
+            + _table(
+                ["workload", "config", "error"],
+                [
+                    [_esc(f["workload"]), _esc((f["config"] or "")[:12]),
+                     _esc(f["error"] or "?")]
+                    for f in summary["failures"]
+                ],
+            )
+        )
+    points = [r for r in ledger_points(records) if r.get("stats")]
+    cap = 40
+    rows = [
+        [
+            _esc(r["workload"]),
+            _esc((r.get("config") or "")[:12]),
+            _esc(r.get("outcome", "?")),
+            f"{r['stats']['ipc']:.2f}",
+            f"{100 * r['stats']['bandwidth_utilization']:.1f}%",
+            f"{100 * r['stats']['l2_miss_rate']:.1f}%",
+            "-" if r.get("duration_s") is None else f"{r['duration_s']:.2f}s",
+        ]
+        for r in points[:cap]
+    ]
+    table = _table(
+        ["workload", "config", "outcome", "ipc", "bw util", "l2 miss", "sim time"], rows
+    )
+    if len(points) > cap:
+        table += (
+            f'<p class="nodata">showing {cap} of {len(points)} completed points</p>'
+        )
+    parts.append(table)
+    return "".join(parts)
+
+
+def _traffic_section(records: List[dict], trace: Optional[dict]) -> str:
+    shares: Dict[str, float] = {}
+    source = ""
+    if trace and trace.get("class_bytes"):
+        # trace-export bytes use upper-case class names (DATA/COUNTER/...).
+        alias = {"DATA": "data", "COUNTER": "ctr", "MAC": "mac", "TREE": "bmt"}
+        for name, value in trace["class_bytes"].items():
+            shares[alias.get(name, name.lower())] = float(value)
+        source = "from trace export (DRAM bytes by class)"
+    else:
+        for record in ledger_points(records):
+            txn = (record.get("stats") or {}).get("dram_txn") or {}
+            shares["data"] = shares.get("data", 0.0) + txn.get("data_read", 0.0) + txn.get("data_write", 0.0)
+            for name in ("ctr", "mac", "bmt", "wb"):
+                shares[name] = shares.get(name, 0.0) + txn.get(name, 0.0)
+        source = "from ledger (DRAM transactions by class, all points)"
+    if not any(shares.values()):
+        return _nodata("traffic")
+    return _stacked_bar(shares) + f'<p class="barlabel">{_esc(source)}</p>'
+
+
+def _bottleneck_section(bottleneck: Optional[dict]) -> str:
+    if not bottleneck:
+        return _nodata("bottleneck")
+    from repro.analysis.bottleneck import dominant_overhead, stall_rows
+
+    rows = stall_rows(bottleneck)
+    if not rows:
+        return _nodata("stall")
+    top = max(r["cycles"] for r in rows) or 1.0
+    dominant = dominant_overhead(bottleneck)
+    body_rows = [
+        [
+            _esc(r["cause"]),
+            f"{r['cycles']:.0f}",
+            _hbar(r["cycles"] / top, "--series-2", width=220),
+            _esc(r["label"]),
+        ]
+        for r in rows
+    ]
+    note = (
+        f'<p class="barlabel">dominant overhead component: '
+        f"<strong>{_esc(dominant)}</strong></p>"
+        if dominant
+        else ""
+    )
+    return _table(["stall cause", "cycles", "", "meaning"], body_rows) + note
+
+
+def _bench_section(bench: Dict[str, dict]) -> str:
+    if not bench:
+        return _nodata("benchmark")
+    rows = []
+    for name in sorted(bench):
+        doc = bench[name]
+        telemetry = doc.get("telemetry", {})
+        rows.append(
+            [
+                _esc(name),
+                f"{doc.get('serial_points_per_second', 0):.2f}",
+                f"{doc.get('events_per_second', 0):,.0f}" if doc.get("events_per_second") else "-",
+                f"{doc.get('speedup'):.2f}x" if doc.get("speedup") else "-",
+                f"{telemetry.get('overhead_pct', 0):.1f}%" if telemetry else "-",
+                _esc((doc.get("host") or {}).get("platform", "-")),
+            ]
+        )
+    return _table(
+        ["file", "points/s", "events/s", "parallel speedup", "telemetry overhead", "host"],
+        rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# assembly
+# ---------------------------------------------------------------------------
+
+
+def build_dashboard(
+    title: str = "Sweep observability report",
+    ledger_records: Optional[List[dict]] = None,
+    heartbeat_lines: Optional[List[dict]] = None,
+    scorecard: Optional[dict] = None,
+    bottleneck: Optional[dict] = None,
+    trace: Optional[dict] = None,
+    bench: Optional[Dict[str, dict]] = None,
+    sources: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render the complete dashboard; every argument is optional."""
+    records = ledger_records or []
+    heartbeat = heartbeat_lines or []
+    summary = summarize_ledger(records) if records else None
+
+    bodies = {
+        "summary": _summary_section(summary, heartbeat, scorecard),
+        "progress": _progress_section(heartbeat),
+        "scorecard": _scorecard_section(scorecard),
+        "ledger": _ledger_section(summary, records),
+        "traffic": _traffic_section(records, trace),
+        "bottleneck": _bottleneck_section(bottleneck),
+        "bench": _bench_section(bench or {}),
+    }
+    titles = {
+        "summary": "Sweep summary",
+        "progress": "Sweep progress",
+        "scorecard": "Paper-fidelity scorecard",
+        "ledger": "Run ledger",
+        "traffic": "Traffic by class",
+        "bottleneck": "Bottleneck stalls",
+        "bench": "BENCH_* trajectory",
+    }
+    sections = "".join(_section(s, titles[s], bodies[s]) for s in SECTIONS)
+
+    provenance = ""
+    if sources:
+        items = "".join(
+            f"<li>{_esc(k)}: <code>{_esc(v)}</code></li>" for k, v in sorted(sources.items())
+        )
+        provenance = f"<details><summary>inputs</summary><ul>{items}</ul></details>"
+
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_STYLE}</style>\n"
+        '</head><body class="viz-root">\n'
+        f"<h1>{_esc(title)}</h1>\n"
+        '<p class="subtitle">Analyzing Secure Memory Architecture for GPUs '
+        "&mdash; sweep-level observability (self-contained report; "
+        "press <kbd>e</kbd> to toggle details)</p>\n"
+        f"{sections}\n"
+        f"<footer>{provenance}</footer>\n"
+        f"<script>{_SCRIPT}</script>\n"
+        "</body></html>\n"
+    )
+
+
+def load_json(path: Optional[str | Path]) -> Optional[dict]:
+    """Best-effort JSON read; None for missing/unreadable files."""
+    if not path:
+        return None
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        doc = json.loads(path.read_text())
+    except (ValueError, OSError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def load_jsonl(path: Optional[str | Path]) -> List[dict]:
+    """Best-effort JSONL read; skips torn lines like the ledger reader."""
+    if not path:
+        return []
+    path = Path(path)
+    if not path.exists():
+        return []
+    out = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            out.append(record)
+    return out

@@ -1,0 +1,242 @@
+"""The run ledger: a durable, append-only record of every sweep point.
+
+A sweep that reproduces the paper is hundreds of ``(workload, config)``
+simulation points; the ledger is the audit trail of what actually ran.
+:class:`RunLedger` appends one schema-versioned JSON line per *point*
+(config digest, workload, window, outcome, duration, key statistics,
+telemetry-artifact path, and — for failed points — the exception string)
+plus one ``sweep`` header line per writing process (host metadata).
+
+Durability model — the same one the sharded result cache uses:
+
+* **append-only** — records are never rewritten; every ``record_point``
+  is a single ``write`` of one line to a file opened in append mode;
+* **crash-safe** — the only damage a kill can inflict is a torn final
+  line, which :func:`read_ledger` skips; everything that reached disk
+  stays;
+* **resume without duplicates** — a ledger opened over an existing file
+  loads the point keys already present and silently skips re-recording
+  them, so a killed sweep re-run against the same result cache ends with
+  exactly one record per point;
+* **order-independent** — records carry no sequence numbers, and
+  :func:`canonical_points` strips the volatile fields (timestamps,
+  durations, artifact paths), so a serial and a parallel run of the same
+  sweep produce record-equivalent ledgers no matter which worker
+  finished first.
+
+The ledger is observability: a write failure warns and never fails the
+sweep it observes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.common.hostinfo import host_metadata
+
+#: bump when a record's field set changes incompatibly.
+LEDGER_SCHEMA = 1
+
+#: point-record fields that vary run to run without the result changing.
+VOLATILE_FIELDS = ("ts", "duration_s", "telemetry_dir")
+
+#: the outcomes a point record can carry.
+OUTCOMES = ("simulated", "cached", "failed")
+
+
+def point_key(workload: str, config: str, horizon: float, warmup: float) -> str:
+    """The identity of one sweep point (matches the result-cache key)."""
+    return f"{workload}:{config}:{horizon}:{warmup}"
+
+
+def key_stats(result) -> dict:
+    """The per-point statistics a ledger record carries.
+
+    Deliberately small — full statistics trees and telemetry live in
+    their own artifacts; the ledger keeps just what scorecards and diffs
+    compare.
+    """
+    return {
+        "ipc": result.ipc,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "bandwidth_utilization": result.bandwidth_utilization,
+        "l2_miss_rate": result.l2_miss_rate,
+        "counter_overflows": result.counter_overflows,
+        "dram_txn": dict(result.dram_txn),
+    }
+
+
+class RunLedger:
+    """Single-writer append-only JSONL ledger of sweep points."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._seen: Set[str] = set()
+        self._header_written = False
+        if self.path.exists():
+            for record in read_ledger(self.path):
+                if record.get("event") == "point":
+                    self._seen.add(
+                        point_key(
+                            record.get("workload", ""),
+                            record.get("config", ""),
+                            record.get("horizon", 0),
+                            record.get("warmup", 0),
+                        )
+                    )
+            # resuming an existing ledger: headers from earlier sessions
+            # are already on disk; this process adds its own lazily.
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    # ------------------------------------------------------------------
+
+    def record_point(
+        self,
+        workload: str,
+        config: str,
+        horizon: float,
+        warmup: float,
+        outcome: str,
+        duration_s: Optional[float] = None,
+        stats: Optional[dict] = None,
+        telemetry_dir: Optional[str | Path] = None,
+        error: Optional[str] = None,
+    ) -> bool:
+        """Append one point record; returns False if the key was present.
+
+        ``outcome`` is one of :data:`OUTCOMES`; ``stats`` is
+        :func:`key_stats` output for completed points and None for failed
+        ones, where ``error`` carries the exception string instead.
+        """
+        key = point_key(workload, config, horizon, warmup)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        record = {
+            "schema": LEDGER_SCHEMA,
+            "event": "point",
+            "ts": time.time(),
+            "workload": workload,
+            "config": config,
+            "horizon": horizon,
+            "warmup": warmup,
+            "outcome": outcome,
+            "duration_s": round(duration_s, 6) if duration_s is not None else None,
+            "stats": stats,
+            "telemetry_dir": str(telemetry_dir) if telemetry_dir else None,
+            "error": error,
+        }
+        self._append(record)
+        return True
+
+    def _append(self, record: dict) -> None:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            lines = ""
+            if not self._header_written:
+                self._header_written = True
+                lines += json.dumps(
+                    {
+                        "schema": LEDGER_SCHEMA,
+                        "event": "sweep",
+                        "ts": time.time(),
+                        "host": host_metadata(),
+                    }
+                ) + "\n"
+            lines += json.dumps(record) + "\n"
+            with open(self.path, "a") as fh:
+                fh.write(lines)
+        except OSError as exc:
+            # observability must never fail the sweep it observes.
+            warnings.warn(
+                f"run ledger {self.path} not writable: {exc}", RuntimeWarning
+            )
+
+
+# ---------------------------------------------------------------------------
+# readers
+# ---------------------------------------------------------------------------
+
+
+def read_ledger(path: str | Path) -> List[dict]:
+    """Every intact record in file order; torn/blank lines are skipped."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: List[dict] = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # torn append from a killed run
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def ledger_points(records: Iterable[dict]) -> List[dict]:
+    """Only the point records (headers and unknown events dropped)."""
+    return [r for r in records if r.get("event") == "point"]
+
+
+def canonical_points(records: Iterable[dict]) -> List[dict]:
+    """Point records stripped of volatile fields, in a canonical order.
+
+    Two sweeps over the same matrix are *record-equivalent* when their
+    canonical points are equal — regardless of completion order, worker
+    count, wall-clock, or where telemetry artifacts landed.
+    """
+    canon = []
+    for record in ledger_points(records):
+        slim = {k: v for k, v in record.items() if k not in VOLATILE_FIELDS}
+        canon.append(slim)
+    canon.sort(key=lambda r: (r.get("workload", ""), r.get("config", ""),
+                              str(r.get("horizon")), str(r.get("warmup"))))
+    return canon
+
+
+def summarize_ledger(records: Iterable[dict]) -> dict:
+    """Per-sweep aggregate: outcome counts, coverage, failures, timing."""
+    points = ledger_points(records)
+    outcomes = Counter(r.get("outcome", "unknown") for r in points)
+    durations = [r["duration_s"] for r in points if r.get("duration_s")]
+    timestamps = [r["ts"] for r in points if r.get("ts")]
+    failures = [
+        {
+            "workload": r.get("workload"),
+            "config": r.get("config"),
+            "error": r.get("error"),
+        }
+        for r in points
+        if r.get("outcome") == "failed"
+    ]
+    ipcs: Dict[str, float] = {}
+    for r in points:
+        stats = r.get("stats") or {}
+        if "ipc" in stats:
+            ipcs.setdefault(r.get("workload", "?"), stats["ipc"])
+    return {
+        "points": len(points),
+        "outcomes": dict(sorted(outcomes.items())),
+        "workloads": sorted({r.get("workload", "?") for r in points}),
+        "configs": len({r.get("config", "?") for r in points}),
+        "failures": failures,
+        "sim_seconds": round(sum(durations), 3),
+        "first_ts": min(timestamps) if timestamps else None,
+        "last_ts": max(timestamps) if timestamps else None,
+        "schema_versions": sorted({r.get("schema", 0) for r in points}),
+    }

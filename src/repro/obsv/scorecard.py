@@ -1,0 +1,408 @@
+"""Paper-fidelity scorecard: the paper's conclusions as tolerance bands.
+
+The reproduction's value is its ability to *demonstrate* that it still
+reproduces the paper after every change.  This module encodes the
+quantitative headline numbers behind Section V's five conclusions as
+declarative :class:`Expectation` records — an observed metric, the
+paper-anchored target, and pass/warn/fail tolerance bands — and
+evaluates them against a sweep's results to produce ``scorecard.json``
+plus a rendered table (``repro scorecard``).
+
+The five claims covered (Figures 3, 8, 12, 15-17):
+
+1. **Metadata bandwidth is the bottleneck** — secure memory costs ~66%
+   of IPC on average, zero-latency crypto does not help, and perfect
+   metadata caches recover nearly everything.
+2. **lbm is the worst case** — ~91% IPC loss in the paper.
+3. **Separate metadata caches beat a unified one** on GPUs.
+4. **Direct encryption is cheap** — and beats the counter-mode stack.
+5. **One AES engine per partition suffices.**
+
+Two profiles ship: ``paper`` evaluates at the EXPERIMENTS.md
+regeneration scale (4 partitions, 10k/30k windows — pure cache reads
+when ``results/`` is populated), ``smoke`` at the small CI scale with
+bands calibrated for the shorter windows.  Tolerances are *calibrated
+observations*, documented per expectation: ``target`` anchors on what
+this reproduction measures at that scale, ``paper`` records the paper's
+own number for the report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import render_table
+from repro.common.hostinfo import host_metadata
+from repro.experiments import designs
+from repro.experiments.runner import Runner
+
+#: bump when the scorecard.json field set changes incompatibly.
+SCORECARD_SCHEMA = 1
+
+PASS, WARN, FAIL, SKIP = "pass", "warn", "fail", "skip"
+
+#: severity order for the overall verdict (worst wins; skip never wins).
+_SEVERITY = {PASS: 0, SKIP: 0, WARN: 1, FAIL: 2}
+
+
+@dataclasses.dataclass(frozen=True)
+class Expectation:
+    """One declarative check against a sweep's observed metrics.
+
+    ``mode`` picks the violation function:
+
+    * ``band``     — ``v = max(0, |observed - target| - tolerance)``
+    * ``at_least`` — ``v = max(0, target - observed)``
+    * ``at_most``  — ``v = max(0, observed - target)``
+
+    ``v == 0`` passes, ``v <= grace`` warns, beyond fails — so the warn
+    band is a strip of width ``grace`` just outside the pass region, and
+    the boundaries are closed on the passing side.
+    """
+
+    id: str
+    claim: str
+    metric: str
+    mode: str  # "band" | "at_least" | "at_most"
+    target: float
+    grace: float
+    tolerance: float = 0.0  # only meaningful for mode="band"
+    paper: str = ""  # the paper's stated number, for the report
+
+    def violation(self, observed: float) -> float:
+        if self.mode == "band":
+            return max(0.0, abs(observed - self.target) - self.tolerance)
+        if self.mode == "at_least":
+            return max(0.0, self.target - observed)
+        if self.mode == "at_most":
+            return max(0.0, observed - self.target)
+        raise ValueError(f"unknown expectation mode {self.mode!r}")
+
+    def status(self, observed: Optional[float]) -> str:
+        if observed is None:
+            return SKIP
+        v = self.violation(observed)
+        if v == 0.0:
+            return PASS
+        return WARN if v <= self.grace else FAIL
+
+
+# ---------------------------------------------------------------------------
+# profiles and their calibrated expectations
+# ---------------------------------------------------------------------------
+
+#: simulation scale per profile; ``benchmarks=None`` means the full suite.
+PROFILES: Dict[str, dict] = {
+    "paper": {
+        "partitions": 4,
+        "horizon": 10_000,
+        "warmup": 30_000,
+        "benchmarks": None,
+    },
+    # the tier-1 smoke scale (test_paper_conclusions): two benchmarks per
+    # intensity category, short windows — cheap enough for CI.
+    "smoke": {
+        "partitions": 2,
+        "horizon": 2_500,
+        "warmup": 5_000,
+        "benchmarks": ["heartwall", "nw", "backprop", "bfs", "fdtd2d", "lbm"],
+    },
+}
+
+
+def _expectations(
+    mean_loss: float,
+    lbm_loss: float,
+    direct_cheap: float,
+    lbm_margin: float = -0.05,
+) -> List[Expectation]:
+    """The shared expectation set, anchored per scale.
+
+    Relational claims (who beats whom) are scale-invariant and share one
+    definition; magnitude claims take the scale's calibrated anchor.
+    """
+    return [
+        Expectation(
+            id="c1_mean_secure_ipc_loss",
+            claim="secure memory costs most of the GPU's IPC on average",
+            metric="mean_secure_ipc_loss",
+            mode="band",
+            target=mean_loss,
+            tolerance=0.08,
+            grace=0.07,
+            paper="65.9% mean IPC loss (Fig. 3)",
+        ),
+        Expectation(
+            id="c1_zero_crypto_gap",
+            claim="zero-latency crypto does not help: bandwidth, not AES latency",
+            metric="zero_crypto_gap",
+            mode="at_most",
+            target=0.05,
+            grace=0.05,
+            paper="0_crypto ~= secureMem (Fig. 3)",
+        ),
+        Expectation(
+            id="c1_perfect_mdc_recovers",
+            claim="perfect metadata caches recover nearly all the loss",
+            metric="perf_mdc_gmean",
+            mode="at_least",
+            target=0.95,
+            grace=0.05,
+            paper="perf_mdc ~ 1.0 (Fig. 3)",
+        ),
+        Expectation(
+            id="c2_lbm_ipc_loss",
+            claim="lbm is the worst case",
+            metric="lbm_secure_ipc_loss",
+            mode="band",
+            target=lbm_loss,
+            tolerance=0.10,
+            grace=0.08,
+            paper="91% IPC loss for lbm (Fig. 3)",
+        ),
+        Expectation(
+            id="c2_lbm_worst_margin",
+            # measured deviation: at the scaled substrate a few streaming
+            # proxies (streamcluster, 2Dconvolution) land within ~3 points
+            # of lbm's normalized IPC, so the calibrated claim is "at or
+            # within 5 points of the worst case", not the strict minimum.
+            claim="lbm is at (or near) the worst case",
+            metric="lbm_worst_margin",
+            mode="at_least",
+            target=lbm_margin,
+            grace=0.05,
+            paper="lbm is the paper's maximum (Fig. 3)",
+        ),
+        Expectation(
+            id="c3_separate_beats_unified",
+            claim="separate metadata caches beat a unified one",
+            metric="separate_minus_unified_gmean",
+            mode="at_least",
+            target=0.02,
+            grace=0.02,
+            paper="separate > unified on GPUs (Fig. 8)",
+        ),
+        Expectation(
+            id="c4_direct_encryption_cheap",
+            claim="direct encryption is cheap",
+            metric="direct_40_ipc_loss",
+            mode="at_most",
+            target=direct_cheap,
+            grace=0.08,
+            paper="1.33% mean loss at 40 cycles (Fig. 15)",
+        ),
+        Expectation(
+            id="c4_direct_beats_ctr_bmt",
+            claim="direct encryption beats the counter-mode stack",
+            metric="direct_minus_ctr_bmt_gmean",
+            mode="at_least",
+            target=0.05,
+            grace=0.05,
+            paper="direct ~free vs ctr+BMT -43.9% (Fig. 16)",
+        ),
+        Expectation(
+            id="c5_one_aes_engine_suffices",
+            claim="one AES engine per partition suffices",
+            metric="aes1_over_aes2_gmean",
+            mode="at_least",
+            target=0.95,
+            grace=0.03,
+            paper="1 engine ~= 2 engines (Fig. 12)",
+        ),
+    ]
+
+
+#: calibrated anchors: paper profile from the EXPERIMENTS.md regeneration
+#: (secureMem Gmean 0.340 -> 66.0% loss, lbm 0.163 -> 0.837, direct_40
+#: 0.965); smoke profile measured at the test_paper_conclusions scale
+#: (mean loss 0.702, lbm 0.875, direct_40 loss 0.046, margin -0.054 —
+#: the shorter windows bite streaming workloads harder, so the margin
+#: floor is looser).
+EXPECTATIONS: Dict[str, List[Expectation]] = {
+    "paper": _expectations(mean_loss=0.659, lbm_loss=0.84, direct_cheap=0.10),
+    "smoke": _expectations(
+        mean_loss=0.70, lbm_loss=0.87, direct_cheap=0.12, lbm_margin=-0.10
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# observed metrics
+# ---------------------------------------------------------------------------
+
+#: design columns the scorecard needs, beyond the insecure baseline.
+_DESIGN_FACTORIES = {
+    "secureMem": lambda: designs.secure_mem(0),
+    "0_crypto": lambda: designs.zero_crypto(0),
+    "perf_mdc": lambda: designs.perfect_mdc(0),
+    "separate": designs.separate,
+    "unified": designs.unified,
+    "direct_40": lambda: designs.direct(40),
+    "ctr_bmt": designs.ctr_bmt,
+    "aes_1": lambda: designs.aes_engines(1),
+    "aes_2": lambda: designs.aes_engines(2),
+}
+
+
+def collect_metrics(runner: Runner, partitions: int) -> Dict[str, dict]:
+    """Run (or read from cache) every point the scorecard needs.
+
+    Returns ``{"metrics": {...}, "sweeps": {design: {bench: norm_ipc}}}``;
+    metric values are floats, with relation metrics derived from the
+    normalized-IPC sweeps.
+    """
+    base = designs.build_gpu(None, partitions)
+    configs = {
+        name: designs.build_gpu(factory(), partitions)
+        for name, factory in _DESIGN_FACTORIES.items()
+    }
+    runner.prefetch(
+        (bench, config)
+        for config in list(configs.values()) + [base]
+        for bench in runner.benchmarks
+    )
+    sweeps = {
+        name: runner.normalized_sweep(config, base) for name, config in configs.items()
+    }
+
+    secure = sweeps["secureMem"]
+    metrics: Dict[str, float] = {
+        "mean_secure_ipc_loss": 1.0 - secure["Gmean"],
+        "zero_crypto_gap": abs(sweeps["0_crypto"]["Gmean"] - secure["Gmean"]),
+        "perf_mdc_gmean": sweeps["perf_mdc"]["Gmean"],
+        "separate_minus_unified_gmean": sweeps["separate"]["Gmean"]
+        - sweeps["unified"]["Gmean"],
+        "direct_40_ipc_loss": 1.0 - sweeps["direct_40"]["Gmean"],
+        "direct_minus_ctr_bmt_gmean": sweeps["direct_40"]["Gmean"]
+        - sweeps["ctr_bmt"]["Gmean"],
+        "aes1_over_aes2_gmean": (
+            sweeps["aes_1"]["Gmean"] / sweeps["aes_2"]["Gmean"]
+            if sweeps["aes_2"]["Gmean"]
+            else 0.0
+        ),
+    }
+    if "lbm" in runner.benchmarks:
+        metrics["lbm_secure_ipc_loss"] = 1.0 - secure["lbm"]
+        others = [secure[b] for b in runner.benchmarks if b != "lbm"]
+        # positive when lbm's normalized IPC is the strict minimum.
+        metrics["lbm_worst_margin"] = min(others) - secure["lbm"]
+    return {"metrics": metrics, "sweeps": sweeps}
+
+
+# ---------------------------------------------------------------------------
+# evaluation
+# ---------------------------------------------------------------------------
+
+
+def evaluate(
+    metrics: Dict[str, float], expectations: Sequence[Expectation]
+) -> List[dict]:
+    """One result row per expectation, in declaration order."""
+    rows = []
+    for exp in expectations:
+        observed = metrics.get(exp.metric)
+        rows.append(
+            {
+                "id": exp.id,
+                "claim": exp.claim,
+                "metric": exp.metric,
+                "mode": exp.mode,
+                "target": exp.target,
+                "tolerance": exp.tolerance,
+                "grace": exp.grace,
+                "paper": exp.paper,
+                "observed": round(observed, 6) if observed is not None else None,
+                "status": exp.status(observed),
+            }
+        )
+    return rows
+
+
+def overall_status(rows: Sequence[dict]) -> str:
+    """The worst row status (``pass`` when everything passed/skipped)."""
+    worst = PASS
+    for row in rows:
+        if _SEVERITY[row["status"]] > _SEVERITY[worst]:
+            worst = row["status"]
+    return worst
+
+
+def build_scorecard(
+    runner: Runner,
+    profile: str,
+    partitions: int,
+    expectations: Optional[Sequence[Expectation]] = None,
+    metrics: Optional[Dict[str, float]] = None,
+) -> dict:
+    """The full ``scorecard.json`` document for one sweep.
+
+    ``metrics`` can be injected (tests, pre-computed sweeps); otherwise
+    the runner collects them — from its result cache when warm.
+    """
+    if expectations is None:
+        expectations = EXPECTATIONS[profile]
+    sweeps: Dict[str, dict] = {}
+    if metrics is None:
+        collected = collect_metrics(runner, partitions)
+        metrics = collected["metrics"]
+        sweeps = {
+            name: {k: round(v, 6) for k, v in sweep.items()}
+            for name, sweep in collected["sweeps"].items()
+        }
+    rows = evaluate(metrics, expectations)
+    return {
+        "schema": SCORECARD_SCHEMA,
+        "profile": profile,
+        "partitions": partitions,
+        "horizon": runner.horizon,
+        "warmup": runner.warmup,
+        "benchmarks": list(runner.benchmarks),
+        "host": host_metadata(),
+        "points_simulated": runner.stats.points_simulated,
+        "cache_hits": runner.stats.memory_hits + runner.stats.disk_hits,
+        "metrics": {k: round(v, 6) for k, v in metrics.items()},
+        "sweeps": sweeps,
+        "results": rows,
+        "status": overall_status(rows),
+    }
+
+
+_STATUS_MARK = {PASS: "PASS", WARN: "WARN", FAIL: "FAIL", SKIP: "skip"}
+
+
+def render_scorecard(doc: dict) -> str:
+    """The plain-text pass/warn/fail table ``repro scorecard`` prints."""
+    rows = []
+    for row in doc["results"]:
+        observed = row["observed"]
+        spec = {
+            "band": f"~{row['target']:.3f} +/-{row['tolerance']:.3f}",
+            "at_least": f">= {row['target']:.3f}",
+            "at_most": f"<= {row['target']:.3f}",
+        }[row["mode"]]
+        rows.append(
+            [
+                _STATUS_MARK[row["status"]],
+                row["id"],
+                f"{observed:.3f}" if observed is not None else "-",
+                spec,
+                row["paper"],
+            ]
+        )
+    table = render_table(["status", "check", "observed", "expected", "paper"], rows)
+    head = (
+        f"paper-fidelity scorecard — profile {doc['profile']} "
+        f"({doc['partitions']} partitions, horizon {doc['horizon']:g}, "
+        f"warmup {doc['warmup']:g})"
+    )
+    counts = {s: 0 for s in (PASS, WARN, FAIL, SKIP)}
+    for row in doc["results"]:
+        counts[row["status"]] += 1
+    tail = (
+        f"overall: {doc['status'].upper()} "
+        f"({counts[PASS]} pass / {counts[WARN]} warn / {counts[FAIL]} fail"
+        + (f" / {counts[SKIP]} skip" if counts[SKIP] else "")
+        + f"; {doc['points_simulated']} simulated, {doc['cache_hits']} from cache)"
+    )
+    return f"{head}\n\n{table}\n\n{tail}"

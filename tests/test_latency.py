@@ -340,18 +340,24 @@ class TestHeartbeat:
         ]
         simulated = runner.prefetch(points)
         lines = [json.loads(x) for x in heartbeat.read_text().splitlines()]
-        assert simulated == 2 and len(lines) == 2
-        assert [line["done"] for line in lines] == [1, 2]
-        for line in lines:
+        assert simulated == 2 and len(lines) == 3
+        points_lines, done_line = lines[:2], lines[2]
+        assert [line["done"] for line in points_lines] == [1, 2]
+        for line in points_lines:
             assert line["total"] == 2
             assert line["elapsed_s"] >= 0.0
             assert set(line) == {
                 "ts", "done", "total", "elapsed_s", "points_per_s", "eta_s",
             }
-        assert lines[-1]["eta_s"] == 0.0
+        assert points_lines[-1]["eta_s"] == 0.0
+        # the batch closes with a terminal "done" line: a finished sweep
+        # is distinguishable from one whose process died mid-batch.
+        assert done_line["event"] == "done"
+        assert done_line["done"] == done_line["total"] == 2
+        assert done_line["status"] == "ok" and done_line["failures"] == 0
         # a fully cached batch simulates nothing and emits no heartbeat.
         assert runner.prefetch(points) == 0
-        assert len(heartbeat.read_text().splitlines()) == 2
+        assert len(heartbeat.read_text().splitlines()) == 3
 
     def test_disabled_by_default(self, tmp_path):
         runner = ParallelRunner(horizon=1_200, warmup=800, jobs=1)
