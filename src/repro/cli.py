@@ -69,6 +69,20 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Analyzing Secure Memory Architecture for GPUs'",
     )
+    # fast-path switches (global: they apply to whatever command runs).
+    # Results are bit-identical either way; these exist for A/B timing and
+    # for debugging with the simpler scalar core.
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable the batched core (grouped crossbar delivery, epoch "
+        "trace pregeneration); equivalent to REPRO_NO_BATCH=1",
+    )
+    parser.add_argument(
+        "--no-pool",
+        action="store_true",
+        help="disable object pooling/slot reuse; equivalent to REPRO_NO_POOL=1",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_scale(p):
@@ -86,6 +100,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="simulate one workload on one design")
     run.add_argument("workload", choices=BENCHMARK_ORDER)
     run.add_argument("--design", choices=sorted(DESIGNS), default="secureMem_mshr64")
+    run.add_argument(
+        "--warm-state",
+        action="store_true",
+        help="after the run, print the process-wide secure-geometry warm "
+        "state (memoized layouts, address translations, tree parents)",
+    )
     add_scale(run)
 
     profile = sub.add_parser(
@@ -331,6 +351,12 @@ def _cmd_run(args) -> int:
                 f"{kind.value} miss rate     {result.metadata_miss_rate(kind):.1%} "
                 f"(secondary {result.secondary_miss_ratio(kind):.1%})"
             )
+    if args.warm_state:
+        from repro.sim import fastpath
+
+        print()
+        for key, value in fastpath.warm_state().items():
+            print(f"warm {key:24s} {value}")
     return 0
 
 
@@ -714,6 +740,13 @@ def _cmd_attack() -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.no_batch or args.no_pool:
+        from repro.sim import fastpath
+
+        fastpath.configure(
+            batching=False if args.no_batch else None,
+            pooling=False if args.no_pool else None,
+        )
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "profile":

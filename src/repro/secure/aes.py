@@ -36,6 +36,7 @@ class AesEngineBank:
         clock_ratio = core_clock_mhz / dram_clock_mhz
         self.cycles_per_byte = clock_ratio / (params.AES_BYTES_PER_MEM_CYCLE * num_engines)
         self._pipe = ThroughputResource("aes-bank")
+        self._counts = self.stats.raw()
 
     def process(self, now: float, nbytes: int, available: float | None = None) -> float:
         """Encrypt/decrypt *nbytes*; returns completion time.
@@ -46,12 +47,19 @@ class AesEngineBank:
         (keeping the FCFS resource's arrival order monotone) but processing
         cannot finish before the data has streamed through.
         """
+        # per-sector hot path: the FCFS acquire is inlined (the pipe has no
+        # stats group) and the stat adds go straight to the raw counters.
         occupancy = nbytes * self.cycles_per_byte
-        start = self._pipe.acquire(now, occupancy)
-        if available is not None:
-            start = max(start, available)
-        self.stats.add("ops")
-        self.stats.add("bytes", nbytes)
+        pipe = self._pipe
+        next_free = pipe.next_free
+        start = next_free if next_free > now else now
+        pipe.next_free = start + occupancy
+        pipe.busy_cycles += occupancy
+        if available is not None and available > start:
+            start = available
+        counts = self._counts
+        counts["ops"] += 1.0
+        counts["bytes"] += nbytes
         return start + occupancy + self.latency
 
     def utilization(self, elapsed: float) -> float:
@@ -86,6 +94,7 @@ class MacUnit:
         clock_ratio = core_clock_mhz / dram_clock_mhz
         self.cycles_per_op = clock_ratio  # one 32B-sector MAC per memory cycle
         self._pipe = ThroughputResource("mac-unit")
+        self._counts = self.stats.raw()
 
     def process(self, now: float, n_ops: int = 1, available: float | None = None) -> float:
         """Compute *n_ops* MACs/hashes; returns completion time.
@@ -93,11 +102,16 @@ class MacUnit:
         As with the AES bank, the unit is reserved at *now* and *available*
         only floors the completion time.
         """
-        start = self._pipe.acquire(now, n_ops * self.cycles_per_op)
-        if available is not None:
-            start = max(start, available)
-        self.stats.add("ops", n_ops)
-        return start + n_ops * self.cycles_per_op + self.latency
+        occupancy = n_ops * self.cycles_per_op
+        pipe = self._pipe
+        next_free = pipe.next_free
+        start = next_free if next_free > now else now
+        pipe.next_free = start + occupancy
+        pipe.busy_cycles += occupancy
+        if available is not None and available > start:
+            start = available
+        self._counts["ops"] += n_ops
+        return start + occupancy + self.latency
 
     def utilization(self, elapsed: float) -> float:
         return self._pipe.utilization(elapsed)

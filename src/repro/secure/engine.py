@@ -44,6 +44,7 @@ from repro.sim.dram import (
     CAT_TREE,
     DramChannel,
 )
+from repro.sim import fastpath
 from repro.sim.event import EventQueue
 from repro.sim.mshr import MshrTable
 from repro.telemetry.latency import (
@@ -67,6 +68,21 @@ _KIND_TO_CATEGORY = {
 _HIT = "hit"
 _PRIMARY = "primary"
 _SECONDARY = "secondary"
+
+#: process-wide tree-parent memos, keyed by everything the parent-address
+#: function depends on: layout geometry (protected size + counter/MAC
+#: geometries) and the mode predicates.  Parent addresses are pure
+#: geometry, so engines of successive simulation points can share one warm
+#: map instead of each recomputing the same (kind, block) -> parent walks.
+_PARENT_MEMOS: Dict[tuple, Dict] = {}
+
+
+def _shared_parent_memo(layout: MetadataLayout, counter_mode: bool, uses_tree: bool) -> Dict:
+    key = (layout.protected_bytes, layout.counters, layout.macs, counter_mode, uses_tree)
+    memo = _PARENT_MEMOS.get(key)
+    if memo is None:
+        memo = _PARENT_MEMOS[key] = {}
+    return memo
 
 
 class _Inflight:
@@ -101,6 +117,7 @@ class _KindState:
         "category",
         "tclass",
         "cls_label",
+        "mdc_pend",
     )
 
     def __init__(self, kind: MetadataKind, stats: StatGroup) -> None:
@@ -116,6 +133,9 @@ class _KindState:
         self.category = _KIND_TO_CATEGORY[kind]
         self.tclass = CLASS_OF_KIND[kind]
         self.cls_label = self.tclass.name
+        #: bound (queue, service) sample buffers for the mdc hop, filled in
+        #: by the engine once its latency recorder is known.
+        self.mdc_pend = None
 
 
 class SecureEngine:
@@ -197,11 +217,22 @@ class SecureEngine:
         self._trace_on = self._trace.enabled
         self._trace_instant = self._trace.instant
         self._lat_on = self._lat.enabled
+        #: bound (queue, service) sample buffers for the exposed-crypto hop.
+        self._crypto_pend = self._lat.channel(HOP_CRYPTO, "DATA")
         self._dram_read = dram.read
         self._dram_write = dram.write
+        #: free-list of _Inflight records (slot reuse for per-miss churn).
+        self._pooling = fastpath.POOLING
+        self._inflight_pool: List[_Inflight] = []
         #: (kind, block_addr) -> parent tree-node address (or None); pure
-        #: geometry, so memoizing cannot change results.
-        self._parent_memo: Dict[Tuple[MetadataKind, int], Optional[int]] = {}
+        #: geometry, so memoizing cannot change results.  Under the batched
+        #: core the memo is shared process-wide (cross-point warm state).
+        if fastpath.BATCHING:
+            self._parent_memo = _shared_parent_memo(
+                layout, self._counter_mode, config.uses_tree
+            )
+        else:
+            self._parent_memo = {}
         self._kind_state = {
             kind: _KindState(kind, self._kind_stats[kind]) for kind in MetadataKind
         }
@@ -210,6 +241,7 @@ class SecureEngine:
             state.cache = self._caches.get(kind)
             state.mshr = self._mshrs.get(kind)
             state.merge_cap = self._merge_caps[kind]
+            state.mdc_pend = self._lat.channel(HOP_MDC, state.cls_label)
             self._inflight[kind] = state.inflight
         self._ctr_state = self._kind_state[MetadataKind.COUNTER]
         self._mac_state = self._kind_state[MetadataKind.MAC]
@@ -309,8 +341,9 @@ class SecureEngine:
             # the data fetch — counter-mode's whole point.
             ctr_ready, walk_done = self._counter_access(now, addr, is_write=False)
             otp_ready = self.aes.process(now, nbytes, available=ctr_ready)
-            ready = max(data_ready, otp_ready) + 1  # the XOR
-            verify_done = max(verify_done, walk_done)
+            ready = (data_ready if data_ready >= otp_ready else otp_ready) + 1  # the XOR
+            if walk_done > verify_done:
+                verify_done = walk_done
         elif self._direct_mode:
             # decryption can only start after the ciphertext arrives: the
             # AES latency lands on the load critical path.
@@ -321,20 +354,27 @@ class SecureEngine:
         if self._uses_macs:
             mac_ready, walk_done = self._mac_access(now, addr, is_write=False)
             check_done = self.mac_unit.process(
-                now, n_ops=max(1, nbytes // params.SECTOR_BYTES),
-                available=max(mac_ready, data_ready),
+                now,
+                n_ops=nbytes // params.SECTOR_BYTES or 1,
+                available=mac_ready if mac_ready >= data_ready else data_ready,
             )
-            verify_done = max(verify_done, walk_done, check_done)
+            if walk_done > verify_done:
+                verify_done = walk_done
+            if check_done > verify_done:
+                verify_done = check_done
         if not self._speculative:
             # blocking verification: the load waits for every check.
-            ready = max(ready, verify_done)
+            if verify_done > ready:
+                ready = verify_done
         if self._lat_on:
             # crypto cycles *exposed* beyond the raw data fetch: the OTP
             # XOR / late counter in counter mode, the full AES latency in
             # direct mode, blocking verification when non-speculative.
             exposed = ready - data_ready
             if exposed > 0.0:
-                self._lat.record(HOP_CRYPTO, "DATA", 0.0, exposed)
+                pend = self._crypto_pend
+                pend[0].append(0.0)
+                pend[1].append(exposed)
                 self._lat.stall(STALL_CRYPTO, exposed)
         return ready
 
@@ -351,7 +391,7 @@ class SecureEngine:
             self.aes.process(now, nbytes)
         if self._uses_macs:
             self._mac_access(now, addr, is_write=True)
-            self.mac_unit.process(now, n_ops=max(1, nbytes // params.SECTOR_BYTES))
+            self.mac_unit.process(now, n_ops=nbytes // params.SECTOR_BYTES or 1)
         # the write sits in the controller's write queue until encrypted;
         # channel occupancy is charged now (what later accesses observe).
         return self._dram_write(now, nbytes, CAT_DATA_WRITE, addr, tclass=TrafficClass.DATA)
@@ -448,7 +488,9 @@ class SecureEngine:
         if result is AccessResult.HIT:
             counts["hits"] += 1.0
             if self._lat_on:
-                self._lat.record(HOP_MDC, state.cls_label, 0.0, self._hit_latency)
+                pend = state.mdc_pend
+                pend[0].append(0.0)
+                pend[1].append(self._hit_latency)
             if self._trace_on:
                 self._trace_instant(
                     "mdc_hit", "mdc", self._mdc_tid,
@@ -515,7 +557,9 @@ class SecureEngine:
             )
         mshr = state.mshr
         start = now
-        if mshr.enabled and mshr.full:
+        mshr_enabled = mshr.enabled
+        full = mshr_enabled and len(mshr._entries) >= mshr.num_entries
+        if full:
             # structural stall: wait for the earliest in-flight fill.
             counts["mshr_full_stalls"] += 1.0
             start = max(now, mshr.earliest_ready())
@@ -525,8 +569,15 @@ class SecureEngine:
         ready = self._dram_read(
             start, params.CACHE_LINE_BYTES, category, block_addr, tclass=tclass
         )
-        inflight[block_addr] = _Inflight(ready, is_write)
-        if mshr.enabled and not mshr.full:
+        pool = self._inflight_pool
+        if pool:
+            record = pool.pop()
+            record.ready_time = ready
+            record.dirty = is_write
+        else:
+            record = _Inflight(ready, is_write)
+        inflight[block_addr] = record
+        if mshr_enabled and not full:
             mshr.allocate(block_addr, ready)
         self.events.schedule_at(ready, self._on_metadata_fill, state, block_addr)
         return ready, _PRIMARY
@@ -536,9 +587,14 @@ class SecureEngine:
         now = self.events.now
         pending = state.inflight.pop(block_addr, None)
         mshr = state.mshr
-        if mshr.enabled and mshr.get(block_addr) is not None:
-            mshr.release(block_addr)
+        if mshr.enabled:
+            entry = mshr.get(block_addr)
+            if entry is not None:
+                mshr.release(block_addr)
+                mshr.recycle(entry)
         dirty = pending.dirty if pending is not None else False
+        if pending is not None and self._pooling:
+            self._inflight_pool.append(pending)
         evictions = state.cache.fill(block_addr, dirty=dirty)
         state.counts["fills"] += 1.0
         for eviction in evictions:

@@ -174,3 +174,30 @@ class MetadataLayout:
         if counter_mode:
             return self.counter_region_bytes + self.mac_region_bytes + self.bmt_region_bytes
         return self.mac_region_bytes + self.mt_region_bytes
+
+
+@lru_cache(maxsize=64)
+def shared_layout(protected_bytes: int) -> MetadataLayout:
+    """Process-wide shared layout for a protected-range size.
+
+    A :class:`MetadataLayout` is immutable and its per-instance LRU
+    translation maps are pure (data address -> metadata address), so one
+    instance can safely serve every simulation in the process.  Sharing is
+    the cross-point warm state: the second and later points of a sweep
+    reuse the address translations the first point computed instead of
+    re-deriving them from cold caches.  (Workers of a process pool each
+    warm their own instance — the memo is per process.)
+    """
+    layout = MetadataLayout(protected_bytes)
+    _SHARED_LAYOUTS.append(layout)
+    return layout
+
+
+#: live shared instances, enumerable for warm-state introspection
+#: (``lru_cache`` exposes no key iterator).
+_SHARED_LAYOUTS: list = []
+
+
+def shared_layouts() -> Tuple[MetadataLayout, ...]:
+    """The layouts currently shared process-wide (diagnostics only)."""
+    return tuple(_SHARED_LAYOUTS)

@@ -16,6 +16,7 @@ metadata region and are not addressed through this class.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Tuple
 
 from repro.common import params
@@ -135,14 +136,21 @@ class TreeGeometry:
         raise ValueError("offset beyond the last tree node")
 
 
+@lru_cache(maxsize=256)
 def bmt_geometry(protected_bytes: int = params.PROTECTED_MEMORY_BYTES) -> TreeGeometry:
-    """The paper's Bonsai Merkle Tree: leaves are the counter blocks."""
+    """The paper's Bonsai Merkle Tree: leaves are the counter blocks.
+
+    Memoized process-wide: the geometry is frozen and every layout of the
+    same protected size describes the identical tree, so repeated GPU
+    constructions share one instance (and its precomputed level tables).
+    """
     from repro.secure.geometry import CounterGeometry
 
     leaves = -(-protected_bytes // CounterGeometry().data_bytes_per_block)
     return TreeGeometry(num_leaves=leaves)
 
 
+@lru_cache(maxsize=256)
 def mt_geometry(protected_bytes: int = params.PROTECTED_MEMORY_BYTES) -> TreeGeometry:
     """The paper's Merkle Tree for direct encryption: leaves are MAC blocks."""
     from repro.secure.geometry import MacGeometry

@@ -17,6 +17,7 @@ from __future__ import annotations
 import enum
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Set
 
 from repro.common.config import CacheConfig
@@ -31,6 +32,27 @@ def _log2_or_none(value: int) -> int | None:
     if value > 0 and value & (value - 1) == 0:
         return value.bit_length() - 1
     return None
+
+
+@lru_cache(maxsize=256)
+def _index_geometry(
+    line_bytes: int, sector_bytes: int, sectors_per_line: int
+) -> tuple[int | None, int | None, int | None, int]:
+    """Derived index geometry shared by every cache with the same shape.
+
+    Returns ``(line_shift, sector_shift, sectors-per-line mask, full sector
+    mask)``.  Pure arithmetic over the config, memoized process-wide so the
+    many caches built across a sweep (L2 + three metadata caches per
+    partition per point) share one computation per distinct shape.
+    """
+    line_shift = _log2_or_none(line_bytes)
+    sector_shift = _log2_or_none(sector_bytes)
+    spl_mask = (
+        sectors_per_line - 1
+        if sector_shift is not None and _log2_or_none(sectors_per_line) is not None
+        else None
+    )
+    return line_shift, sector_shift, spl_mask, (1 << sectors_per_line) - 1
 
 
 class AccessResult(enum.Enum):
@@ -99,17 +121,16 @@ class SectoredCache:
         self._sectored = config.sectored
         self._sector_bytes = config.sector_bytes
         self._sectors_per_line = config.sectors_per_line
-        self._full_mask = (1 << self._sectors_per_line) - 1
         # precomputed index geometry: lines are always a power of two wide,
         # so the tag is a shift; set counts need not be (the L2 bank has 96
         # sets), so set selection keeps a modulo unless there is one set.
-        self._line_shift = _log2_or_none(self._line_bytes)
-        self._sector_shift = _log2_or_none(self._sector_bytes)
-        self._spl_mask = (
-            self._sectors_per_line - 1
-            if self._sector_shift is not None
-            and _log2_or_none(self._sectors_per_line) is not None
-            else None
+        (
+            self._line_shift,
+            self._sector_shift,
+            self._spl_mask,
+            self._full_mask,
+        ) = _index_geometry(
+            self._line_bytes, self._sector_bytes, self._sectors_per_line
         )
         self._single_set = self._sets[0] if self._num_sets == 1 else None
         # bound once: stats/trace indirections are per-access costs.

@@ -75,6 +75,8 @@ class DramChannel:
         #: (category, tclass) -> label string; enum ``.name`` is a descriptor
         #: lookup, too slow to repeat on every traced transfer.
         self._label_memo: dict = {}
+        #: (category, tclass) -> (queue buffer, service buffer, label).
+        self._lat_chan_memo: dict = {}
         self._trace_on = self._trace.enabled
         self._trace_span = self._trace.span
         self._lat_on = self._lat.enabled
@@ -86,13 +88,21 @@ class DramChannel:
 
         Bytes are accounted here — at the channel — so the per-class totals
         in the latency export conserve exactly against the DRAM byte stats.
+        The recorder's per-class sample buffers are memoized per
+        (category, tclass) so the hot path is two appends.
         """
-        label = self._class_label(category, tclass)
+        key = (category, tclass)
+        bound = self._lat_chan_memo.get(key)
+        if bound is None:
+            label = self._class_label(category, tclass)
+            queues, services = self._lat.channel(HOP_DRAM, label)
+            bound = self._lat_chan_memo[key] = (queues, services, label)
+        bound[0].append(queue)
+        bound[1].append(service)
         lat = self._lat
-        lat.record(HOP_DRAM, label, queue, service)
         if queue > 0.0:
             lat.stall(STALL_DRAM_QUEUE, queue)
-        lat.account_bytes(label, nbytes)
+        lat.account_bytes(bound[2], nbytes)
 
     def _occupancy(self, nbytes: int) -> float:
         memo = self._occupancy_memo
@@ -102,7 +112,7 @@ class DramChannel:
         return occupancy
 
     def _account(self, category: str, nbytes: int) -> None:
-        transactions = max(1, nbytes // params.SECTOR_BYTES)
+        transactions = nbytes // params.SECTOR_BYTES or 1
         keys = self._stat_keys.get(category)
         if keys is None:
             keys = self._stat_keys[category] = (f"txn_{category}", f"bytes_{category}")
@@ -140,7 +150,12 @@ class DramChannel:
         from *category*.
         """
         occupancy = self._occupancy(nbytes)
-        start = self.channel.acquire(now, occupancy)
+        # FCFS acquire, inlined (the channel resource has no stats group).
+        channel = self.channel
+        next_free = channel.next_free
+        start = next_free if next_free > now else now
+        channel.next_free = start + occupancy
+        channel.busy_cycles += occupancy
         self._account(category, nbytes)
         if self._lat_on:
             self._record_latency(
@@ -172,7 +187,11 @@ class DramChannel:
         drained at channel bandwidth.
         """
         occupancy = self._occupancy(nbytes)
-        start = self.channel.acquire(now, occupancy)
+        channel = self.channel
+        next_free = channel.next_free
+        start = next_free if next_free > now else now
+        channel.next_free = start + occupancy
+        channel.busy_cycles += occupancy
         self._account(category, nbytes)
         if self._lat_on:
             self._record_latency(category, tclass, start - now, occupancy, nbytes)

@@ -76,7 +76,29 @@ class EventQueue:
         self._cycle = 0
         self._near = 0
         self._far: List[Entry] = []
+        #: lazy min-heap of occupied calendar cycles: a cycle is pushed when
+        #: its bucket goes empty -> non-empty, and popped when observed empty
+        #: (stale).  Lets :meth:`_advance` jump straight to the next occupied
+        #: cycle instead of scanning idle windows one cycle at a time.
+        self._occupied: List[int] = []
         self._stopped = False
+        #: logical events folded into batch callbacks (grouped crossbar
+        #: delivery executes N per-access deliveries under one scheduled
+        #: event; the extra N-1 are counted here so events/sec stays
+        #: comparable across the batched and scalar cores).
+        self.extra_events = 0
+        #: free-list of payload lists for batch events (slot reuse).
+        self._list_pool: List[list] = []
+
+    def borrow_list(self) -> list:
+        """An empty list from the pool (return it via :meth:`recycle_list`)."""
+        pool = self._list_pool
+        return pool.pop() if pool else []
+
+    def recycle_list(self, used: list) -> None:
+        """Return a borrowed payload list once its batch event has fired."""
+        used.clear()
+        self._list_pool.append(used)
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` at absolute *time* (>= now)."""
@@ -88,7 +110,10 @@ class EventQueue:
         self._seq += 1
         cycle = int(time)
         if cycle - self._cycle < 4096:  # CALENDAR_WINDOW, inlined for speed
-            _heappush(self._buckets[cycle & self._mask], (time, self._seq, callback, args))
+            bucket = self._buckets[cycle & self._mask]
+            if not bucket:
+                _heappush(self._occupied, cycle)
+            _heappush(bucket, (time, self._seq, callback, args))
             self._near += 1
         else:
             _heappush(self._far, (time, self._seq, callback, args))
@@ -111,6 +136,7 @@ class EventQueue:
         for bucket in self._buckets:
             bucket.clear()
         self._far.clear()
+        self._occupied.clear()
         self._near = 0
 
     def empty(self) -> bool:
@@ -122,9 +148,11 @@ class EventQueue:
     def _advance(self, limit: Optional[int]) -> bool:
         """Move :attr:`_cycle` to the next cycle holding an event.
 
-        Far-future events migrate into their calendar bucket as the window
-        slides over them, so bucket order subsumes the heap fallback.  With
-        *limit* set the calendar never moves past it (events beyond the
+        The next occupied cycle comes from the lazy occupied-cycle heap
+        (idle windows are skipped in one jump instead of scanned cycle by
+        cycle); far-future events migrate into their calendar bucket as the
+        window slides over them, so bucket order subsumes the heap fallback.
+        With *limit* set the calendar never moves past it (events beyond the
         horizon stay put for the next :meth:`run`).  Returns True when a
         non-empty bucket was found at the new ``_cycle``.
         """
@@ -132,27 +160,37 @@ class EventQueue:
         mask = self._mask
         window = self.CALENDAR_WINDOW
         far = self._far
-        c = self._cycle
+        occupied = self._occupied
+        current = self._cycle
         while True:
-            if not self._near:
-                if not far:
-                    if limit is not None and limit > self._cycle:
-                        self._cycle = limit
-                    return False
-                target = int(far[0][0])
-                if limit is not None and target > limit:
-                    self._cycle = limit
-                    return False
-                c = target
+            # drop stale occupied-cycle entries: the bucket emptied since the
+            # push, or the cycle was drained and its bucket slot has since
+            # been reused by a cycle one window later (same index mod window).
+            while occupied and (
+                occupied[0] < current or not buckets[occupied[0] & mask]
+            ):
+                _heappop(occupied)
+            if occupied:
+                c = occupied[0]
+                if far and far[0][0] < c:
+                    c = int(far[0][0])
+            elif far:
+                c = int(far[0][0])
             else:
-                c += 1
-                if limit is not None and c > limit:
+                if limit is not None and limit > self._cycle:
                     self._cycle = limit
-                    return False
+                return False
+            if limit is not None and c > limit:
+                self._cycle = limit
+                return False
             horizon = c + window
             while far and far[0][0] < horizon:
                 entry = _heappop(far)
-                _heappush(buckets[int(entry[0]) & mask], entry)
+                cycle = int(entry[0])
+                bucket = buckets[cycle & mask]
+                if not bucket:
+                    _heappush(occupied, cycle)
+                _heappush(bucket, entry)
                 self._near += 1
             if buckets[c & mask]:
                 self._cycle = c

@@ -1,0 +1,95 @@
+"""Runtime switches for the batched/pooled simulation core.
+
+The batched core (grouped crossbar delivery, epoch-pregenerated warp
+traces) and the object pools (MSHR entries, in-flight metadata records)
+are *pure mechanical* optimizations: they must produce bit-identical
+results to the scalar, allocation-per-event path.  These switches exist
+so that claim stays testable — the golden-identity tests run every case
+both ways — and so environments without numpy degrade gracefully.
+
+The switches deliberately live OUTSIDE :class:`repro.common.config.GpuConfig`:
+they can never change a simulated statistic, so they must not perturb
+config digests used as cache keys (a batched and a scalar run of the same
+config share one cache entry).
+
+Environment overrides (checked once at import):
+
+* ``REPRO_NO_BATCH=1``  — disable batched delivery + epoch trace generation;
+* ``REPRO_NO_POOL=1``   — disable object pooling/slot reuse.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+try:  # numpy accelerates epoch trace generation; everything else is pure.
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised in numpy-less environments
+    HAVE_NUMPY = False
+
+#: grouped crossbar delivery and epoch-batched trace pregeneration.
+BATCHING = not os.environ.get("REPRO_NO_BATCH")
+#: MshrEntry/_Inflight free-lists and per-warp callback reuse.
+POOLING = not os.environ.get("REPRO_NO_POOL")
+
+
+def configure(batching: bool | None = None, pooling: bool | None = None) -> None:
+    """Flip the fast-path switches (affects GPUs built afterwards)."""
+    global BATCHING, POOLING
+    if batching is not None:
+        BATCHING = bool(batching)
+    if pooling is not None:
+        POOLING = bool(pooling)
+
+
+@contextmanager
+def scoped(batching: bool | None = None, pooling: bool | None = None):
+    """Temporarily override the switches (the identity tests use this)."""
+    global BATCHING, POOLING
+    saved = (BATCHING, POOLING)
+    configure(batching, pooling)
+    try:
+        yield
+    finally:
+        BATCHING, POOLING = saved
+
+
+def warm_state() -> dict:
+    """Summary of the process-wide cross-point warm state.
+
+    Reports the shared secure-geometry memos the batched core keeps warm
+    across the simulation points one worker executes: layout instances and
+    their address-translation LRUs, tree-parent maps, and the shared cache
+    index-geometry table.  Purely observational — reading it never touches
+    simulated state.  In a process pool each worker accumulates its own.
+    """
+    # deferred imports: these modules import fastpath at module scope.
+    from repro.secure import layout as layout_mod
+    from repro.secure import merkle
+    from repro.secure.engine import _PARENT_MEMOS
+    from repro.sim.cache import _index_geometry
+
+    layouts = layout_mod.shared_layout.cache_info()
+    translations = 0
+    for shared in layout_mod.shared_layouts():
+        for memo in (
+            shared.counter_block_addr,
+            shared.mac_block_addr,
+            shared.bmt_path_addrs,
+            shared.mt_path_addrs,
+        ):
+            translations += memo.cache_info().currsize
+    return {
+        "layouts": layouts.currsize,
+        "layout_reuses": layouts.hits,
+        "address_translations": translations,
+        "tree_parent_entries": sum(len(m) for m in _PARENT_MEMOS.values()),
+        "tree_geometries": (
+            merkle.bmt_geometry.cache_info().currsize
+            + merkle.mt_geometry.cache_info().currsize
+        ),
+        "cache_index_geometries": _index_geometry.cache_info().currsize,
+    }

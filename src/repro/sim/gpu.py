@@ -15,7 +15,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.config import GpuConfig, MetadataKind
 from repro.common.stats import StatGroup
-from repro.secure.layout import MetadataLayout
+from repro.secure.layout import MetadataLayout, shared_layout
+from repro.sim import fastpath
 from repro.sim.dram import ALL_CATEGORIES
 from repro.sim.event import EventQueue
 from repro.sim.interconnect import Crossbar
@@ -100,8 +101,13 @@ class Gpu:
         self.stats = StatGroup("gpu")
         # per-partition metadata: each memory controller protects its own
         # slice of the protected range with its own counters/MACs/tree.
+        # Under the batched core the (immutable) layout is shared process-
+        # wide, so address-translation memos stay warm across points.
         per_partition = config.secure.protected_bytes // config.num_partitions
-        self.layout = MetadataLayout(max(per_partition, 1 << 20))
+        if fastpath.BATCHING:
+            self.layout = shared_layout(max(per_partition, 1 << 20))
+        else:
+            self.layout = MetadataLayout(max(per_partition, 1 << 20))
         #: telemetry is opt-in; when off, components hold NULL_TRACER and
         #: the event loop sees no sampler events — the timed path is
         #: bit-identical to a build without telemetry at all.
@@ -147,6 +153,7 @@ class Gpu:
                     self.stats.child(f"sm{sm_id}"),
                     traces,
                     latency=latency,
+                    send_batch=self.crossbar.send_batch,
                 )
             )
 
@@ -217,7 +224,11 @@ class Gpu:
             self._reset_measurement()
         processed += self.events.run(until=warmup + horizon)
         result = self._summarize(horizon)
-        result.events_processed = processed
+        # count *logical* events: a grouped crossbar delivery retires one
+        # scheduled event but performs N per-access deliveries; the queue
+        # accumulates the extra N-1 so events/sec stays comparable between
+        # the batched and scalar cores.
+        result.events_processed = processed + self.events.extra_events
         return result
 
     def _set_trace_emission(self, enabled: bool) -> None:

@@ -82,3 +82,46 @@ class Crossbar:
 
     def _deliver(self, partition: MemoryPartition, addr: int, is_write: bool, reply) -> None:
         partition.access(self.events.now, addr, is_write, reply)
+
+    def send_batch(self, now: float, items: list) -> None:
+        """Forward a group of same-cycle requests as one scheduled event.
+
+        *items* is a list of ``(addr, is_write, respond)`` tuples (borrowed
+        from the event queue's list pool).  In the scalar core these were
+        consecutive ``send`` calls: k deliver events with identical
+        timestamps and consecutive sequence numbers, so nothing could fire
+        between them — executing the deliveries back to back under one
+        event is order-identical, and every downstream event keeps its
+        relative scheduling order.
+        """
+        self._counts["requests"] += float(len(items))
+        if self._lat_on:
+            record = self._lat.record
+            traversal = 2.0 * self.latency
+            for _ in items:
+                record(HOP_ICNT, "DATA", 0.0, traversal)
+        self.events.schedule(self.latency, self._deliver_batch, items)
+
+    def _deliver_batch(self, items: list) -> None:
+        events = self.events
+        now = events.now
+        partitions = self.partitions
+        latency = self.latency
+        schedule_at = events.schedule_at
+        shift = self._interleave_shift
+        pmask = self._partition_mask
+        for addr, is_write, respond in items:
+            if shift is not None:
+                partition = partitions[(addr >> shift) & pmask]
+            else:
+                partition = partitions[
+                    (addr // self._interleave) % self._num_partitions
+                ]
+
+            def reply(done: float, _respond=respond) -> None:
+                arrive = done + latency
+                schedule_at(arrive, _respond, arrive)
+
+            partition.access(now, addr, is_write, reply)
+        events.extra_events += len(items) - 1
+        events.recycle_list(items)

@@ -138,7 +138,18 @@ class MemoryPartition:
         self._trace_on = self._trace.enabled
         self._trace_instant = self._trace.instant
         self._lat_on = self._lat.enabled
+        #: bound latency sample buffers for this partition's fixed hops
+        #: (appending directly skips the per-call key lookup in record()).
+        self._e2e_pend = self._lat.channel(HOP_E2E, "DATA")
+        self._l2_pend = self._lat.channel(HOP_L2, "DATA")
         self._stat_add = stats.add
+        # hot-path bindings: the admission gate reads the DRAM channel's
+        # next_free directly, and the L2 MSHR occupancy/capacity checks
+        # avoid a property descriptor call per access.
+        self._dram_channel = self.dram.channel
+        self._l2_mshr_entries = self.l2_mshr._entries
+        self._l2_mshr_cap = self.l2_mshr.num_entries
+        self._l2_mshr_enabled = self.l2_mshr.enabled
 
     def to_local(self, addr: int) -> int:
         """Compress a global address into this partition's linear space."""
@@ -174,37 +185,59 @@ class MemoryPartition:
         interleave bits), and the secure engine's metadata is local anyway.
         """
         addr = self.to_local(addr)
-        if self._trace_on:
+        lat_on = self._lat_on
+        trace_on = self._trace_on
+        if trace_on:
             emit = self._trace_instant
+            tid = self._tid
             emit(
                 "req_issue",
                 "partition",
-                self._tid,
+                tid,
                 {"addr": addr, "w": int(is_write)},
             )
+        if lat_on or trace_on:
+            # one completion wrapper covers both telemetry channels (the
+            # scalar core stacked two closures); emission order on
+            # completion is unchanged: the e2e latency record, then the
+            # trace instant, then the caller's callback.  Both observe a
+            # completion time the model computed anyway.
             inner = respond
-            tid = self._tid
+            e2e_q, e2e_s = self._e2e_pend if lat_on else (None, None)
 
-            def respond(done: float, _inner=inner, _addr=addr, _w=int(is_write)) -> None:
-                emit("req_done", "partition", tid, {"addr": _addr, "w": _w})
+            def respond(
+                done: float,
+                _inner=inner,
+                _now=now,
+                _q=e2e_q,
+                _s=e2e_s,
+                _addr=addr,
+                _w=int(is_write),
+            ) -> None:
+                if _q is not None:
+                    _q.append(0.0)
+                    _s.append(done - _now)
+                if trace_on:
+                    emit("req_done", "partition", tid, {"addr": _addr, "w": _w})
                 _inner(done)
 
-        lat_on = self._lat_on
-        if lat_on:
-            # partition-level end-to-end span: arrival -> response.  The
-            # wrap observes the completion time the model computed anyway.
-            lat_inner = respond
-            record = self._lat.record
-
-            def respond(done: float, _inner=lat_inner, _now=now, _record=record) -> None:
-                _record(HOP_E2E, "DATA", 0.0, done - _now)
-                _inner(done)
-
-        admit = self._admission_time(now)
-        if lat_on and admit > now:
-            self._lat.stall(STALL_L2_ADMISSION, admit - now)
-        bank_start = self._bank.acquire(admit, self._bank_occupancy)
-        start = bank_start + self._bank_occupancy
+        # back-pressure admission gate, inlined (== _admission_time).
+        channel = self._dram_channel
+        backlog = channel.next_free - now
+        if backlog > BACKLOG_WINDOW:
+            self._stat_add("admission_stalls")
+            admit = now + (backlog - BACKLOG_WINDOW)
+            if lat_on:
+                self._lat.stall(STALL_L2_ADMISSION, admit - now)
+        else:
+            admit = now
+        # L2 bank port, inlined FCFS acquire (the bank has no stats group).
+        bank = self._bank
+        occupancy = self._bank_occupancy
+        bank_start = bank.next_free if bank.next_free > admit else admit
+        bank.next_free = bank_start + occupancy
+        bank.busy_cycles += occupancy
+        start = bank_start + occupancy
         l2_queue = bank_start - now if lat_on else 0.0
         if is_write:
             self._handle_write(start, addr, respond, l2_queue)
@@ -222,9 +255,8 @@ class MemoryPartition:
             evictions = self.l2.write_insert(addr)
             self._write_back(now, evictions)
         if self._lat_on:
-            self._lat.record(
-                HOP_L2, "DATA", l2_queue, self._bank_occupancy + self._hit_latency
-            )
+            self._l2_pend[0].append(l2_queue)
+            self._l2_pend[1].append(self._bank_occupancy + self._hit_latency)
         self.events.schedule_at(now + self._hit_latency, respond, now + self._hit_latency)
 
     def _handle_read(
@@ -233,9 +265,8 @@ class MemoryPartition:
         result = self.l2.lookup(addr, is_write=False)
         if result is AccessResult.HIT:
             if self._lat_on:
-                self._lat.record(
-                    HOP_L2, "DATA", l2_queue, self._bank_occupancy + self._hit_latency
-                )
+                self._l2_pend[0].append(l2_queue)
+                self._l2_pend[1].append(self._bank_occupancy + self._hit_latency)
             done = now + self._hit_latency
             self.events.schedule_at(done, respond, done)
             return
@@ -243,12 +274,15 @@ class MemoryPartition:
         if self._lat_on:
             # misses pay the bank move here; the rest of their latency is
             # attributed to the MSHR / crypto / DRAM hops downstream.
-            self._lat.record(HOP_L2, "DATA", l2_queue, self._bank_occupancy)
+            self._l2_pend[0].append(l2_queue)
+            self._l2_pend[1].append(self._bank_occupancy)
         sector = addr - addr % self._fetch_bytes
-        entry = self.l2_mshr.get(sector) if self.l2_mshr.enabled else None
+        mshr_enabled = self._l2_mshr_enabled
+        entries = self._l2_mshr_entries
+        entry = entries.get(sector) if mshr_enabled else None
         if entry is not None:
             self._stat_add("l2_secondary_misses")
-            if self.l2_mshr.can_merge(entry):
+            if entry.merged < self.l2_mshr.merge_cap:
                 self.l2_mshr.merge(entry, waiter=respond, now=now)
                 return
             # merge cap reached: redundant fetch, no fill.
@@ -262,14 +296,15 @@ class MemoryPartition:
             return
 
         start = now
-        if self.l2_mshr.enabled and self.l2_mshr.full:
+        full = mshr_enabled and len(entries) >= self._l2_mshr_cap
+        if full:
             self._stat_add("l2_mshr_full_stalls")
             start = max(now, self.l2_mshr.earliest_ready())
             if self._lat_on:
                 self._lat.stall(STALL_L2_MSHR_FULL, start - now)
                 self._lat.record(HOP_MSHR, "DATA", start - now, 0.0)
         ready = self.engine.read_sector(start, sector, self._fetch_bytes)
-        if self.l2_mshr.enabled and not self.l2_mshr.full:
+        if mshr_enabled and len(entries) < self._l2_mshr_cap:
             self.l2_mshr.allocate(sector, ready, waiter=respond)
             self.events.schedule_at(ready, self._on_fill, sector)
         else:
@@ -290,6 +325,7 @@ class MemoryPartition:
         self._write_back(now, evictions)
         for respond in entry.waiters:
             respond(now)
+        self.l2_mshr.recycle(entry)
 
     def _on_untracked_fill(self, sector: int, respond: ResponseCallback) -> None:
         now = self.events.now

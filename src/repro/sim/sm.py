@@ -19,6 +19,7 @@ from typing import Callable, Dict, Iterator, List
 from repro.common import params
 from repro.common.config import GpuConfig
 from repro.common.stats import StatGroup
+from repro.sim import fastpath
 from repro.sim.cache import AccessResult, SectoredCache
 from repro.sim.event import EventQueue
 from repro.sim.resource import ThroughputResource
@@ -37,13 +38,16 @@ _SECTOR_ALIGN = ~(params.SECTOR_BYTES - 1)
 
 
 class _WarpState:
-    __slots__ = ("warp_id", "trace", "pending", "resume_at")
+    __slots__ = ("warp_id", "trace", "pending", "resume_at", "done")
 
     def __init__(self, warp_id: int, trace: Iterator[WarpOp]) -> None:
         self.warp_id = warp_id
         self.trace = trace
         self.pending = 0
         self.resume_at = 0.0
+        #: persistent completion callback, bound once by the SM — the scalar
+        #: core used to build a fresh closure per memory access.
+        self.done: Callable[[float], None] | None = None
 
 
 class StreamingMultiprocessor:
@@ -58,6 +62,7 @@ class StreamingMultiprocessor:
         stats: StatGroup,
         warp_traces: List[Iterator[WarpOp]],
         latency=None,
+        send_batch=None,
     ) -> None:
         self.sm_id = sm_id
         self.config = config
@@ -68,6 +73,8 @@ class StreamingMultiprocessor:
         self.issue_width = config.sm_issue_width
         self._lat = latency if latency is not None else NULL_LATENCY
         self._lat_on = self._lat.enabled
+        #: bound (queue, service) sample buffers for the sm_mem hop.
+        self._sm_pend = self._lat.channel(HOP_SM, "DATA")
         self.l1 = SectoredCache(
             config.l1_config,
             stats.child("l1"),
@@ -84,9 +91,15 @@ class StreamingMultiprocessor:
         self._warps = [
             _WarpState(i, trace) for i, trace in enumerate(warp_traces)
         ]
+        for warp in self._warps:
+            warp.done = self._make_warp_cb(warp)
         self._stat_add = stats.add
         self._counts = stats.raw()
         self._issue_acquire = self.issue.acquire
+        #: grouped crossbar delivery (one scheduled event per memory op
+        #: instead of one per sector); provided by the GPU top level when
+        #: the batched core is on, None routes through the scalar path.
+        self.send_batch = send_batch if fastpath.BATCHING else None
 
     # ------------------------------------------------------------------
 
@@ -103,6 +116,9 @@ class StreamingMultiprocessor:
         dependent latency accumulates separately on top.
         """
         now = self.events.now
+        # port_ready starts at now and only grows (acquire never returns a
+        # start before now), so the scalar core's max(port_ready, now) is a
+        # no-op and is dropped here.
         port_ready = now
         latency = 0.0
         for _ in range(_COMPUTE_BATCH_CAP):
@@ -111,99 +127,134 @@ class StreamingMultiprocessor:
                 self._stat_add("warps_finished")
                 # advance the clock past the work already issued so finite
                 # traces still account their issue/compute time.
-                cursor = max(port_ready, now) + latency
+                cursor = port_ready + latency
                 if cursor > now:
                     self.events.schedule_at(cursor, lambda: None)
                 return
             occupancy = op.n_insts / self.issue_width
             start = self._issue_acquire(now, occupancy)
-            port_ready = max(port_ready, start + occupancy)
+            done = start + occupancy
+            if done > port_ready:
+                port_ready = done
             latency += op.compute_cycles
             self.instructions += op.n_insts * THREADS_PER_WARP
             if op.mem_addrs:
-                cursor = max(port_ready, now) + latency
+                cursor = port_ready + latency
                 if cursor > now:
                     self.events.schedule_at(cursor, self._issue_memory, warp, op)
                 else:
                     self._issue_memory(warp, op)
                 return
-        cursor = max(port_ready, now) + latency
-        self.events.schedule_at(max(cursor, now + 1), self._step, warp)
+        cursor = port_ready + latency
+        floor = now + 1
+        self.events.schedule_at(cursor if cursor >= floor else floor, self._step, warp)
 
     # ------------------------------------------------------------------
 
     def _issue_memory(self, warp: _WarpState, op: WarpOp) -> None:
+        """Resolve one memory op's sectors against the L1 and ship the rest.
+
+        All misses of the op leave as one grouped crossbar delivery (they
+        were consecutive same-cycle sends in the scalar core, so grouping
+        cannot reorder anything); the scalar per-sector path remains for
+        builds without batching.
+        """
         now = self.events.now
         warp.pending = 0
         warp.resume_at = now
         hit_ready = now
+        counts = self._counts
+        l1_lookup = self.l1.lookup
+        inflight = self._l1_inflight
+        hit_latency = self._l1_hit_latency
+        lat_on = self._lat_on
+        is_write = op.is_write
+        warp_cb = warp.done
+        lat_cb = None
+        batch = self.events.borrow_list() if self.send_batch is not None else None
+        send = self.send
         for addr in op.mem_addrs:
             sector = addr & _SECTOR_ALIGN
-            if op.is_write:
-                self._write_sector(now, warp, sector)
+            if is_write:
+                l1_lookup(sector, is_write=False)  # probe only; data updated in place
+                counts["stores"] += 1.0
+                warp.pending += 1
+                if batch is None:
+                    send(now, sector, True, warp_cb)
+                else:
+                    batch.append((sector, True, warp_cb))
                 continue
-            ready = self._read_sector(now, warp, sector)
-            if ready is not None:
-                hit_ready = max(hit_ready, ready)
-        if warp.pending == 0:
-            self.events.schedule_at(max(hit_ready, now), self._step, warp)
-        else:
-            warp.resume_at = max(warp.resume_at, hit_ready)
+            result = l1_lookup(sector, is_write=False)
+            counts["loads"] += 1.0
+            if result is AccessResult.HIT:
+                ready = now + hit_latency
+                if ready > hit_ready:
+                    hit_ready = ready
+                continue
 
-    def _write_sector(self, now: float, warp: _WarpState, sector: int) -> None:
-        """Write-through store: forward to L2, wait for acceptance."""
-        self.l1.lookup(sector, is_write=False)  # probe only; data updated in place
-        self._counts["stores"] += 1.0
-        warp.pending += 1
-        self.send(now, sector, True, self._make_warp_cb(warp))
+            warp.pending += 1
+            cb = warp_cb
+            if lat_on:
+                # observe the SM-side round trip of the read miss (issue ->
+                # fill/response); pure observation, never alters the
+                # callback's timing.  One wrapper serves the whole op: every
+                # registration fires once, so the records are identical to
+                # the scalar core's per-access wrappers.
+                if lat_cb is None:
+                    sm_q, sm_s = self._sm_pend
 
-    def _read_sector(self, now: float, warp: _WarpState, sector: int) -> float | None:
-        """Load path; returns the ready time for L1 hits, None if pending."""
-        result = self.l1.lookup(sector, is_write=False)
-        self._counts["loads"] += 1.0
-        if result is AccessResult.HIT:
-            return now + self._l1_hit_latency
+                    def lat_cb(
+                        time: float, _inner=warp_cb, _now=now, _q=sm_q, _s=sm_s
+                    ) -> None:
+                        _q.append(0.0)
+                        _s.append(time - _now)
+                        _inner(time)
 
-        warp.pending += 1
-        warp_cb = self._make_warp_cb(warp)
-        if self._lat_on:
-            # observe the SM-side round trip of the read miss (issue ->
-            # fill/response); pure observation, never alters the callback's
-            # timing.
-            inner = warp_cb
-            record = self._lat.record
+                cb = lat_cb
 
-            def warp_cb(time: float, _inner=inner, _now=now, _record=record) -> None:
-                _record(HOP_SM, "DATA", 0.0, time - _now)
-                _inner(time)
-
-        waiters = self._l1_inflight.get(sector)
-        if waiters is not None:
-            if len(waiters) < self._l1_merge_cap:
-                waiters.append(warp_cb)
+            waiters = inflight.get(sector)
+            if waiters is not None:
+                if len(waiters) < self._l1_merge_cap:
+                    waiters.append(cb)
+                else:
+                    self._stat_add("l1_unmerged")
+                    if batch is None:
+                        send(now, sector, False, cb)
+                    else:
+                        batch.append((sector, False, cb))
+                continue
+            if len(inflight) < self._l1_mshrs:
+                inflight[sector] = [cb]
+                fill_cb = lambda t, s=sector: self._on_l1_fill(s, t)  # noqa: E731
+                if batch is None:
+                    send(now, sector, False, fill_cb)
+                else:
+                    batch.append((sector, False, fill_cb))
             else:
-                self._stat_add("l1_unmerged")
-                self.send(now, sector, False, warp_cb)
-            return None
-        if len(self._l1_inflight) < self._l1_mshrs:
-            self._l1_inflight[sector] = [warp_cb]
-            self.send(now, sector, False, lambda t, s=sector: self._on_l1_fill(s, t))
-        else:
-            self._stat_add("l1_mshr_full")
-            if self._lat_on:
-                # the warp rides an untracked (unmergeable) fetch: charge its
-                # whole round trip to L1 MSHR exhaustion.
-                inner_full = warp_cb
-                stall = self._lat.stall
+                self._stat_add("l1_mshr_full")
+                if lat_on:
+                    # the warp rides an untracked (unmergeable) fetch: charge
+                    # its whole round trip to L1 MSHR exhaustion.
+                    stall = self._lat.stall
 
-                def warp_cb(
-                    time: float, _inner=inner_full, _now=now, _stall=stall
-                ) -> None:
-                    _stall(STALL_L1_MSHR_FULL, time - _now)
-                    _inner(time)
+                    def cb(time: float, _inner=cb, _now=now, _stall=stall) -> None:
+                        _stall(STALL_L1_MSHR_FULL, time - _now)
+                        _inner(time)
 
-            self.send(now, sector, False, warp_cb)
-        return None
+                if batch is None:
+                    send(now, sector, False, cb)
+                else:
+                    batch.append((sector, False, cb))
+        if batch is not None:
+            if batch:
+                self.send_batch(now, batch)
+            else:
+                self.events.recycle_list(batch)
+        # hit_ready starts at now and only grows, so it already floors at now.
+        if warp.pending == 0:
+            self.events.schedule_at(hit_ready, self._step, warp)
+        elif hit_ready > warp.resume_at:
+            warp.resume_at = hit_ready
 
     def _on_l1_fill(self, sector: int, time: float) -> None:
         """A missed sector returned: install it and wake the merged waiters."""
@@ -214,10 +265,13 @@ class StreamingMultiprocessor:
     def _make_warp_cb(self, warp: _WarpState) -> Callable[[float], None]:
         def done(time: float) -> None:
             warp.pending -= 1
-            warp.resume_at = max(warp.resume_at, time)
+            if time > warp.resume_at:
+                warp.resume_at = time
             if warp.pending == 0:
+                resume = warp.resume_at
+                now = self.events.now
                 self.events.schedule_at(
-                    max(warp.resume_at, self.events.now), self._step, warp
+                    resume if resume >= now else now, self._step, warp
                 )
 
         return done

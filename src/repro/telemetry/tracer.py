@@ -115,50 +115,39 @@ class Tracer:
     def events_as_dicts(self) -> List[dict]:
         """The ring contents, oldest first, as plain JSON-able dicts."""
         _round = round
-        # one dict literal per shape keeps this loop allocation-minimal;
-        # exports run once per simulation but convert the whole ring.
-        return [
-            (
-                {
-                    "ph": ph,
-                    "ts": _round(ts, 3),
-                    "tid": tid,
-                    "name": name,
-                    "cat": cat,
-                    "dur": _round(dur, 3),
-                    "args": args,
-                }
-                if args
-                else {
-                    "ph": ph,
-                    "ts": _round(ts, 3),
-                    "tid": tid,
-                    "name": name,
-                    "cat": cat,
-                    "dur": _round(dur, 3),
-                }
-            )
-            if ph == "X"
-            else (
-                {
-                    "ph": ph,
-                    "ts": _round(ts, 3),
-                    "tid": tid,
-                    "name": name,
-                    "cat": cat,
-                    "args": args,
-                }
-                if args
-                else {
-                    "ph": ph,
-                    "ts": _round(ts, 3),
-                    "tid": tid,
-                    "name": name,
-                    "cat": cat,
-                }
-            )
-            for ph, ts, dur, tid, name, cat, args in self._ring
-        ]
+        # one dict literal per shape keeps this loop allocation-minimal,
+        # and rounded timestamps are memoized — events cluster on shared
+        # cycles, so well over half the round() calls repeat an input.
+        # Exports run once per simulation but convert the whole ring.
+        rounded: Dict[float, float] = {}
+        out: List[dict] = []
+        append = out.append
+        for ph, ts, dur, tid, name, cat, args in self._ring:
+            t = rounded.get(ts)
+            if t is None:
+                t = rounded[ts] = _round(ts, 3)
+            if ph == "X":
+                d = rounded.get(dur)
+                if d is None:
+                    d = rounded[dur] = _round(dur, 3)
+                if args:
+                    append(
+                        {"ph": ph, "ts": t, "tid": tid, "name": name,
+                         "cat": cat, "dur": d, "args": args}
+                    )
+                else:
+                    append(
+                        {"ph": ph, "ts": t, "tid": tid, "name": name,
+                         "cat": cat, "dur": d}
+                    )
+            elif args:
+                append(
+                    {"ph": ph, "ts": t, "tid": tid, "name": name,
+                     "cat": cat, "args": args}
+                )
+            else:
+                append({"ph": ph, "ts": t, "tid": tid, "name": name, "cat": cat})
+        return out
 
     def to_jsonl(self) -> str:
         return "\n".join(json.dumps(e, sort_keys=True) for e in self.events_as_dicts())

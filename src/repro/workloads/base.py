@@ -45,6 +45,29 @@ class WarpOp:
 TraceFactory = Callable[["WorkloadSpec", int, int], Iterator[WarpOp]]
 
 
+_OP_NEW = WarpOp.__new__
+_OP_SET = object.__setattr__
+
+
+def make_op_unchecked(
+    n_insts: int, compute_cycles: int, mem_addrs: Tuple[int, ...], is_write: bool
+) -> WarpOp:
+    """A :class:`WarpOp` without ``__post_init__`` validation.
+
+    For the epoch-batched trace generators only: their address arithmetic
+    produces sector-aligned addresses by construction (every term is a
+    multiple of ``SECTOR_BYTES``), so re-validating each op would only
+    re-prove an invariant per step.  The resulting object is
+    indistinguishable from a normally-constructed ``WarpOp``.
+    """
+    op = _OP_NEW(WarpOp)
+    _OP_SET(op, "n_insts", n_insts)
+    _OP_SET(op, "compute_cycles", compute_cycles)
+    _OP_SET(op, "mem_addrs", mem_addrs)
+    _OP_SET(op, "is_write", is_write)
+    return op
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """A named benchmark proxy.

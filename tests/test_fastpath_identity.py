@@ -1,0 +1,134 @@
+"""Bit-identity contracts for the batched/pooled simulation core.
+
+The batched core (grouped crossbar delivery, epoch trace pregeneration),
+the object pools (MSHR entries, in-flight records, event tuples) and the
+vectorized telemetry fold are *mechanical* optimizations: every simulated
+statistic, latency histogram, and run-ledger record must be bit-identical
+to the scalar allocation-per-event path.  These tests pin that claim with
+a golden dump of a secure + partitioned configuration whose traffic
+exercises all four protected classes (DATA, COUNTER, MAC, TREE), then
+replay the same point under every combination of the
+:mod:`repro.sim.fastpath` switches.
+
+Regenerate the golden (only after an intentional model change) with::
+
+    PYTHONPATH=src python tests/test_fastpath_identity.py --regen
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.common.config import TelemetryConfig
+from repro.experiments import designs
+from repro.experiments.runner import Runner, result_to_dict
+from repro.obsv.ledger import canonical_points, read_ledger
+from repro.sim import fastpath
+from repro.sim.gpu import simulate
+from repro.workloads.suite import get_benchmark
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "fdtd2d-secure-telemetry.json"
+
+WORKLOAD = "fdtd2d"
+PARTITIONS = 2
+HORIZON = 4_000.0
+WARMUP = 2_000.0
+
+#: every switch combination the identity claim covers.
+MODES = [
+    ("batched+pooled", {}),
+    ("scalar", {"batching": False}),
+    ("unpooled", {"pooling": False}),
+    ("scalar+unpooled", {"batching": False, "pooling": False}),
+]
+
+
+def _config():
+    """Full protection (counters + MAC + BMT) over 2 partitions, telemetry on."""
+    config = designs.build_gpu(designs.secure_mem(64), PARTITIONS)
+    return dataclasses.replace(
+        config, telemetry=TelemetryConfig(enabled=True, sample_every=500.0)
+    )
+
+
+def _dump() -> dict:
+    """One run's stats + latency export, in golden-file shape."""
+    result = simulate(
+        _config(), get_benchmark(WORKLOAD), horizon=HORIZON, warmup=WARMUP
+    )
+    return {
+        "result": result_to_dict(result),
+        "stats": result.stats.to_dict(),
+        "latency": result.telemetry["latency"],
+    }
+
+
+def _ledger_records(tmp_path: Path, tag: str) -> list:
+    """Canonical ledger records from one Runner-driven run of the point."""
+    ledger_path = tmp_path / f"ledger-{tag}.jsonl"
+    runner = Runner(
+        horizon=HORIZON,
+        warmup=WARMUP,
+        benchmarks=[WORKLOAD],
+        ledger_path=ledger_path,
+    )
+    runner.run(WORKLOAD, _config())
+    return canonical_points(read_ledger(ledger_path))
+
+
+def _golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("label,overrides", MODES)
+def test_mode_matches_golden(label: str, overrides: dict) -> None:
+    """Every switch combination reproduces the committed dump exactly."""
+    golden = _golden()
+    with fastpath.scoped(**overrides):
+        dump = _dump()
+    assert dump["result"] == golden["result"], label
+    assert dump["stats"] == golden["stats"], label
+    assert dump["latency"] == golden["latency"], label
+
+
+def test_golden_exercises_all_protected_classes() -> None:
+    """The pinned point really does carry DATA, COUNTER, MAC and TREE traffic."""
+    golden = _golden()
+    dram_classes = set()
+    for hop_classes in golden["latency"]["hops"].values():
+        dram_classes.update(hop_classes)
+    assert {"DATA", "COUNTER", "MAC", "TREE"} <= dram_classes
+    txn = golden["result"]["dram_txn"]
+    assert txn["ctr"] > 0 and txn["mac"] > 0 and txn["bmt"] > 0
+
+
+def test_ledger_records_identical_across_modes(tmp_path: Path) -> None:
+    """Batched/scalar and pooled/unpooled runs write record-equivalent ledgers."""
+    golden = _golden()
+    for label, overrides in MODES:
+        with fastpath.scoped(**overrides):
+            records = _ledger_records(tmp_path, label)
+        assert records == golden["ledger"], label
+
+
+def _regenerate() -> None:
+    dump = _dump()
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        dump["ledger"] = _ledger_records(Path(tmp), "regen")
+    GOLDEN_PATH.write_text(json.dumps(dump, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)
