@@ -307,6 +307,61 @@ paper after the fact (`src/repro/obsv/`):
 Observability is strictly passive: ledger and heartbeat writes are
 best-effort and never fail the sweep they observe, and none of these
 artifacts participate in result caching.
+
+## Sweep service
+
+Sweeps can also run as *rows in a shared job store* drained by any
+number of workers (`src/repro/jobs/`), decoupling submission from
+execution: `repro sweep --store sweeps.sqlite ...` (or a `POST /sweeps`
+against `repro serve`) inserts one row per `(workload, design)` point,
+and every `repro worker --store sweeps.sqlite` — local or on another
+host sharing the filesystem — claims rows, simulates them through the
+same `Runner` stack (process-warm state, the sharded result cache opened
+read-only, a per-worker run ledger), and reports results back into the
+row.  The simulator is deterministic, so any number of workers produce a
+merged sweep bit-identical to a serial run — the tests assert it,
+including after a worker is killed mid-point.
+
+**Store schema** (SQLite, WAL mode, versioned via `PRAGMA
+user_version`): a `sweeps` table — `id`, `created_ts`, `horizon`,
+`warmup`, `total`, `label` — and a `jobs` table — `sweep_id`, `seq`,
+`workload`, JSON `spec` (`{{"design": ..., "partitions": N}}`), `status`
+(`pending`/`running`/`done`/`failed`), `attempts`, `max_attempts`,
+`not_before`, `worker`, `lease_deadline`, timings, `outcome`,
+`config_digest`, JSON `result`, `error`.  The store class is a thin
+DB-API mapping; another backend subclasses `SQLiteJobStore._connect`
+plus the statement templates.
+
+**Worker lifecycle**: claim the oldest eligible pending row (atomic
+`UPDATE ... WHERE status='pending'` — of N racing workers exactly one
+wins), heartbeat the lease forward at a third of its period while the
+point simulates, then report `simulated`/`cached` with the full result
+payload, or `failed` with capped exponential backoff stamped into
+`not_before`.  A killed worker stops heartbeating; the next worker
+iteration or service progress query returns the lapsed lease to
+`pending`, and a row that keeps failing is poison-failed after
+`max_attempts` claims so one bad config cannot wedge a sweep.  A late
+report from a worker whose lease was reassigned is refused.
+
+**HTTP front end** (stdlib `http.server`, JSON, no frameworks):
+
+```bash
+python -m repro serve --store sweeps.sqlite --workers 2 &
+curl -s localhost:8076/healthz
+curl -s -X POST localhost:8076/sweeps -H 'Content-Type: application/json' \\
+  -d '{{"design": "secureMem_mshr64", "workloads": ["bfs", "nw"],
+       "partitions": 2, "horizon": 10000, "warmup": 30000}}'
+curl -s localhost:8076/sweeps/<id>              # counts, rate, ETA, failures
+curl -s localhost:8076/sweeps/<id>/results      # terminal rows + payloads
+curl -s localhost:8076/sweeps/<id>/dashboard > report.html
+```
+
+The dashboard endpoint synthesizes ledger-shaped records and heartbeat
+lines from store rows, so the self-contained HTML report works even when
+the workers' ledger files are on another machine.  CLI sweeps
+(`repro sweep --store`) and HTTP sweeps are rows in the same table —
+one execution path either way.  `scripts/serve_smoke.py` exercises the
+whole loop (serve → submit over HTTP → drain → dashboard) and runs in CI.
 """
 
     text = header + "\n" + "\n".join(sections)

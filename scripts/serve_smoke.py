@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the sweep service over real HTTP.
+
+Starts ``repro serve`` as a subprocess on an ephemeral port, submits a
+two-point sweep with POST /sweeps, drains it with one ``repro worker``
+subprocess, polls progress until the sweep is terminal, and asserts the
+rendered dashboard HTML is non-empty.  Exercises the exact process
+boundaries CI cares about: server and worker are separate OS processes
+meeting only at the SQLite store, and the client talks real TCP.
+
+Exit 0 on success; any failure raises (non-zero exit) with the server's
+output echoed for diagnosis.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+ENV = {**os.environ, "PYTHONPATH": str(ROOT / "src")}
+REPRO = [sys.executable, "-m", "repro"]
+
+#: generous per-phase budget; the sweep itself is two sub-second points.
+TIMEOUT_S = 120.0
+
+
+def wait_for_url(proc: subprocess.Popen) -> str:
+    """Parse the bound URL from the server's first stdout line."""
+    deadline = time.monotonic() + TIMEOUT_S
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            if proc.poll() is not None:
+                raise RuntimeError(f"server exited early: rc={proc.returncode}")
+            time.sleep(0.05)
+            continue
+        print(f"  [serve] {line.rstrip()}")
+        if "listening on " in line:
+            return line.split("listening on ", 1)[1].split()[0]
+    raise RuntimeError("server never printed its listening URL")
+
+
+def http_json(url: str, payload: dict | None = None) -> dict:
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    store = tmp / "sweeps.sqlite"
+    server = subprocess.Popen(
+        [*REPRO, "serve", "--store", str(store), "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=ENV, cwd=ROOT,
+    )
+    try:
+        base = wait_for_url(server)
+
+        health = http_json(base + "/healthz")
+        assert health["status"] == "ok", health
+        print(f"healthz ok (version {health['version']})")
+
+        submitted = http_json(
+            base + "/sweeps",
+            {
+                "design": "baseline",
+                "workloads": ["nw", "bfs"],  # the 2-point sweep
+                "partitions": 2,
+                "horizon": 1200,
+                "warmup": 800,
+                "label": "ci-smoke",
+            },
+        )
+        sweep_id = submitted["sweep_id"]
+        assert submitted["total"] == 2, submitted
+        print(f"submitted sweep {sweep_id} ({submitted['total']} points)")
+
+        worker = subprocess.run(
+            [*REPRO, "worker", "--store", str(store)],
+            capture_output=True, text=True, env=ENV, cwd=ROOT,
+            timeout=TIMEOUT_S,
+        )
+        print(f"  [worker] {worker.stdout.strip()}")
+        assert worker.returncode == 0, worker.stderr
+
+        deadline = time.monotonic() + TIMEOUT_S
+        while True:
+            progress = http_json(base + f"/sweeps/{sweep_id}")
+            print(
+                f"progress: {progress['counts']['done']}/{progress['total']} "
+                f"done ({progress['status']})"
+            )
+            if progress["status"] in ("done", "failed"):
+                break
+            if time.monotonic() > deadline:
+                raise RuntimeError(f"sweep never finished: {progress}")
+            time.sleep(0.5)
+        assert progress["status"] == "done", progress["failures"]
+
+        results = http_json(base + f"/sweeps/{sweep_id}/results")["results"]
+        assert len(results) == 2, results
+        assert all(row["result"]["ipc"] > 0 for row in results)
+
+        with urllib.request.urlopen(
+            base + f"/sweeps/{sweep_id}/dashboard", timeout=30
+        ) as response:
+            html_text = response.read().decode()
+        assert html_text.strip(), "dashboard HTML is empty"
+        assert "<html" in html_text, html_text[:200]
+        assert sweep_id in html_text
+        print(f"dashboard ok ({len(html_text)} bytes)")
+
+        print("serve smoke: PASS")
+        return 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

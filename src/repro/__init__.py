@@ -31,7 +31,10 @@ from repro.common.config import (
 from repro.sim.gpu import Gpu, SimulationResult, simulate
 from repro.workloads.suite import BENCHMARKS, get_benchmark
 
-__version__ = "1.0.0"
+#: the single source of truth for the package version: pyproject.toml
+#: declares ``version`` dynamic and reads this attribute at build time,
+#: and ``repro --version`` prints it — one string, three consumers.
+__version__ = "1.1.0"
 
 __all__ = [
     "BENCHMARKS",

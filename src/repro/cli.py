@@ -8,8 +8,11 @@ Commands
 ``trace``      run one workload with telemetry and export a Chrome trace
 ``bottleneck`` latency decomposition: per-hop queueing/service + stall causes
 ``stats``      dump the full statistics tree for one run (``--json`` for tools)
-``sweep``      run all 14 workloads on one design (optionally normalized)
+``sweep``      run all 14 workloads on one design (optionally normalized);
+               ``--store`` submits to a shared job store and drains it
 ``figure``     regenerate one paper figure/table and print it
+``serve``      long-lived HTTP/JSON sweep service over a shared job store
+``worker``     claim and execute points from a shared job store
 ``scorecard``  evaluate the paper-fidelity scorecard (exit 1 on FAIL)
 ``diff``       compare two sweep run-ledgers metric-by-metric
 ``dashboard``  render a self-contained HTML observability report
@@ -28,46 +31,28 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+import repro
 from repro.analysis.report import render_series_table, render_traffic_breakdown
 from repro.common.config import MetadataKind, TelemetryConfig
 from repro.experiments import designs as design_mod
 from repro.experiments import figures
+from repro.experiments.designs import DESIGNS
 from repro.experiments.parallel import ParallelRunner
-from repro.experiments.runner import Runner
+from repro.experiments.runner import Runner, gmean
 from repro.sim.gpu import simulate
 from repro.telemetry import write_artifacts
 from repro.workloads.suite import BENCHMARK_ORDER, get_benchmark
-
-#: name -> zero-argument design factory (GPU-level ablations excluded).
-DESIGNS = {
-    "baseline": design_mod.baseline,
-    "secureMem": lambda: design_mod.secure_mem(0),
-    "secureMem_mshr64": lambda: design_mod.secure_mem(64),
-    "0_crypto": lambda: design_mod.zero_crypto(0),
-    "perf_mdc": lambda: design_mod.perfect_mdc(0),
-    "large_mdc": lambda: design_mod.large_mdc(0),
-    "separate": design_mod.separate,
-    "unified": design_mod.unified,
-    "ctr": design_mod.ctr,
-    "ctr_bmt": design_mod.ctr_bmt,
-    "ctr_mac_bmt": design_mod.ctr_mac_bmt,
-    "direct_40": lambda: design_mod.direct(40),
-    "direct_80": lambda: design_mod.direct(80),
-    "direct_160": lambda: design_mod.direct(160),
-    "direct_mac": design_mod.direct_mac,
-    "direct_mac_mt": design_mod.direct_mac_mt,
-    "aes_1": lambda: design_mod.aes_engines(1),
-    "blocking_verify": design_mod.blocking_verification,
-    "eager_update": design_mod.eager_update,
-    "selective_50": lambda: design_mod.selective(0.5),
-    "selective_25": lambda: design_mod.selective(0.25),
-}
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Analyzing Secure Memory Architecture for GPUs'",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {repro.__version__}",
     )
     # fast-path switches (global: they apply to whatever command runs).
     # Results are bit-identical either way; these exist for A/B timing and
@@ -202,6 +187,23 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--normalize", action="store_true", help="report IPC relative to the baseline"
     )
+    sweep.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="submit the sweep's points to this shared job store (SQLite), "
+        "participate as a worker until the store drains, then report — the "
+        "same execution path `repro serve` + `repro worker` use; --jobs N "
+        "spawns N worker processes instead of one in-process worker",
+    )
+    sweep.add_argument(
+        "--bench",
+        action="append",
+        default=None,
+        metavar="NAME",
+        choices=BENCHMARK_ORDER,
+        help="restrict to these benchmarks (repeatable; default: all 14)",
+    )
     add_scale(sweep)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure/table")
@@ -210,6 +212,95 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(set(figures.ALL_FIGURES) | {"fig10_11", "table2", "table6_7"}),
     )
     add_scale(figure)
+
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP/JSON sweep service: submit sweeps, poll progress, fetch "
+        "dashboards over a shared job store",
+    )
+    serve.add_argument(
+        "--store",
+        required=True,
+        metavar="PATH",
+        help="SQLite job store path (created if missing); workers on any "
+        "host sharing this path drain the submitted sweeps",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (default 8076; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also spawn N embedded worker processes polling this store",
+    )
+    serve.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="sharded result cache embedded workers consult read-only",
+    )
+    serve.add_argument(
+        "--ledger-dir",
+        default=None,
+        metavar="DIR",
+        help="directory embedded workers write per-worker run ledgers into",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    worker = sub.add_parser(
+        "worker", help="claim and execute sweep points from a shared job store"
+    )
+    worker.add_argument(
+        "--store", required=True, metavar="PATH", help="SQLite job store path"
+    )
+    worker.add_argument(
+        "--count",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes to run (N>1 forks; 1 runs in-process)",
+    )
+    worker.add_argument(
+        "--poll",
+        action="store_true",
+        help="keep polling for new sweeps instead of exiting once the "
+        "store is drained",
+    )
+    worker.add_argument(
+        "--lease",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="claim lease; a worker dead for this long forfeits its point",
+    )
+    worker.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after executing N claims (testing / bounded shifts)",
+    )
+    worker.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="sharded result cache to consult read-only before simulating",
+    )
+    worker.add_argument(
+        "--ledger-dir",
+        default=None,
+        metavar="DIR",
+        help="directory to write this worker's run ledger into "
+        "(worker-<id>.jsonl)",
+    )
 
     scorecard = sub.add_parser(
         "scorecard",
@@ -529,17 +620,22 @@ def _cmd_stats(args) -> int:
     return 0
 
 
-def _make_runner(args) -> Runner:
+def _make_runner(args, benchmarks: Optional[List[str]] = None) -> Runner:
     jobs = getattr(args, "jobs", 1)
     if jobs != 1:
         return ParallelRunner(
-            horizon=args.horizon, warmup=args.warmup, jobs=jobs or None
+            horizon=args.horizon,
+            warmup=args.warmup,
+            benchmarks=benchmarks,
+            jobs=jobs or None,
         )
-    return Runner(horizon=args.horizon, warmup=args.warmup)
+    return Runner(horizon=args.horizon, warmup=args.warmup, benchmarks=benchmarks)
 
 
 def _cmd_sweep(args) -> int:
-    runner = _make_runner(args)
+    if args.store:
+        return _cmd_sweep_store(args)
+    runner = _make_runner(args, benchmarks=args.bench)
     secure = DESIGNS[args.design]()
     config = design_mod.build_gpu(secure, num_partitions=args.partitions)
     if args.normalize:
@@ -556,6 +652,160 @@ def _cmd_sweep(args) -> int:
             for name, result in runner.sweep(config).items()
         }
     print(render_series_table(f"design: {args.design}", table))
+    return 0
+
+
+def _cmd_sweep_store(args) -> int:
+    """``repro sweep --store``: submit to the shared job store and drain it.
+
+    The same rows, worker loop, and result payloads `repro serve` +
+    `repro worker` use — this command just also *participates* (one
+    in-process worker, or ``--jobs N`` worker processes) so it always
+    terminates, then renders the familiar sweep table from the store.
+    """
+    import os
+
+    from repro.experiments.runner import result_from_dict
+    from repro.jobs.store import SQLiteJobStore, iter_points
+    from repro.jobs.worker import Worker, run_workers
+
+    benchmarks = args.bench if args.bench else list(BENCHMARK_ORDER)
+    design_names = [args.design]
+    if args.normalize and "baseline" not in design_names:
+        design_names.append("baseline")
+    points = iter_points(
+        benchmarks, [{"design": d, "partitions": args.partitions} for d in design_names]
+    )
+    store = SQLiteJobStore(args.store)
+    sweep_id = store.submit_sweep(
+        points,
+        horizon=args.horizon,
+        warmup=args.warmup,
+        label=f"cli sweep --design {args.design}",
+    )
+    print(f"submitted sweep {sweep_id} ({len(points)} points) to {args.store}")
+    if args.jobs != 1:
+        count = args.jobs if args.jobs > 1 else (os.cpu_count() or 1)
+        for process in run_workers(args.store, count, until="drained"):
+            process.join()
+    else:
+        Worker(store).run(until="drained")
+
+    progress = store.progress(sweep_id)
+    results = store.results(sweep_id)
+    store.close()
+    by_point = {
+        (row["workload"], row["spec"].get("design")): result_from_dict(row["result"])
+        for row in results
+        if row["result"] is not None
+    }
+    if args.normalize:
+        series = {}
+        for name in benchmarks:
+            secure = by_point.get((name, args.design))
+            base = by_point.get((name, "baseline"))
+            if secure is not None and base is not None:
+                series[name] = secure.ipc / base.ipc if base.ipc else 0.0
+        if series:
+            series["Gmean"] = gmean(series.values())
+        table = {name: {"norm_ipc": value} for name, value in series.items()}
+    else:
+        table = {
+            name: {
+                "ipc": by_point[(name, args.design)].ipc,
+                "bw_util": by_point[(name, args.design)].bandwidth_utilization,
+                "l2_miss": by_point[(name, args.design)].l2_miss_rate,
+            }
+            for name in benchmarks
+            if (name, args.design) in by_point
+        }
+    print(render_series_table(f"design: {args.design} (sweep {sweep_id})", table))
+    if progress["failures"]:
+        print(f"\n{len(progress['failures'])} point(s) failed:", file=sys.stderr)
+        for failure in progress["failures"]:
+            print(
+                f"  {failure['workload']} {failure['spec'].get('design')}: "
+                f"{failure['error']} (after {failure['attempts']} attempt(s))",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.jobs.service import DEFAULT_PORT, SweepService
+    from repro.jobs.worker import run_workers
+
+    port = DEFAULT_PORT if args.port is None else args.port
+    service = SweepService(
+        args.store, host=args.host, port=port, quiet=not args.verbose
+    )
+    workers = []
+    if args.workers:
+        workers = run_workers(
+            args.store,
+            args.workers,
+            until="forever",
+            cache_dir=args.cache,
+            ledger_dir=args.ledger_dir,
+        )
+    # the smoke script and humans both read this line; keep it first and
+    # flushed so a piped consumer sees the bound port immediately.
+    print(f"repro serve: listening on {service.url} (store {args.store})", flush=True)
+    if workers:
+        print(f"repro serve: {len(workers)} embedded worker process(es)", flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for process in workers:
+            process.terminate()
+        service.server_close()
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.jobs.store import SQLiteJobStore
+    from repro.jobs.worker import Worker, run_workers
+
+    until = "forever" if args.poll else "drained"
+    if args.count > 1:
+        processes = run_workers(
+            args.store,
+            args.count,
+            until=until,
+            lease_s=args.lease,
+            cache_dir=args.cache,
+            ledger_dir=args.ledger_dir,
+            max_points=args.max_points,
+        )
+        try:
+            for process in processes:
+                process.join()
+        except KeyboardInterrupt:
+            for process in processes:
+                process.terminate()
+        return 0
+    store = SQLiteJobStore(args.store)
+    worker = Worker(
+        store,
+        lease_s=args.lease,
+        cache_dir=args.cache,
+        ledger_dir=args.ledger_dir,
+        max_points=args.max_points,
+    )
+    try:
+        worker.run(until=until)
+    except KeyboardInterrupt:
+        pass
+    executed = worker.executed
+    print(
+        f"worker {worker.worker_id}: {sum(executed.values())} claim(s) — "
+        f"{executed['simulated']} simulated, {executed['cached']} cached, "
+        f"{executed['failed']} failed"
+    )
+    store.close()
     return 0
 
 
@@ -586,6 +836,13 @@ def _write_json(path: str | Path, doc: dict) -> None:
 def _cmd_scorecard(args) -> int:
     from repro.obsv.scorecard import PROFILES, build_scorecard, render_scorecard
 
+    if args.ledger is not None and Path(args.ledger).is_dir():
+        print(
+            f"error: --ledger {args.ledger} is a directory; pass a JSONL "
+            "file path to append run-ledger records to",
+            file=sys.stderr,
+        )
+        return 2
     profile = PROFILES[args.profile]
     partitions = args.partitions if args.partitions is not None else profile["partitions"]
     horizon = args.horizon if args.horizon is not None else profile["horizon"]
@@ -624,15 +881,31 @@ def _cmd_scorecard(args) -> int:
 
 def _cmd_diff(args) -> int:
     from repro.obsv.diff import REL_TOL, diff_ledgers, render_diff
-    from repro.obsv.ledger import read_ledger
+    from repro.obsv.ledger import ledger_points, read_ledger
 
+    records = {}
     for path in (args.ledger_a, args.ledger_b):
+        if Path(path).is_dir():
+            print(
+                f"error: {path} is a directory, not a run-ledger JSONL file",
+                file=sys.stderr,
+            )
+            return 2
         if not Path(path).exists():
             print(f"error: no such ledger: {path}", file=sys.stderr)
             return 2
+        records[path] = read_ledger(path)
+        if not ledger_points(records[path]):
+            print(
+                f"error: ledger has no point records: {path} — generate one "
+                "with `repro sweep`, `repro scorecard --ledger`, or "
+                "regenerate_experiments.py --ledger",
+                file=sys.stderr,
+            )
+            return 2
     report = diff_ledgers(
-        read_ledger(args.ledger_a),
-        read_ledger(args.ledger_b),
+        records[args.ledger_a],
+        records[args.ledger_b],
         match=args.match,
         rel_tol=args.rel_tol if args.rel_tol is not None else REL_TOL,
     )
@@ -761,6 +1034,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "scorecard":
         return _cmd_scorecard(args)
     if args.command == "diff":

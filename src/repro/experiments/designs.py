@@ -197,3 +197,50 @@ def non_sectored_gpu(
     memory.
     """
     return replace(build_gpu(secure, num_partitions), l2_sectored=False)
+
+
+# --- The named-design registry ------------------------------------------------
+
+#: name -> zero-argument design factory (GPU-level ablations excluded).
+#: The single registry behind ``repro run --design``, the job store's
+#: ``{"design": ...}`` point specs, and the HTTP sweep API — a design
+#: submitted over the wire rebuilds the exact same config a CLI run uses.
+DESIGNS = {
+    "baseline": baseline,
+    "secureMem": lambda: secure_mem(0),
+    "secureMem_mshr64": lambda: secure_mem(64),
+    "0_crypto": lambda: zero_crypto(0),
+    "perf_mdc": lambda: perfect_mdc(0),
+    "large_mdc": lambda: large_mdc(0),
+    "separate": separate,
+    "unified": unified,
+    "ctr": ctr,
+    "ctr_bmt": ctr_bmt,
+    "ctr_mac_bmt": ctr_mac_bmt,
+    "direct_40": lambda: direct(40),
+    "direct_80": lambda: direct(80),
+    "direct_160": lambda: direct(160),
+    "direct_mac": direct_mac,
+    "direct_mac_mt": direct_mac_mt,
+    "aes_1": lambda: aes_engines(1),
+    "blocking_verify": blocking_verification,
+    "eager_update": eager_update,
+    "selective_50": lambda: selective(0.5),
+    "selective_25": lambda: selective(0.25),
+}
+
+
+def named_design(name: str) -> Optional[SecureMemoryConfig]:
+    """The registry lookup, with an actionable error for unknown names."""
+    try:
+        factory = DESIGNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown design {name!r}; known designs: {', '.join(sorted(DESIGNS))}"
+        ) from None
+    return factory()
+
+
+def build_named_gpu(name: str, num_partitions: int = DEFAULT_PARTITIONS) -> GpuConfig:
+    """A runnable :class:`GpuConfig` for one registry design name."""
+    return build_gpu(named_design(name), num_partitions=num_partitions)

@@ -85,9 +85,15 @@ class ShardedResultCache:
     compaction rewrites each shard atomically.
     """
 
-    def __init__(self, directory: str | Path, num_shards: int = 16) -> None:
+    def __init__(
+        self, directory: str | Path, num_shards: int = 16, read_only: bool = False
+    ) -> None:
         self.directory = Path(directory)
         self.num_shards = max(1, int(num_shards))
+        #: a read-only cache folds puts into memory but never touches
+        #: disk — how job-store workers share one cache directory while
+        #: it keeps exactly one writer (the process that populated it).
+        self.read_only = bool(read_only)
         self._data: Dict[str, dict] = {}
         #: per-shard live line counts; a shard with more lines than live
         #: keys carries dead weight (overwrites / recovered corruption).
@@ -165,6 +171,8 @@ class ShardedResultCache:
     def put(self, key: str, payload: dict) -> None:
         """Record *key* and append it durably to its shard."""
         self._data[key] = payload
+        if self.read_only:
+            return
         index = self._shard_index(key)
         path = self._shard_path(index)
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -210,11 +218,14 @@ class ParallelRunner(Runner):
     defaults to ``os.cpu_count()``; ``jobs=1`` never spawns a pool and
     follows the exact serial code path.
 
-    ``heartbeat_path`` names a JSONL sidecar that gets one appended line
-    per *completed* point (``{ts, done, total, elapsed_s, points_per_s,
-    eta_s}``) and one terminal ``{"event": "done", ...}`` line per batch
-    that simulated anything, so a long sweep can be watched from another
-    terminal with ``tail -f`` and a dead one told apart from a slow one.
+    ``heartbeat_path`` names a JSONL sidecar that gets one leading
+    ``{"event": "start", "total": N, ...}`` line per batch that will
+    simulate anything (consumers can size progress bars before the first
+    point lands), one appended line per *completed* point (``{ts, done,
+    total, elapsed_s, points_per_s, eta_s}``) and one terminal
+    ``{"event": "done", ...}`` line per batch, so a long sweep can be
+    watched from another terminal with ``tail -f`` and a dead one told
+    apart from a slow one.
     Counts are per :meth:`prefetch` batch.  Heartbeats are best-effort:
     an unwritable path never fails the sweep, and the file plays no part
     in result merging or caching.
@@ -231,9 +242,11 @@ class ParallelRunner(Runner):
         telemetry_dir: Optional[str | Path] = None,
         heartbeat_path: Optional[str | Path] = None,
         ledger_path: Optional[str | Path] = None,
+        cache_read_only: bool = False,
     ) -> None:
         self.jobs = max(1, int(jobs) if jobs is not None else (os.cpu_count() or 1))
         self.heartbeat_path = Path(heartbeat_path) if heartbeat_path else None
+        self._cache_read_only = bool(cache_read_only)
         self._cache: Optional[ShardedResultCache] = None
         super().__init__(
             horizon=horizon,
@@ -249,7 +262,9 @@ class ParallelRunner(Runner):
 
     def _cache_open(self) -> None:
         if self._cache_path is not None:
-            self._cache = ShardedResultCache(self._cache_path)
+            self._cache = ShardedResultCache(
+                self._cache_path, read_only=self._cache_read_only
+            )
 
     def _cache_get(self, disk_key: str) -> Optional[dict]:
         return self._cache.get(disk_key) if self._cache is not None else None
@@ -371,6 +386,13 @@ class ParallelRunner(Runner):
         if not pending:
             return 0
 
+        if self.heartbeat_path is not None:
+            # leading record: lets consumers compute progress/ETA before
+            # the first point completes (and distinguishes "just started"
+            # from "no heartbeat at all").
+            self._append_heartbeat(
+                {"event": "start", "ts": time.time(), "total": len(pending)}
+            )
         t1 = time.perf_counter()
         errors: List[Tuple[int, BaseException]] = []
         if jobs == 1 or len(pending) == 1:

@@ -1,0 +1,49 @@
+"""The sweep-service job subsystem: shared job store, workers, HTTP front end.
+
+The experiment layer up to now was "one process owns one sweep": a
+:class:`~repro.experiments.parallel.ParallelRunner` fans points over a
+local process pool and nothing outside that process can join, resume, or
+observe the sweep.  This package turns sweep points into **rows in a
+shared job store** that any number of workers — across processes and
+hosts sharing a filesystem — claim under a lease, execute through the
+existing :class:`~repro.experiments.runner.Runner` stack, and report
+back durably:
+
+* :mod:`repro.jobs.store` — the :class:`JobStore` protocol and its
+  SQLite implementation (WAL mode, atomic claims, lease deadlines,
+  capped retries, schema versioning);
+* :mod:`repro.jobs.worker` — the worker loop (`repro worker`): claim,
+  simulate via ``Runner`` (warm state, sharded result cache, and run
+  ledger all reused), heartbeat the lease, back off on transient
+  failures, poison-fail a point after ``max_attempts``;
+* :mod:`repro.jobs.service` — a stdlib-only HTTP/JSON front end
+  (`repro serve`): submit sweeps, poll progress, fetch results and the
+  self-contained observability dashboard.
+
+The simulator is deterministic, so a sweep drained by many workers is
+bit-identical — statistics and canonical ledger records — to the same
+points run serially; ``tests/test_jobs.py`` enforces this, including
+across a worker crash mid-point.
+"""
+
+from repro.jobs.store import (
+    JOB_SCHEMA,
+    Job,
+    JobStore,
+    SQLiteJobStore,
+    open_store,
+)
+from repro.jobs.worker import Worker, run_workers
+from repro.jobs.service import SweepService, serve
+
+__all__ = [
+    "JOB_SCHEMA",
+    "Job",
+    "JobStore",
+    "SQLiteJobStore",
+    "SweepService",
+    "Worker",
+    "open_store",
+    "run_workers",
+    "serve",
+]

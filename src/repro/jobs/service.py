@@ -1,0 +1,368 @@
+"""``repro serve``: the sweep service's stdlib HTTP/JSON front end.
+
+Turns sweeps from CLI invocations into **concurrent requests**: a
+long-lived :class:`SweepService` owns one shared job store, clients
+submit sweeps and poll progress over HTTP, and any number of workers
+(embedded or external ``repro worker`` processes, on this host or
+another sharing the filesystem) drain the queue.  stdlib only —
+:mod:`http.server` with a threading server, no frameworks.
+
+API (all JSON unless noted)::
+
+    GET  /healthz                 liveness + store counts
+    GET  /sweeps                  every sweep with live progress
+    POST /sweeps                  submit: {"design": "secureMem_mshr64",
+                                           "workloads": ["bfs", ...],   # default: all
+                                           "partitions": 4,
+                                           "horizon": 10000, "warmup": 30000,
+                                           "designs": [...],            # alternative: several
+                                           "label": "...",
+                                           "max_attempts": 3}
+                                  -> 201 {"sweep_id": ..., "total": N, ...}
+    GET  /sweeps/<id>             progress: counts, rate, ETA, failures
+    GET  /sweeps/<id>/results     terminal rows incl. result payloads
+    GET  /sweeps/<id>/dashboard   the PR-5 self-contained HTML report
+                                  (text/html), synthesized from store rows
+
+Progress queries also sweep expired leases back into the queue, so a
+dead worker's points become claimable the next time anyone looks.
+
+The service is an *observer and broker*, never a simulator: submission
+validates designs/workloads against the same registries the CLI uses
+and stores rows; execution happens wherever workers run.  CLI sweeps
+(``repro sweep --store``) and HTTP sweeps are rows in the same table —
+one execution path, provably (tests assert bit-identical results).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import repro
+from repro.experiments.designs import DESIGNS
+from repro.experiments.runner import result_from_dict
+from repro.jobs.store import SQLiteJobStore, iter_points
+from repro.workloads.suite import BENCHMARK_ORDER
+
+#: default TCP port; "s" + "m" (secure memory) on a phone keypad.
+DEFAULT_PORT = 8076
+
+_SWEEP_PATH = re.compile(r"^/sweeps/([0-9a-f]{12})(/results|/dashboard)?$")
+
+
+# ---------------------------------------------------------------------------
+# store rows -> observability inputs
+# ---------------------------------------------------------------------------
+
+
+def sweep_ledger_records(store: SQLiteJobStore, sweep_id: str) -> List[dict]:
+    """PR-5 ledger-shaped point records synthesized from store rows.
+
+    Lets the dashboard (and anything else ledger-driven) read a
+    service-run sweep without the workers' ledger files being reachable
+    from the service host.  Volatile fields follow the ledger's
+    conventions; ``config`` is the worker-reported config digest, with
+    the design name as a pre-execution fallback.
+    """
+    from repro.obsv.ledger import LEDGER_SCHEMA, key_stats
+
+    progress = store.progress(sweep_id)
+    records: List[dict] = []
+    for row in store.results(sweep_id):
+        if row["status"] not in ("done", "failed"):
+            continue
+        stats = None
+        if row["result"] is not None:
+            stats = key_stats(result_from_dict(row["result"]))
+        records.append(
+            {
+                "schema": LEDGER_SCHEMA,
+                "event": "point",
+                "ts": row["done_ts"],
+                "workload": row["workload"],
+                "config": row["config_digest"] or row["spec"].get("design", "?"),
+                "horizon": progress["horizon"],
+                "warmup": progress["warmup"],
+                "outcome": row["outcome"] or "failed",
+                "duration_s": row["duration_s"],
+                "stats": stats,
+                "telemetry_dir": None,
+                "error": row["error"],
+            }
+        )
+    return records
+
+
+def sweep_heartbeat_lines(store: SQLiteJobStore, sweep_id: str) -> List[dict]:
+    """Heartbeat-JSONL-shaped progress lines from store timestamps."""
+    progress = store.progress(sweep_id)
+    total = progress["total"]
+    started = progress["created_ts"]
+    lines: List[dict] = [{"event": "start", "ts": started, "total": total}]
+    done_ts = sorted(
+        row["done_ts"]
+        for row in store.results(sweep_id)
+        if row["status"] == "done" and row["done_ts"] is not None
+    )
+    for done, ts in enumerate(done_ts, start=1):
+        elapsed = max(ts - started, 1e-9)
+        rate = done / elapsed
+        remaining = total - done
+        lines.append(
+            {
+                "ts": ts,
+                "done": done,
+                "total": total,
+                "elapsed_s": round(elapsed, 3),
+                "points_per_s": round(rate, 3),
+                "eta_s": round(remaining / rate, 3) if rate > 0 else None,
+            }
+        )
+    if progress["status"] in ("done", "failed"):
+        failures = len(progress["failures"])
+        lines.append(
+            {
+                "event": "done",
+                "ts": progress["last_done_ts"] or time.time(),
+                "done": total - failures,
+                "total": total,
+                "elapsed_s": progress["elapsed_s"],
+                "points_per_s": progress["points_per_s"],
+                "status": "failed" if failures else "ok",
+                "failures": failures,
+            }
+        )
+    return lines
+
+
+def validate_submission(body: dict) -> Tuple[List[Tuple[str, dict]], dict]:
+    """Parse/validate a POST /sweeps body into submit_sweep arguments.
+
+    Raises :class:`ValueError` with a client-presentable message.
+    """
+    if not isinstance(body, dict):
+        raise ValueError("body must be a JSON object")
+    designs = body.get("designs")
+    if designs is None:
+        designs = [body.get("design", "secureMem_mshr64")]
+    if not isinstance(designs, list) or not designs:
+        raise ValueError("'designs' must be a non-empty list of design names")
+    unknown = [d for d in designs if d not in DESIGNS]
+    if unknown:
+        raise ValueError(
+            f"unknown design(s) {unknown}; known: {', '.join(sorted(DESIGNS))}"
+        )
+    workloads = body.get("workloads", list(BENCHMARK_ORDER))
+    if not isinstance(workloads, list) or not workloads:
+        raise ValueError("'workloads' must be a non-empty list of benchmark names")
+    bad = [w for w in workloads if w not in BENCHMARK_ORDER]
+    if bad:
+        raise ValueError(
+            f"unknown workload(s) {bad}; known: {', '.join(BENCHMARK_ORDER)}"
+        )
+    try:
+        partitions = int(body.get("partitions", 4))
+        horizon = float(body.get("horizon", 10_000))
+        warmup = float(body.get("warmup", 30_000))
+        max_attempts = int(body.get("max_attempts", 3))
+    except (TypeError, ValueError):
+        raise ValueError(
+            "'partitions'/'horizon'/'warmup'/'max_attempts' must be numbers"
+        ) from None
+    if partitions < 1 or horizon <= 0 or warmup < 0 or max_attempts < 1:
+        raise ValueError("scale parameters out of range")
+    points = iter_points(
+        workloads, [{"design": d, "partitions": partitions} for d in designs]
+    )
+    options = {
+        "horizon": horizon,
+        "warmup": warmup,
+        "label": body.get("label"),
+        "max_attempts": max_attempts,
+    }
+    return points, options
+
+
+# ---------------------------------------------------------------------------
+# the HTTP server
+# ---------------------------------------------------------------------------
+
+
+class SweepService(ThreadingHTTPServer):
+    """A threading HTTP server owning one shared job store.
+
+    ``port=0`` binds an ephemeral port (tests, parallel CI jobs); the
+    bound address is ``self.server_address``.  The store is internally
+    locked, so request-handler threads share it safely.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        store_path: str | Path,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        quiet: bool = True,
+    ) -> None:
+        self.store = SQLiteJobStore(store_path)
+        self.store_path = Path(store_path)
+        self.quiet = quiet
+        super().__init__((host, port), _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def run_in_thread(self) -> threading.Thread:
+        """serve_forever on a daemon thread (tests / embedded use)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def server_close(self) -> None:  # also close the store
+        super().server_close()
+        self.store.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: SweepService
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        if not self.server.quiet:
+            super().log_message(fmt, *args)
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, code: int, doc: dict) -> None:
+        self._send(
+            code,
+            (json.dumps(doc, sort_keys=True) + "\n").encode(),
+            "application/json",
+        )
+
+    def _error(self, code: int, message: str) -> None:
+        self._json(code, {"error": message})
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body (expected JSON)")
+        try:
+            return json.loads(raw)
+        except ValueError:
+            raise ValueError("request body is not valid JSON") from None
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        store = self.server.store
+        try:
+            if self.path in ("/", "/healthz"):
+                store.requeue_expired()
+                self._json(
+                    200,
+                    {
+                        "status": "ok",
+                        "version": repro.__version__,
+                        "store": str(self.server.store_path),
+                        "counts": store.counts(),
+                        "endpoints": [
+                            "GET /healthz",
+                            "GET /sweeps",
+                            "POST /sweeps",
+                            "GET /sweeps/<id>",
+                            "GET /sweeps/<id>/results",
+                            "GET /sweeps/<id>/dashboard",
+                        ],
+                    },
+                )
+                return
+            if self.path == "/sweeps":
+                store.requeue_expired()
+                self._json(200, {"sweeps": store.sweeps()})
+                return
+            match = _SWEEP_PATH.match(self.path)
+            if match:
+                sweep_id, tail = match.group(1), match.group(2)
+                store.requeue_expired()
+                try:
+                    if tail == "/results":
+                        self._json(200, {"results": store.results(sweep_id)})
+                    elif tail == "/dashboard":
+                        self._dashboard(sweep_id)
+                    else:
+                        self._json(200, store.progress(sweep_id))
+                except KeyError:
+                    self._error(404, f"no such sweep: {sweep_id}")
+                return
+            self._error(404, f"no such endpoint: {self.path}")
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as exc:  # noqa: BLE001 — a request must not kill the server
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            if self.path != "/sweeps":
+                self._error(404, f"no such endpoint: POST {self.path}")
+                return
+            try:
+                body = self._read_body()
+                points, options = validate_submission(body)
+            except ValueError as exc:
+                self._error(400, str(exc))
+                return
+            sweep_id = self.server.store.submit_sweep(points, **options)
+            self._json(
+                201,
+                {
+                    "sweep_id": sweep_id,
+                    "total": len(points),
+                    "url": f"/sweeps/{sweep_id}",
+                    "dashboard": f"/sweeps/{sweep_id}/dashboard",
+                },
+            )
+        except BrokenPipeError:
+            pass
+        except Exception as exc:  # noqa: BLE001
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def _dashboard(self, sweep_id: str) -> None:
+        from repro.obsv.dashboard import build_dashboard
+
+        store = self.server.store
+        progress = store.progress(sweep_id)  # KeyError -> 404 upstream
+        html_text = build_dashboard(
+            title=f"Sweep {sweep_id}" + (f" — {progress['label']}" if progress["label"] else ""),
+            ledger_records=sweep_ledger_records(store, sweep_id),
+            heartbeat_lines=sweep_heartbeat_lines(store, sweep_id),
+            sources={"job store": str(self.server.store_path), "sweep": sweep_id},
+        )
+        self._send(200, html_text.encode(), "text/html; charset=utf-8")
+
+
+def serve(
+    store_path: str | Path,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    quiet: bool = True,
+) -> SweepService:
+    """Construct (but don't start) the service; callers pick the loop."""
+    return SweepService(store_path, host=host, port=port, quiet=quiet)

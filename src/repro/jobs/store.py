@@ -1,0 +1,527 @@
+"""The shared job store: sweep points as claimable rows.
+
+A *sweep* is a batch of independent ``(workload, spec)`` simulation
+points submitted together; a *job* is one such point.  Jobs move through
+a small, explicit state machine::
+
+    pending ──claim──▶ running ──report(ok)───▶ done
+       ▲                  │
+       │                  ├─report(fail), attempts < max ──▶ pending
+       │                  │      (with a not-before backoff stamp)
+       └──lease expired───┘
+                          └─report(fail), attempts == max ─▶ failed
+                            (lease expiry at max attempts also fails)
+
+Claims are **leases**: a claim stamps the worker id and a lease deadline
+onto the row, the worker heartbeats the deadline forward while it
+simulates, and :meth:`JobStore.requeue_expired` returns rows whose
+deadline passed to ``pending`` — so a worker killed mid-point loses the
+claim, not the point.  A row that keeps expiring or failing is poisoned
+after ``max_attempts`` claims and marked ``failed`` so one bad config
+can never wedge a sweep.
+
+:class:`SQLiteJobStore` is the shipped implementation: one SQLite file
+in WAL mode shared by every worker and the HTTP service.  The claim is
+atomic without any out-of-band locking — a candidate row is selected,
+then taken with ``UPDATE ... WHERE id=? AND status='pending'``; losing a
+race just means ``rowcount == 0`` and another candidate.  The schema is
+versioned through ``PRAGMA user_version`` (the same discipline as the
+run ledger's ``schema`` field).
+
+The class is deliberately a thin mapping onto the DB-API: every
+statement is a class-level template using ``qmark`` placeholders, and a
+different DB-API backend (PostgreSQL, MySQL, ...) can subclass and
+override :meth:`SQLiteJobStore._connect` plus the templates — nothing
+else in the subsystem knows it is talking to SQLite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sqlite3
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+#: bump when the jobs/sweeps table layout changes incompatibly.
+JOB_SCHEMA = 1
+
+#: the states a job row can be in.
+STATUSES = ("pending", "running", "done", "failed")
+
+#: default claims (initial + retries) before a point is poison-failed.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+@dataclasses.dataclass
+class Job:
+    """One claimed sweep point, as handed to a worker."""
+
+    id: int
+    sweep_id: str
+    seq: int
+    workload: str
+    spec: dict
+    horizon: float
+    warmup: float
+    attempts: int
+    max_attempts: int
+    lease_deadline: float
+
+
+class JobStore(Protocol):
+    """What the worker loop and the HTTP service need from a backend.
+
+    Implementations must make :meth:`claim` atomic across concurrent
+    workers (two workers can never hold the same job), and
+    :meth:`report` must be a no-op returning ``False`` when the caller
+    no longer owns the row (its lease expired and someone else claimed
+    it) so a slow worker cannot clobber a re-run's result.
+    """
+
+    def submit_sweep(
+        self,
+        points: Sequence[Tuple[str, dict]],
+        horizon: float,
+        warmup: float,
+        label: Optional[str] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> str: ...
+
+    def claim(self, worker_id: str, lease_s: float) -> Optional[Job]: ...
+
+    def heartbeat(self, job_id: int, worker_id: str, lease_s: float) -> bool: ...
+
+    def report(
+        self,
+        job_id: int,
+        worker_id: str,
+        outcome: str,
+        result: Optional[dict] = None,
+        error: Optional[str] = None,
+        duration_s: Optional[float] = None,
+        config_digest: Optional[str] = None,
+        retry_in_s: float = 0.0,
+    ) -> bool: ...
+
+    def requeue_expired(self) -> Tuple[int, int]: ...
+
+    def progress(self, sweep_id: str) -> dict: ...
+
+    def counts(self) -> Dict[str, int]: ...
+
+    def sweeps(self) -> List[dict]: ...
+
+    def results(self, sweep_id: str) -> List[dict]: ...
+
+    def close(self) -> None: ...
+
+
+class SQLiteJobStore:
+    """One SQLite file (WAL mode) shared by workers and the service.
+
+    Connections are per-instance; each worker process/thread opens its
+    own instance against the same path.  Within an instance a reentrant
+    lock serializes statement execution so the HTTP service can share
+    one store across request-handler threads.
+    """
+
+    _CREATE = (
+        """CREATE TABLE IF NOT EXISTS sweeps (
+            id TEXT PRIMARY KEY,
+            created_ts REAL NOT NULL,
+            horizon REAL NOT NULL,
+            warmup REAL NOT NULL,
+            total INTEGER NOT NULL,
+            label TEXT
+        )""",
+        """CREATE TABLE IF NOT EXISTS jobs (
+            id INTEGER PRIMARY KEY AUTOINCREMENT,
+            sweep_id TEXT NOT NULL REFERENCES sweeps(id),
+            seq INTEGER NOT NULL,
+            workload TEXT NOT NULL,
+            spec TEXT NOT NULL,
+            status TEXT NOT NULL DEFAULT 'pending',
+            attempts INTEGER NOT NULL DEFAULT 0,
+            max_attempts INTEGER NOT NULL DEFAULT 3,
+            not_before REAL NOT NULL DEFAULT 0,
+            worker TEXT,
+            lease_deadline REAL,
+            claimed_ts REAL,
+            done_ts REAL,
+            duration_s REAL,
+            outcome TEXT,
+            config_digest TEXT,
+            result TEXT,
+            error TEXT
+        )""",
+        "CREATE INDEX IF NOT EXISTS jobs_claim ON jobs(status, not_before, sweep_id, seq)",
+        "CREATE INDEX IF NOT EXISTS jobs_sweep ON jobs(sweep_id, seq)",
+    )
+
+    def __init__(self, path: str | Path, timeout_s: float = 30.0) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = self._connect(timeout_s)
+        self._init_schema()
+
+    def _connect(self, timeout_s: float) -> sqlite3.Connection:
+        """Open the backend connection (override for another DB-API)."""
+        conn = sqlite3.connect(
+            str(self.path),
+            timeout=timeout_s,
+            isolation_level=None,  # autocommit; explicit BEGIN where needed
+            check_same_thread=False,  # guarded by self._lock
+        )
+        conn.row_factory = sqlite3.Row
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        return conn
+
+    def _init_schema(self) -> None:
+        with self._lock:
+            version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+            if version > JOB_SCHEMA:
+                raise RuntimeError(
+                    f"job store {self.path} has schema v{version}, "
+                    f"this build understands v{JOB_SCHEMA} — upgrade repro"
+                )
+            for statement in self._CREATE:
+                self._conn.execute(statement)
+            if version < JOB_SCHEMA:
+                self._conn.execute(f"PRAGMA user_version={JOB_SCHEMA}")
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "SQLiteJobStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- submission -----------------------------------------------------
+
+    def submit_sweep(
+        self,
+        points: Sequence[Tuple[str, dict]],
+        horizon: float,
+        warmup: float,
+        label: Optional[str] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> str:
+        """Insert one sweep and one pending job per point; returns its id.
+
+        *points* is a sequence of ``(workload, spec)`` where *spec* is a
+        JSON-serializable description the worker can rebuild the exact
+        :class:`~repro.common.config.GpuConfig` from — today
+        ``{"design": <named design>, "partitions": N}``.
+        """
+        points = list(points)
+        if not points:
+            raise ValueError("a sweep needs at least one point")
+        sweep_id = uuid.uuid4().hex[:12]
+        now = time.time()
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._conn.execute(
+                    "INSERT INTO sweeps (id, created_ts, horizon, warmup, total, label)"
+                    " VALUES (?, ?, ?, ?, ?, ?)",
+                    (sweep_id, now, horizon, warmup, len(points), label),
+                )
+                self._conn.executemany(
+                    "INSERT INTO jobs (sweep_id, seq, workload, spec, max_attempts)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    [
+                        (sweep_id, seq, workload, json.dumps(spec, sort_keys=True),
+                         max(1, int(max_attempts)))
+                        for seq, (workload, spec) in enumerate(points)
+                    ],
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return sweep_id
+
+    # -- the worker side ------------------------------------------------
+
+    def claim(self, worker_id: str, lease_s: float) -> Optional[Job]:
+        """Atomically take the oldest eligible pending job, or ``None``.
+
+        The take is race-free without table locks: the ``UPDATE`` re-checks
+        ``status='pending'``, so of N workers selecting the same candidate
+        exactly one sees ``rowcount == 1``; the rest move to the next row.
+        """
+        now = time.time()
+        with self._lock:
+            while True:
+                row = self._conn.execute(
+                    "SELECT id FROM jobs WHERE status='pending' AND not_before<=?"
+                    " ORDER BY sweep_id, seq LIMIT 1",
+                    (now,),
+                ).fetchone()
+                if row is None:
+                    return None
+                taken = self._conn.execute(
+                    "UPDATE jobs SET status='running', worker=?, lease_deadline=?,"
+                    " attempts=attempts+1, claimed_ts=? WHERE id=? AND status='pending'",
+                    (worker_id, now + lease_s, now, row["id"]),
+                )
+                if taken.rowcount == 1:
+                    return self._job(row["id"])
+
+    def _job(self, job_id: int) -> Job:
+        row = self._conn.execute(
+            "SELECT j.id, j.sweep_id, j.seq, j.workload, j.spec, j.attempts,"
+            " j.max_attempts, j.lease_deadline, s.horizon, s.warmup"
+            " FROM jobs j JOIN sweeps s ON s.id = j.sweep_id WHERE j.id=?",
+            (job_id,),
+        ).fetchone()
+        return Job(
+            id=row["id"],
+            sweep_id=row["sweep_id"],
+            seq=row["seq"],
+            workload=row["workload"],
+            spec=json.loads(row["spec"]),
+            horizon=row["horizon"],
+            warmup=row["warmup"],
+            attempts=row["attempts"],
+            max_attempts=row["max_attempts"],
+            lease_deadline=row["lease_deadline"],
+        )
+
+    def heartbeat(self, job_id: int, worker_id: str, lease_s: float) -> bool:
+        """Extend a running job's lease; False when the claim was lost."""
+        with self._lock:
+            cur = self._conn.execute(
+                "UPDATE jobs SET lease_deadline=? WHERE id=? AND worker=?"
+                " AND status='running'",
+                (time.time() + lease_s, job_id, worker_id),
+            )
+            return cur.rowcount == 1
+
+    def report(
+        self,
+        job_id: int,
+        worker_id: str,
+        outcome: str,
+        result: Optional[dict] = None,
+        error: Optional[str] = None,
+        duration_s: Optional[float] = None,
+        config_digest: Optional[str] = None,
+        retry_in_s: float = 0.0,
+    ) -> bool:
+        """Record one attempt's outcome; False when the claim was lost.
+
+        ``outcome`` is ``simulated``/``cached`` (job becomes ``done``) or
+        ``failed``.  A failure below the attempt budget returns the row to
+        ``pending`` with ``not_before = now + retry_in_s`` (the worker's
+        capped backoff); at the budget it is poison-failed for good.
+        """
+        now = time.time()
+        with self._lock:
+            if outcome != "failed":
+                cur = self._conn.execute(
+                    "UPDATE jobs SET status='done', outcome=?, result=?, error=NULL,"
+                    " done_ts=?, duration_s=?, config_digest=?, lease_deadline=NULL"
+                    " WHERE id=? AND worker=? AND status='running'",
+                    (
+                        outcome,
+                        json.dumps(result) if result is not None else None,
+                        now,
+                        duration_s,
+                        config_digest,
+                        job_id,
+                        worker_id,
+                    ),
+                )
+                return cur.rowcount == 1
+            # a failed attempt: retry with backoff, or poison at the budget.
+            cur = self._conn.execute(
+                "UPDATE jobs SET status=CASE WHEN attempts >= max_attempts"
+                "   THEN 'failed' ELSE 'pending' END,"
+                " outcome=CASE WHEN attempts >= max_attempts THEN 'failed' END,"
+                " done_ts=CASE WHEN attempts >= max_attempts THEN ? END,"
+                " not_before=?, worker=NULL, lease_deadline=NULL, error=?,"
+                " duration_s=?, config_digest=?"
+                " WHERE id=? AND worker=? AND status='running'",
+                (now, now + max(0.0, retry_in_s), error, duration_s,
+                 config_digest, job_id, worker_id),
+            )
+            return cur.rowcount == 1
+
+    def requeue_expired(self) -> Tuple[int, int]:
+        """Return lapsed leases to ``pending``; poison-fail exhausted ones.
+
+        Returns ``(requeued, poisoned)``.  Safe (and cheap) to call from
+        every worker iteration and every service progress query.
+        """
+        now = time.time()
+        with self._lock:
+            requeued = self._conn.execute(
+                "UPDATE jobs SET status='pending', worker=NULL, lease_deadline=NULL,"
+                " error='lease expired (worker died?)'"
+                " WHERE status='running' AND lease_deadline<? AND attempts<max_attempts",
+                (now,),
+            ).rowcount
+            poisoned = self._conn.execute(
+                "UPDATE jobs SET status='failed', outcome='failed', worker=NULL,"
+                " lease_deadline=NULL, done_ts=?,"
+                " error='lease expired after max attempts (worker died?)'"
+                " WHERE status='running' AND lease_deadline<?",
+                (now, now),
+            ).rowcount
+            return requeued, poisoned
+
+    # -- observation ----------------------------------------------------
+
+    def counts(self, sweep_id: Optional[str] = None) -> Dict[str, int]:
+        """Job counts by status (whole store, or one sweep)."""
+        sql = "SELECT status, COUNT(*) AS n FROM jobs"
+        args: Tuple = ()
+        if sweep_id is not None:
+            sql += " WHERE sweep_id=?"
+            args = (sweep_id,)
+        sql += " GROUP BY status"
+        with self._lock:
+            rows = self._conn.execute(sql, args).fetchall()
+        out = {status: 0 for status in STATUSES}
+        for row in rows:
+            out[row["status"]] = row["n"]
+        return out
+
+    def progress(self, sweep_id: str) -> dict:
+        """One sweep's live progress: counts, rate, ETA, failures.
+
+        Raises :class:`KeyError` for an unknown sweep id.
+        """
+        with self._lock:
+            sweep = self._conn.execute(
+                "SELECT * FROM sweeps WHERE id=?", (sweep_id,)
+            ).fetchone()
+            if sweep is None:
+                raise KeyError(sweep_id)
+            counts = self.counts(sweep_id)
+            done_ts = [
+                row["done_ts"]
+                for row in self._conn.execute(
+                    "SELECT done_ts FROM jobs WHERE sweep_id=? AND done_ts IS NOT NULL",
+                    (sweep_id,),
+                )
+            ]
+            failures = [
+                {
+                    "workload": row["workload"],
+                    "spec": json.loads(row["spec"]),
+                    "attempts": row["attempts"],
+                    "error": row["error"],
+                }
+                for row in self._conn.execute(
+                    "SELECT workload, spec, attempts, error FROM jobs"
+                    " WHERE sweep_id=? AND status='failed' ORDER BY seq",
+                    (sweep_id,),
+                )
+            ]
+            workers = [
+                row["worker"]
+                for row in self._conn.execute(
+                    "SELECT DISTINCT worker FROM jobs WHERE sweep_id=?"
+                    " AND worker IS NOT NULL ORDER BY worker",
+                    (sweep_id,),
+                )
+            ]
+        total = sweep["total"]
+        terminal = counts["done"] + counts["failed"]
+        now = time.time()
+        elapsed = max(now - sweep["created_ts"], 1e-9)
+        rate = counts["done"] / elapsed
+        remaining = total - terminal
+        eta = remaining / rate if rate > 0 and remaining else None
+        status = "running"
+        if terminal == total:
+            status = "failed" if counts["failed"] else "done"
+        return {
+            "sweep_id": sweep_id,
+            "label": sweep["label"],
+            "created_ts": sweep["created_ts"],
+            "horizon": sweep["horizon"],
+            "warmup": sweep["warmup"],
+            "total": total,
+            "counts": counts,
+            "status": status,
+            "elapsed_s": round(elapsed, 3),
+            "points_per_s": round(rate, 4),
+            "eta_s": round(eta, 3) if eta is not None else None,
+            "last_done_ts": max(done_ts) if done_ts else None,
+            "workers": workers,
+            "failures": failures,
+        }
+
+    def sweeps(self) -> List[dict]:
+        """Every sweep in submission order, with its progress summary."""
+        with self._lock:
+            ids = [
+                row["id"]
+                for row in self._conn.execute(
+                    "SELECT id FROM sweeps ORDER BY created_ts, id"
+                )
+            ]
+        return [self.progress(sweep_id) for sweep_id in ids]
+
+    def results(self, sweep_id: str) -> List[dict]:
+        """Terminal rows of one sweep, in submission (seq) order."""
+        with self._lock:
+            if (
+                self._conn.execute(
+                    "SELECT 1 FROM sweeps WHERE id=?", (sweep_id,)
+                ).fetchone()
+                is None
+            ):
+                raise KeyError(sweep_id)
+            rows = self._conn.execute(
+                "SELECT seq, workload, spec, status, outcome, attempts, worker,"
+                " duration_s, done_ts, config_digest, result, error"
+                " FROM jobs WHERE sweep_id=? ORDER BY seq",
+                (sweep_id,),
+            ).fetchall()
+        out = []
+        for row in rows:
+            out.append(
+                {
+                    "seq": row["seq"],
+                    "workload": row["workload"],
+                    "spec": json.loads(row["spec"]),
+                    "status": row["status"],
+                    "outcome": row["outcome"],
+                    "attempts": row["attempts"],
+                    "worker": row["worker"],
+                    "duration_s": row["duration_s"],
+                    "done_ts": row["done_ts"],
+                    "config_digest": row["config_digest"],
+                    "result": json.loads(row["result"]) if row["result"] else None,
+                    "error": row["error"],
+                }
+            )
+        return out
+
+
+def open_store(path: str | Path) -> SQLiteJobStore:
+    """The default backend for a filesystem path (SQLite, WAL mode)."""
+    return SQLiteJobStore(path)
+
+
+def iter_points(
+    workloads: Iterable[str], specs: Iterable[dict]
+) -> List[Tuple[str, dict]]:
+    """The cross product submit_sweep expects, workloads-major."""
+    specs = list(specs)
+    return [(workload, spec) for spec in specs for workload in workloads]

@@ -1,0 +1,237 @@
+"""The worker loop: claim sweep points, simulate them, report durably.
+
+A :class:`Worker` is one process's (or thread's) participation in a
+shared job store.  Each iteration it returns expired leases to the
+queue, claims the oldest eligible pending job, rebuilds the job's
+:class:`~repro.common.config.GpuConfig` from its spec, and runs it
+through the **existing experiment stack** — a
+:class:`~repro.experiments.parallel.ParallelRunner` with ``jobs=1``, so
+every piece of machinery the serial path earned still applies:
+
+* the in-process memo and the **sharded result cache** (opened
+  read-only: many workers may share one cache directory, and the cache
+  stays single-writer — results travel back through the store);
+* the **run ledger** (one JSONL file per worker; canonical records from
+  any number of workers merge record-equivalent to a serial run);
+* the process-wide secure-geometry **warm state**, which accumulates
+  across every point this worker executes.
+
+While a point simulates, a daemon thread heartbeats the job's lease
+forward, so a healthy worker never loses a slow point; a killed worker
+stops heartbeating and the lease lapses, returning the point to the
+queue for someone else.  Failures are retried with capped exponential
+backoff (stamped into the row's ``not_before``) and poison-failed at the
+attempt budget, so one crashing config cannot wedge a sweep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.common.config import GpuConfig
+from repro.experiments.designs import build_named_gpu
+from repro.experiments.parallel import ParallelRunner
+from repro.experiments.runner import config_key, result_to_dict
+from repro.jobs.store import Job, SQLiteJobStore
+
+#: backoff after the n-th failed attempt: min(cap, base * 2**(n-1)).
+BACKOFF_BASE_S = 0.5
+BACKOFF_CAP_S = 30.0
+
+
+def default_worker_id() -> str:
+    """host-pid-nonce: unique across hosts sharing one store."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+def build_config(spec: dict) -> GpuConfig:
+    """A job spec back into the exact GpuConfig the submitter meant.
+
+    The v1 spec is ``{"design": <registry name>, "partitions": N}`` —
+    named designs only, so a spec is tiny, portable, and rebuilds
+    bit-identically on any host running the same code.
+    """
+    if "design" not in spec:
+        raise ValueError(f"job spec has no 'design': {spec!r}")
+    return build_named_gpu(spec["design"], num_partitions=int(spec.get("partitions", 4)))
+
+
+class Worker:
+    """One claim/execute/report loop against a shared job store.
+
+    ``until="drained"`` (the default) exits when the store has no
+    pending *and* no running jobs — i.e. the whole backlog is terminal,
+    including points other live workers are still finishing;
+    ``until="forever"`` keeps polling for new sweeps (service mode).
+    """
+
+    def __init__(
+        self,
+        store: SQLiteJobStore,
+        worker_id: Optional[str] = None,
+        lease_s: float = 30.0,
+        poll_s: float = 0.2,
+        cache_dir: Optional[str | Path] = None,
+        ledger_dir: Optional[str | Path] = None,
+        backoff_base_s: float = BACKOFF_BASE_S,
+        backoff_cap_s: float = BACKOFF_CAP_S,
+        max_points: Optional[int] = None,
+    ) -> None:
+        self.store = store
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_s = max(0.1, float(lease_s))
+        self.poll_s = max(0.01, float(poll_s))
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.ledger_dir = Path(ledger_dir) if ledger_dir else None
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.max_points = max_points
+        #: outcome -> count, over this worker's lifetime.
+        self.executed: Dict[str, int] = {"simulated": 0, "cached": 0, "failed": 0}
+        #: one runner per (horizon, warmup) window, reused across jobs so
+        #: the memo table and warm state survive between points.
+        self._runners: Dict[Tuple[float, float], ParallelRunner] = {}
+
+    # ------------------------------------------------------------------
+
+    def _runner(self, horizon: float, warmup: float) -> ParallelRunner:
+        window = (horizon, warmup)
+        runner = self._runners.get(window)
+        if runner is None:
+            ledger_path = None
+            if self.ledger_dir is not None:
+                ledger_path = self.ledger_dir / f"worker-{self.worker_id}.jsonl"
+            runner = ParallelRunner(
+                horizon=horizon,
+                warmup=warmup,
+                cache_path=self.cache_dir,
+                cache_read_only=True,
+                jobs=1,
+                ledger_path=ledger_path,
+            )
+            self._runners[window] = runner
+        return runner
+
+    def _heartbeat_loop(self, job: Job, stop: threading.Event) -> None:
+        """Extend the lease at a third of its period until told to stop."""
+        every = self.lease_s / 3.0
+        while not stop.wait(every):
+            if not self.store.heartbeat(job.id, self.worker_id, self.lease_s):
+                return  # claim lost (lease expired under a stalled sim)
+
+    def _execute(self, job: Job) -> str:
+        """Run one claimed job to a report; returns the outcome."""
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop, args=(job, stop), daemon=True
+        )
+        beat.start()
+        t0 = time.perf_counter()
+        try:
+            config = build_config(job.spec)
+            runner = self._runner(job.horizon, job.warmup)
+            simulated_before = runner.stats.points_simulated
+            result = runner.run(job.workload, config)
+            outcome = (
+                "simulated"
+                if runner.stats.points_simulated > simulated_before
+                else "cached"
+            )
+            self.store.report(
+                job.id,
+                self.worker_id,
+                outcome,
+                result=result_to_dict(result),
+                duration_s=round(time.perf_counter() - t0, 6),
+                config_digest=config_key(config),
+            )
+        except Exception as exc:  # noqa: BLE001 — every failure is reported
+            retry_in = min(
+                self.backoff_cap_s,
+                self.backoff_base_s * 2 ** max(0, job.attempts - 1),
+            )
+            outcome = "failed"
+            self.store.report(
+                job.id,
+                self.worker_id,
+                "failed",
+                error=f"{type(exc).__name__}: {exc}",
+                duration_s=round(time.perf_counter() - t0, 6),
+                retry_in_s=retry_in,
+            )
+        finally:
+            stop.set()
+            beat.join()
+        self.executed[outcome] += 1
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def run(self, until: str = "drained") -> int:
+        """The loop; returns how many claims this worker executed."""
+        if until not in ("drained", "forever"):
+            raise ValueError(f"until must be 'drained' or 'forever', got {until!r}")
+        executed = 0
+        while True:
+            self.store.requeue_expired()
+            job = self.store.claim(self.worker_id, self.lease_s)
+            if job is not None:
+                self._execute(job)
+                executed += 1
+                if self.max_points is not None and executed >= self.max_points:
+                    break
+                continue
+            counts = self.store.counts()
+            if until == "drained" and not counts["pending"] and not counts["running"]:
+                break
+            time.sleep(self.poll_s)
+        self.close()
+        return executed
+
+    def close(self) -> None:
+        for runner in self._runners.values():
+            runner.close()
+
+
+# ---------------------------------------------------------------------------
+# multi-process fan-out
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(store_path: str, kwargs: dict, until: str) -> None:
+    store = SQLiteJobStore(store_path)
+    try:
+        Worker(store, **kwargs).run(until=until)
+    finally:
+        store.close()
+
+
+def run_workers(
+    store_path: str | Path,
+    count: int,
+    until: str = "drained",
+    **worker_kwargs,
+) -> list:
+    """Spawn *count* worker processes against one store path.
+
+    Returns the (started) :class:`multiprocessing.Process` list; with
+    ``until="drained"`` simply ``join()`` them, with ``"forever"`` they
+    run until terminated (the HTTP service's embedded workers).
+    """
+    processes = []
+    for _ in range(max(1, int(count))):
+        process = multiprocessing.Process(
+            target=_worker_main,
+            args=(str(store_path), dict(worker_kwargs), until),
+            daemon=(until == "forever"),
+        )
+        process.start()
+        processes.append(process)
+    return processes

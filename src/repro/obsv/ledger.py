@@ -170,12 +170,22 @@ class RunLedger:
 
 
 def read_ledger(path: str | Path) -> List[dict]:
-    """Every intact record in file order; torn/blank lines are skipped."""
+    """Every intact record in file order; torn/blank lines are skipped.
+
+    Missing and unreadable paths (including directories) read as empty
+    rather than raising — callers that must distinguish "no ledger" from
+    "empty ledger" check the path themselves (as the CLI does).
+    """
     path = Path(path)
     if not path.exists():
         return []
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        warnings.warn(f"unreadable ledger {path}: {exc}", RuntimeWarning)
+        return []
     records: List[dict] = []
-    for line in path.read_text().splitlines():
+    for line in text.splitlines():
         line = line.strip()
         if not line:
             continue

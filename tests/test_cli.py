@@ -1,7 +1,10 @@
 """Command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
+import repro
 from repro.cli import DESIGNS, main
 
 FAST = ["--horizon", "1200", "--warmup", "800", "--partitions", "2"]
@@ -13,6 +16,20 @@ class TestStaticCommands:
         out = capsys.readouterr().out
         for name in DESIGNS:
             assert name in out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_version_single_sourced_from_pyproject(self):
+        """pyproject declares version dynamic, read from repro.__version__."""
+        pyproject = (
+            Path(__file__).resolve().parent.parent / "pyproject.toml"
+        ).read_text()
+        assert 'dynamic = ["version"]' in pyproject
+        assert 'version = { attr = "repro.__version__" }' in pyproject
 
     def test_storage(self, capsys):
         assert main(["storage"]) == 0
@@ -67,6 +84,52 @@ class TestAttack:
                 assert line.count("DETECTED") == 3
             if line.startswith("direct ") or line.startswith("ctr "):
                 assert "DETECTED" not in line
+
+
+class TestSweepStore:
+    def test_sweep_store_submits_drains_and_prints(self, tmp_path, capsys):
+        store = tmp_path / "q.sqlite"
+        assert main(["sweep", "--design", "baseline", "--bench", "nw",
+                     "--store", str(store), *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "submitted sweep" in out
+        assert "nw" in out
+        assert store.exists()
+
+    def test_worker_drains_nothing_cleanly(self, tmp_path, capsys):
+        store = tmp_path / "q.sqlite"
+        assert main(["worker", "--store", str(store), "--max-points", "1"]) == 0
+        assert "0 claim(s)" in capsys.readouterr().out
+
+
+class TestObservabilityErrors:
+    """Missing/empty/misused ledgers die with one line and exit 2."""
+
+    def test_diff_missing_ledger_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["diff", str(missing), str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "no such ledger" in err
+        assert "Traceback" not in err
+
+    def test_diff_empty_ledger_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("\n")
+        assert main(["diff", str(empty), str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "no point records" in err
+        assert "repro sweep" in err  # the error tells you how to make one
+
+    def test_diff_directory_exits_2(self, tmp_path, capsys):
+        assert main(["diff", str(tmp_path), str(tmp_path)]) == 2
+        assert "directory" in capsys.readouterr().err
+
+    def test_scorecard_directory_ledger_exits_2(self, tmp_path, capsys):
+        assert main(["scorecard", "--profile", "smoke",
+                     "--ledger", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "directory" in err
+        assert "Traceback" not in err
 
 
 class TestDesignRegistryConsistency:

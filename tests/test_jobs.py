@@ -1,0 +1,541 @@
+"""Sweep service: job store, worker protocol, HTTP front end.
+
+The acceptance bar for the subsystem: any number of workers draining one
+store must produce a merged sweep bit-identical to the serial
+:class:`~repro.experiments.runner.Runner` on the same points — including
+after a worker dies mid-point and another worker re-claims the lease.
+"""
+
+import json
+import sqlite3
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.designs import build_named_gpu
+from repro.experiments.runner import Runner, config_key, result_to_dict
+from repro.jobs.store import (
+    JOB_SCHEMA,
+    DEFAULT_MAX_ATTEMPTS,
+    SQLiteJobStore,
+    iter_points,
+)
+from repro.jobs.worker import Worker, build_config, default_worker_id
+from repro.jobs.service import (
+    SweepService,
+    sweep_heartbeat_lines,
+    sweep_ledger_records,
+    validate_submission,
+)
+from repro.obsv.ledger import canonical_points, read_ledger
+
+HORIZON, WARMUP = 1200.0, 800.0
+BENCHES = ["nw", "bfs"]
+SPECS = [{"design": "baseline", "partitions": 2},
+         {"design": "direct_40", "partitions": 2}]
+
+
+def submit(store, points=None, **kwargs):
+    kwargs.setdefault("horizon", HORIZON)
+    kwargs.setdefault("warmup", WARMUP)
+    return store.submit_sweep(points or iter_points(BENCHES, SPECS), **kwargs)
+
+
+def serial_results():
+    """What the pre-subsystem serial path computes for the same points."""
+    runner = Runner(horizon=HORIZON, warmup=WARMUP, benchmarks=BENCHES)
+    out = {}
+    for workload, spec in iter_points(BENCHES, SPECS):
+        config = build_config(spec)
+        out[(workload, json.dumps(spec, sort_keys=True))] = result_to_dict(
+            runner.run(workload, config)
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# store mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestStore:
+    def test_submit_creates_pending_rows(self, tmp_path):
+        with SQLiteJobStore(tmp_path / "q.sqlite") as store:
+            sweep_id = submit(store)
+            assert len(sweep_id) == 12
+            counts = store.counts(sweep_id)
+            assert counts["pending"] == len(BENCHES) * len(SPECS)
+            assert counts["running"] == counts["done"] == counts["failed"] == 0
+
+    def test_empty_sweep_rejected(self, tmp_path):
+        with SQLiteJobStore(tmp_path / "q.sqlite") as store:
+            with pytest.raises(ValueError):
+                store.submit_sweep([], horizon=HORIZON, warmup=WARMUP)
+
+    def test_claim_report_done_roundtrip(self, tmp_path):
+        with SQLiteJobStore(tmp_path / "q.sqlite") as store:
+            sweep_id = submit(store)
+            job = store.claim("w1", lease_s=30)
+            assert job is not None
+            assert job.sweep_id == sweep_id
+            assert job.workload == BENCHES[0]  # oldest first (seq order)
+            assert job.spec == SPECS[0]
+            assert job.horizon == HORIZON and job.warmup == WARMUP
+            assert job.attempts == 1
+            assert store.report(job.id, "w1", "simulated",
+                                result={"ipc": 1.0}, config_digest="abc")
+            counts = store.counts(sweep_id)
+            assert counts["done"] == 1 and counts["running"] == 0
+            row = store.results(sweep_id)[0]
+            assert row["status"] == "done"
+            assert row["outcome"] == "simulated"
+            assert row["result"] == {"ipc": 1.0}
+            assert row["config_digest"] == "abc"
+            assert row["worker"] == "w1"
+
+    def test_claim_exhausts_then_none(self, tmp_path):
+        with SQLiteJobStore(tmp_path / "q.sqlite") as store:
+            submit(store, points=[("nw", SPECS[0])])
+            assert store.claim("w1", 30) is not None
+            assert store.claim("w1", 30) is None  # only row is running
+
+    def test_report_without_claim_is_refused(self, tmp_path):
+        """A worker that lost its lease cannot clobber the re-run."""
+        with SQLiteJobStore(tmp_path / "q.sqlite") as store:
+            submit(store, points=[("nw", SPECS[0])])
+            job = store.claim("w1", 30)
+            assert not store.report(job.id, "imposter", "simulated", result={})
+            assert store.report(job.id, "w1", "simulated", result={})
+            # the job is terminal now; even the owner cannot re-report.
+            assert not store.report(job.id, "w1", "simulated", result={})
+
+    def test_failed_attempt_requeues_with_backoff(self, tmp_path):
+        with SQLiteJobStore(tmp_path / "q.sqlite") as store:
+            sweep_id = submit(store, points=[("nw", SPECS[0])])
+            job = store.claim("w1", 30)
+            assert store.report(job.id, "w1", "failed", error="boom",
+                                retry_in_s=3600)
+            counts = store.counts(sweep_id)
+            assert counts["pending"] == 1 and counts["failed"] == 0
+            # the not_before stamp keeps the row out of reach for now.
+            assert store.claim("w2", 30) is None
+
+    def test_poison_failed_at_attempt_budget(self, tmp_path):
+        with SQLiteJobStore(tmp_path / "q.sqlite") as store:
+            sweep_id = submit(store, points=[("nw", SPECS[0])],
+                              max_attempts=2)
+            for attempt in (1, 2):
+                job = store.claim("w1", 30)
+                assert job is not None and job.attempts == attempt
+                store.report(job.id, "w1", "failed", error="boom",
+                             retry_in_s=0.0)
+            counts = store.counts(sweep_id)
+            assert counts["failed"] == 1 and counts["pending"] == 0
+            assert store.claim("w1", 30) is None
+            progress = store.progress(sweep_id)
+            assert progress["status"] == "failed"
+            assert progress["failures"][0]["error"] == "boom"
+
+    def test_lease_expiry_requeues(self, tmp_path):
+        with SQLiteJobStore(tmp_path / "q.sqlite") as store:
+            submit(store, points=[("nw", SPECS[0])])
+            job = store.claim("crasher", lease_s=0.01)
+            time.sleep(0.05)
+            requeued, poisoned = store.requeue_expired()
+            assert (requeued, poisoned) == (1, 0)
+            job2 = store.claim("rescuer", 30)
+            assert job2 is not None and job2.id == job.id
+            assert job2.attempts == 2
+            # the dead worker's late report must be refused.
+            assert not store.report(job.id, "crasher", "simulated", result={})
+
+    def test_lease_expiry_poisons_at_budget(self, tmp_path):
+        with SQLiteJobStore(tmp_path / "q.sqlite") as store:
+            sweep_id = submit(store, points=[("nw", SPECS[0])], max_attempts=1)
+            store.claim("crasher", lease_s=0.01)
+            time.sleep(0.05)
+            assert store.requeue_expired() == (0, 1)
+            assert store.counts(sweep_id)["failed"] == 1
+
+    def test_heartbeat_extends_lease(self, tmp_path):
+        with SQLiteJobStore(tmp_path / "q.sqlite") as store:
+            submit(store, points=[("nw", SPECS[0])])
+            job = store.claim("w1", lease_s=0.05)
+            assert store.heartbeat(job.id, "w1", lease_s=60)
+            time.sleep(0.1)  # original lease would have lapsed
+            assert store.requeue_expired() == (0, 0)
+            assert not store.heartbeat(job.id, "other", lease_s=60)
+
+    def test_atomic_claim_under_concurrency(self, tmp_path):
+        """N threads over one store: every job claimed exactly once."""
+        path = tmp_path / "q.sqlite"
+        with SQLiteJobStore(path) as store:
+            submit(store, points=[("nw", dict(SPECS[0], seq=i))
+                                  for i in range(24)])
+        claimed, errors = [], []
+
+        def grab():
+            own = SQLiteJobStore(path)
+            try:
+                while True:
+                    job = own.claim(threading.current_thread().name, 60)
+                    if job is None:
+                        return
+                    claimed.append(job.id)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+            finally:
+                own.close()
+
+        threads = [threading.Thread(target=grab, name=f"t{i}") for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(claimed) == 24
+        assert len(set(claimed)) == 24  # no double-claims
+
+    def test_progress_and_sweeps(self, tmp_path):
+        with SQLiteJobStore(tmp_path / "q.sqlite") as store:
+            a = submit(store, points=[("nw", SPECS[0])])
+            b = submit(store, points=[("bfs", SPECS[0])], label="second")
+            progress = store.progress(a)
+            assert progress["total"] == 1 and progress["status"] == "running"
+            # sweep ids are random, and cross-sweep claim order follows
+            # them — claim until sweep a's job comes up.
+            job = store.claim("w1", 30)
+            if job.sweep_id != a:
+                job = store.claim("w1", 30)
+            assert job.sweep_id == a
+            store.report(job.id, "w1", "simulated", result={})
+            assert store.progress(a)["status"] == "done"
+            listed = store.sweeps()
+            assert [s["sweep_id"] for s in listed] == [a, b]
+            assert listed[1]["label"] == "second"
+            with pytest.raises(KeyError):
+                store.progress("0" * 12)
+            with pytest.raises(KeyError):
+                store.results("0" * 12)
+
+    def test_newer_schema_refused(self, tmp_path):
+        path = tmp_path / "q.sqlite"
+        SQLiteJobStore(path).close()
+        conn = sqlite3.connect(str(path))
+        conn.execute(f"PRAGMA user_version={JOB_SCHEMA + 1}")
+        conn.close()
+        with pytest.raises(RuntimeError, match="schema"):
+            SQLiteJobStore(path)
+
+    def test_iter_points_cross_product(self):
+        points = iter_points(["a", "b"], [{"x": 1}, {"x": 2}])
+        assert points == [("a", {"x": 1}), ("b", {"x": 1}),
+                          ("a", {"x": 2}), ("b", {"x": 2})]
+
+    def test_default_attempt_budget(self, tmp_path):
+        with SQLiteJobStore(tmp_path / "q.sqlite") as store:
+            submit(store, points=[("nw", SPECS[0])])
+            job = store.claim("w1", 30)
+            assert job.max_attempts == DEFAULT_MAX_ATTEMPTS
+
+
+# ---------------------------------------------------------------------------
+# the worker against the store
+# ---------------------------------------------------------------------------
+
+
+class TestWorker:
+    def test_build_config_roundtrip(self):
+        config = build_config({"design": "direct_40", "partitions": 2})
+        assert config_key(config) == config_key(build_named_gpu("direct_40", 2))
+        with pytest.raises(ValueError):
+            build_config({"partitions": 2})
+        with pytest.raises(KeyError):
+            build_config({"design": "nope"})
+
+    def test_worker_ids_are_unique(self):
+        assert default_worker_id() != default_worker_id()
+
+    def test_single_worker_drains_bit_identical(self, tmp_path):
+        path = tmp_path / "q.sqlite"
+        with SQLiteJobStore(path) as store:
+            sweep_id = submit(store)
+        store = SQLiteJobStore(path)
+        worker = Worker(store, worker_id="w1", poll_s=0.01)
+        assert worker.run() == len(BENCHES) * len(SPECS)
+        assert worker.executed["simulated"] == len(BENCHES) * len(SPECS)
+        expected = serial_results()
+        for row in store.results(sweep_id):
+            assert row["status"] == "done"
+            key = (row["workload"], json.dumps(row["spec"], sort_keys=True))
+            assert row["result"] == expected[key]
+            assert row["config_digest"] == config_key(build_config(row["spec"]))
+        store.close()
+
+    def test_two_workers_merge_bit_identical_to_serial(self, tmp_path):
+        """Two concurrent workers, separate connections, one store."""
+        path = tmp_path / "q.sqlite"
+        ledger_dir = tmp_path / "ledgers"
+        with SQLiteJobStore(path) as store:
+            sweep_id = submit(store)
+
+        def drain(worker_id):
+            own = SQLiteJobStore(path)
+            try:
+                Worker(own, worker_id=worker_id, poll_s=0.01,
+                       ledger_dir=ledger_dir).run()
+            finally:
+                own.close()
+
+        threads = [threading.Thread(target=drain, args=(f"w{i}",))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        store = SQLiteJobStore(path)
+        rows = store.results(sweep_id)
+        assert all(row["status"] == "done" for row in rows)
+        expected = serial_results()
+        for row in rows:
+            key = (row["workload"], json.dumps(row["spec"], sort_keys=True))
+            assert row["result"] == expected[key]
+        # merged per-worker ledgers are record-equivalent to a serial run.
+        merged = []
+        for ledger in sorted(ledger_dir.glob("worker-*.jsonl")):
+            merged.extend(read_ledger(ledger))
+        serial_ledger = tmp_path / "serial.jsonl"
+        runner = Runner(horizon=HORIZON, warmup=WARMUP, benchmarks=BENCHES,
+                        ledger_path=serial_ledger)
+        for workload, spec in iter_points(BENCHES, SPECS):
+            runner.run(workload, build_config(spec))
+        assert canonical_points(merged) == canonical_points(
+            read_ledger(serial_ledger)
+        )
+        store.close()
+
+    def test_crash_resume_bit_identical(self, tmp_path):
+        """A worker dies mid-point; the lease lapses; a rescuer re-claims;
+        the merged sweep is still bit-identical to serial."""
+        path = tmp_path / "q.sqlite"
+        with SQLiteJobStore(path) as store:
+            sweep_id = submit(store)
+            # the "crash": claim a point with a tiny lease and never
+            # report — exactly what a killed process leaves behind.
+            dead = store.claim("crashed-worker", lease_s=0.01)
+            assert dead is not None
+            time.sleep(0.05)
+        store = SQLiteJobStore(path)
+        worker = Worker(store, worker_id="rescuer", poll_s=0.01)
+        worker.run()  # requeues the expired lease, then drains everything
+        rows = store.results(sweep_id)
+        assert all(row["status"] == "done" for row in rows)
+        crashed_row = [r for r in rows if r["seq"] == dead.seq][0]
+        assert crashed_row["worker"] == "rescuer"
+        assert crashed_row["attempts"] == 2  # the crash burned one attempt
+        expected = serial_results()
+        for row in rows:
+            key = (row["workload"], json.dumps(row["spec"], sort_keys=True))
+            assert row["result"] == expected[key]
+        # the dead worker's late report is refused post-completion too.
+        assert not store.report(dead.id, "crashed-worker", "simulated",
+                                result={"ipc": 0.0})
+        store.close()
+
+    def test_failing_spec_poisons_not_wedges(self, tmp_path):
+        """One bad config burns its attempts and fails; the rest complete."""
+        path = tmp_path / "q.sqlite"
+        with SQLiteJobStore(path) as store:
+            sweep_id = store.submit_sweep(
+                [("nw", SPECS[0]), ("nw", {"design": "no_such_design",
+                                           "partitions": 2})],
+                horizon=HORIZON, warmup=WARMUP, max_attempts=2,
+            )
+        store = SQLiteJobStore(path)
+        worker = Worker(store, worker_id="w1", poll_s=0.01,
+                        backoff_base_s=0.0, backoff_cap_s=0.0)
+        worker.run()
+        counts = store.counts(sweep_id)
+        assert counts["done"] == 1 and counts["failed"] == 1
+        assert worker.executed["failed"] == 2  # two attempts, then poison
+        progress = store.progress(sweep_id)
+        assert progress["status"] == "failed"
+        assert "no_such_design" in progress["failures"][0]["error"]
+        store.close()
+
+    def test_max_points_caps_claims(self, tmp_path):
+        path = tmp_path / "q.sqlite"
+        with SQLiteJobStore(path) as store:
+            submit(store)
+        store = SQLiteJobStore(path)
+        assert Worker(store, worker_id="w1", max_points=1).run() == 1
+        assert store.counts()["done"] == 1
+        store.close()
+
+    def test_until_validated(self, tmp_path):
+        with SQLiteJobStore(tmp_path / "q.sqlite") as store:
+            with pytest.raises(ValueError):
+                Worker(store).run(until="sometimes")
+
+
+# ---------------------------------------------------------------------------
+# the HTTP front end
+# ---------------------------------------------------------------------------
+
+
+def http_json(url, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = SweepService(tmp_path / "q.sqlite", port=0)
+    svc.run_in_thread()
+    try:
+        yield svc
+    finally:
+        svc.shutdown()
+        svc.server_close()
+
+
+class TestService:
+    def test_healthz(self, service):
+        status, doc = http_json(service.url + "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["counts"]["pending"] == 0
+        import repro
+
+        assert doc["version"] == repro.__version__
+
+    def test_submit_drain_results_dashboard(self, service, tmp_path):
+        status, doc = http_json(
+            service.url + "/sweeps",
+            {"design": "baseline", "workloads": BENCHES, "partitions": 2,
+             "horizon": HORIZON, "warmup": WARMUP, "label": "smoke"},
+        )
+        assert status == 201
+        sweep_id = doc["sweep_id"]
+        assert doc["total"] == len(BENCHES)
+
+        # an external worker over its own connection drains the queue.
+        store = SQLiteJobStore(tmp_path / "q.sqlite")
+        Worker(store, worker_id="w1", poll_s=0.01).run()
+        store.close()
+
+        status, progress = http_json(service.url + f"/sweeps/{sweep_id}")
+        assert status == 200
+        assert progress["status"] == "done"
+        assert progress["counts"]["done"] == len(BENCHES)
+        assert progress["workers"] == ["w1"]
+
+        status, listing = http_json(service.url + "/sweeps")
+        assert [s["sweep_id"] for s in listing["sweeps"]] == [sweep_id]
+
+        status, results = http_json(service.url + f"/sweeps/{sweep_id}/results")
+        assert status == 200
+        expected = serial_results()
+        for row in results["results"]:
+            key = (row["workload"], json.dumps(row["spec"], sort_keys=True))
+            assert row["result"] == expected[key]
+
+        with urllib.request.urlopen(
+            service.url + f"/sweeps/{sweep_id}/dashboard"
+        ) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/html")
+            html_text = response.read().decode()
+        assert "<html" in html_text
+        assert sweep_id in html_text
+
+    def test_unknown_sweep_404(self, service):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http_json(service.url + "/sweeps/" + "0" * 12)
+        assert excinfo.value.code == 404
+
+    def test_unknown_endpoint_404(self, service):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http_json(service.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_bad_submission_400(self, service):
+        for payload in (
+            {"design": "no_such_design"},
+            {"workloads": ["doom"]},
+            {"workloads": []},
+            {"partitions": "many"},
+            {"horizon": -1},
+        ):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                http_json(service.url + "/sweeps", payload)
+            assert excinfo.value.code == 400
+
+    def test_progress_query_requeues_expired_leases(self, service, tmp_path):
+        _, doc = http_json(
+            service.url + "/sweeps",
+            {"design": "baseline", "workloads": ["nw"], "partitions": 2,
+             "horizon": HORIZON, "warmup": WARMUP},
+        )
+        store = SQLiteJobStore(tmp_path / "q.sqlite")
+        store.claim("doomed", lease_s=0.01)
+        time.sleep(0.05)
+        _, progress = http_json(service.url + f"/sweeps/{doc['sweep_id']}")
+        assert progress["counts"]["pending"] == 1  # back in the queue
+        assert progress["counts"]["running"] == 0
+        store.close()
+
+
+class TestSynthesizedObservability:
+    def drained_store(self, tmp_path):
+        path = tmp_path / "q.sqlite"
+        with SQLiteJobStore(path) as store:
+            sweep_id = submit(store)
+        store = SQLiteJobStore(path)
+        Worker(store, worker_id="w1", poll_s=0.01).run()
+        return store, sweep_id
+
+    def test_ledger_records_match_worker_ledger(self, tmp_path):
+        """Synthesized records are canonical-equivalent to real ledgers."""
+        store, sweep_id = self.drained_store(tmp_path)
+        synthesized = sweep_ledger_records(store, sweep_id)
+        serial_ledger = tmp_path / "serial.jsonl"
+        runner = Runner(horizon=HORIZON, warmup=WARMUP, benchmarks=BENCHES,
+                        ledger_path=serial_ledger)
+        for workload, spec in iter_points(BENCHES, SPECS):
+            runner.run(workload, build_config(spec))
+        assert canonical_points(synthesized) == canonical_points(
+            read_ledger(serial_ledger)
+        )
+        store.close()
+
+    def test_heartbeat_lines_lead_with_start(self, tmp_path):
+        store, sweep_id = self.drained_store(tmp_path)
+        lines = sweep_heartbeat_lines(store, sweep_id)
+        assert lines[0]["event"] == "start"
+        assert lines[0]["total"] == len(BENCHES) * len(SPECS)
+        assert lines[-1]["event"] == "done"
+        assert lines[-1]["status"] == "ok"
+        store.close()
+
+    def test_validate_submission_defaults(self):
+        points, options = validate_submission({})
+        from repro.workloads.suite import BENCHMARK_ORDER
+
+        assert [w for w, _ in points] == list(BENCHMARK_ORDER)
+        assert all(spec == {"design": "secureMem_mshr64", "partitions": 4}
+                   for _, spec in points)
+        assert options["horizon"] == 10_000
+        with pytest.raises(ValueError):
+            validate_submission([])
+        with pytest.raises(ValueError):
+            validate_submission({"designs": []})

@@ -340,8 +340,13 @@ class TestHeartbeat:
         ]
         simulated = runner.prefetch(points)
         lines = [json.loads(x) for x in heartbeat.read_text().splitlines()]
-        assert simulated == 2 and len(lines) == 3
-        points_lines, done_line = lines[:2], lines[2]
+        assert simulated == 2 and len(lines) == 4
+        # the batch opens with a "start" line carrying the planned total,
+        # so a consumer knows the denominator before any point lands.
+        start_line = lines[0]
+        assert start_line["event"] == "start"
+        assert start_line["total"] == 2 and start_line["ts"] > 0
+        points_lines, done_line = lines[1:3], lines[3]
         assert [line["done"] for line in points_lines] == [1, 2]
         for line in points_lines:
             assert line["total"] == 2
@@ -357,7 +362,7 @@ class TestHeartbeat:
         assert done_line["status"] == "ok" and done_line["failures"] == 0
         # a fully cached batch simulates nothing and emits no heartbeat.
         assert runner.prefetch(points) == 0
-        assert len(heartbeat.read_text().splitlines()) == 3
+        assert len(heartbeat.read_text().splitlines()) == 4
 
     def test_disabled_by_default(self, tmp_path):
         runner = ParallelRunner(horizon=1_200, warmup=800, jobs=1)
