@@ -47,6 +47,20 @@ from repro.common.config import TelemetryConfig
 from repro.experiments import designs
 from repro.experiments.parallel import ParallelRunner
 from repro.experiments.runner import Runner, result_to_dict
+from repro.sim import fastpath
+
+
+def bench_host_metadata() -> dict:
+    """Host metadata plus the fastpath switch states the run was taken under.
+
+    Wall-clock numbers are only comparable between runs with the same
+    fast-path configuration (batching / pooling / columnar lane / numpy
+    availability), so the switches are recorded next to the host facts and
+    the ``--check`` guard refuses baselines taken under a different state.
+    """
+    meta = host_metadata()
+    meta["fastpath"] = fastpath.switch_state()
+    return meta
 
 PARTITIONS = 2
 HORIZON = 4_000
@@ -129,7 +143,7 @@ def core_bench() -> dict:
     off_median = statistics.median(off_times)
     on_median = statistics.median(on_times)
     return {
-        "host": host_metadata(),
+        "host": bench_host_metadata(),
         "points": len(points),
         "horizon": HORIZON,
         "warmup": WARMUP,
@@ -156,12 +170,20 @@ def core_bench() -> dict:
 def regression_guard(core_report: dict, baseline_path: Path, start_load: float) -> int:
     """Compare fresh core throughput against the committed baseline.
 
+    The fresh best-of-reps ``events_per_second`` is compared against the
+    baseline's ``events_per_second_median`` when recorded (falling back
+    to its best): best-vs-median tolerates the host sitting at the slow
+    end of its drift band without false-tripping on a baseline that was
+    taken at the fast end.
+
     Returns a process exit code: 0 when within tolerance (or when the
     check has to skip itself), 1 on a regression beyond
     :data:`REGRESSION_TOLERANCE`.  Skips — with a printed notice — when
     no baseline file exists, the baseline predates the
-    ``events_per_second`` field, or the host's 1-minute loadavg at
-    process start says another tenant owns the machine.
+    ``events_per_second`` field, the baseline's recorded fastpath switch
+    state differs from the current one (an apples-to-oranges wall-clock
+    comparison), or the host's 1-minute loadavg at process start says
+    another tenant owns the machine.
     """
     cpus = os.cpu_count() or 1
     if start_load > LOAD_SKIP_FACTOR * cpus:
@@ -175,9 +197,25 @@ def regression_guard(core_report: dict, baseline_path: Path, start_load: float) 
         return 0
     try:
         baseline = json.loads(baseline_path.read_text())
-        base_eps = float(baseline["events_per_second"])
+        # the baseline's *median* is the noise-robust reference when the
+        # report carries one: a best-of-reps baseline taken at the host's
+        # fastest moment would otherwise false-trip the guard whenever the
+        # host runs at the slow end of its (wide, 1-core) drift band.
+        base_eps = float(
+            baseline.get("events_per_second_median")
+            or baseline["events_per_second"]
+        )
     except (ValueError, KeyError, TypeError):
         print(f"NOTICE: perf check skipped - unreadable baseline {baseline_path}")
+        return 0
+    base_switches = (baseline.get("host") or {}).get("fastpath")
+    current_switches = fastpath.switch_state()
+    if base_switches != current_switches:
+        print(
+            "NOTICE: perf check skipped - baseline fastpath switch state "
+            f"{base_switches} differs from current {current_switches}; "
+            "wall-clock comparison would be apples-to-oranges"
+        )
         return 0
     fresh_eps = core_report["events_per_second"]
     floor = (1.0 - REGRESSION_TOLERANCE) * base_eps
@@ -281,7 +319,7 @@ def main() -> int:
     telemetry_med = statistics.median(telemetry_times)
 
     report = {
-        "host": host_metadata(),
+        "host": bench_host_metadata(),
         "cpu_count": os.cpu_count(),
         "jobs": jobs,
         "points": len(points),

@@ -10,6 +10,8 @@ Commands
 ``stats``      dump the full statistics tree for one run (``--json`` for tools)
 ``sweep``      run all 14 workloads on one design (optionally normalized);
                ``--store`` submits to a shared job store and drains it
+``bench``      benchmark the simulation core (``--check`` guards against
+               the committed ``BENCH_core.json``)
 ``figure``     regenerate one paper figure/table and print it
 ``serve``      long-lived HTTP/JSON sweep service over a shared job store
 ``worker``     claim and execute points from a shared job store
@@ -67,6 +69,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-pool",
         action="store_true",
         help="disable object pooling/slot reuse; equivalent to REPRO_NO_POOL=1",
+    )
+    parser.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help="disable the columnar delivery lane (regular delivery groups "
+        "fall back to per-access events); equivalent to REPRO_NO_COLUMNAR=1",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -205,6 +213,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="restrict to these benchmarks (repeatable; default: all 14)",
     )
     add_scale(sweep)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the simulation core (wraps scripts/perf_smoke.py)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="guard events/sec against the committed BENCH_core.json "
+        "baseline (skips itself when the baseline was taken under "
+        "different fastpath switches or the host is loaded)",
+    )
+    bench.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the core-bench report JSON to PATH",
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline report for --check (default: the committed "
+        "BENCH_core.json at the repo root)",
+    )
 
     figure = sub.add_parser("figure", help="regenerate one paper figure/table")
     figure.add_argument(
@@ -620,6 +653,63 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _load_perf_smoke():
+    """Load the perf harness from ``scripts/`` (repo tooling, not package API).
+
+    ``repro bench`` wraps the same ``core_bench``/``regression_guard``
+    machinery ``scripts/perf_smoke.py`` uses, so the CLI verb and the CI
+    harness can never disagree on methodology.  The script lives outside
+    the package; it is located relative to the installed tree and loaded
+    by path.
+    """
+    import importlib.util
+
+    path = Path(repro.__file__).resolve().parents[2] / "scripts" / "perf_smoke.py"
+    if not path.exists():
+        raise FileNotFoundError(
+            f"perf harness not found at {path} - `repro bench` needs a "
+            "source checkout (scripts/perf_smoke.py)"
+        )
+    spec = importlib.util.spec_from_file_location("perf_smoke", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def _cmd_bench(args) -> int:
+    import os
+
+    try:
+        perf_smoke = _load_perf_smoke()
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        start_load = os.getloadavg()[0]
+    except (AttributeError, OSError):  # platforms without getloadavg
+        start_load = 0.0
+    report = perf_smoke.core_bench()
+    blob = json.dumps(report, indent=2)
+    print(blob)
+    if args.json:
+        Path(args.json).write_text(blob + "\n")
+    if not report["identical_results"]:
+        print("ERROR: serial results differ between reps", file=sys.stderr)
+        return 1
+    if not report["telemetry"]["drift_free"]:
+        print("ERROR: telemetry changed simulation statistics", file=sys.stderr)
+        return 1
+    if args.check:
+        baseline = (
+            Path(args.baseline)
+            if args.baseline
+            else perf_smoke.ROOT / "BENCH_core.json"
+        )
+        return perf_smoke.regression_guard(report, baseline, start_load)
+    return 0
+
+
 def _make_runner(args, benchmarks: Optional[List[str]] = None) -> Runner:
     jobs = getattr(args, "jobs", 1)
     if jobs != 1:
@@ -1013,12 +1103,13 @@ def _cmd_attack() -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.no_batch or args.no_pool:
+    if args.no_batch or args.no_pool or args.no_columnar:
         from repro.sim import fastpath
 
         fastpath.configure(
             batching=False if args.no_batch else None,
             pooling=False if args.no_pool else None,
+            columnar=False if args.no_columnar else None,
         )
     if args.command == "run":
         return _cmd_run(args)
@@ -1032,6 +1123,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stats(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "serve":

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import gc
 import hashlib
 import json
 import math
@@ -373,8 +374,18 @@ class Runner:
         Returns the number of points that had to be simulated.
         """
         before = self.stats.points_simulated
-        for workload_name, config in points:
-            self.run(workload_name, config)
+        # one collector pause for the whole batch: each simulate() pauses
+        # gc on its own, but re-enabling between points triggers threshold
+        # collections over the just-dropped model graphs mid-batch.
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            for workload_name, config in points:
+                self.run(workload_name, config)
+        finally:
+            if was_enabled:
+                gc.enable()
         return self.stats.points_simulated - before
 
     def warm_state(self) -> dict:

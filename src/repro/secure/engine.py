@@ -138,6 +138,42 @@ class _KindState:
         self.mdc_pend = None
 
 
+#: surface the columnar delivery lane (:mod:`repro.sim.columnar`) binds at
+#: lane construction and mirrors inline: the mode/protection flags that
+#: let it precompute the read/write shape, the per-kind state bundles it
+#: peeks for metadata hits and secondary merges, and the scalar entry
+#: points it delegates rare cases (primary misses, tree walks, counter
+#: increments) to before touching any state.  Renames here require a
+#: matching lane update; the contract test in
+#: ``tests/test_fastpath_identity.py`` pins the names.
+COLUMNAR_CONTRACT = (
+    "trace_hook",
+    "layout",
+    "aes",
+    "mac_unit",
+    "_counts",
+    "_enabled",
+    "_counter_mode",
+    "_direct_mode",
+    "_uses_macs",
+    "_uses_tree",
+    "_walk_mt",
+    "_speculative",
+    "_lazy",
+    "_all_protected",
+    "_protected_window",
+    "_perfect",
+    "_infinite",
+    "_hit_latency",
+    "_ctr_state",
+    "_mac_state",
+    "_metadata_cache_access",
+    "_tree_walk",
+    "_note_counter_increment",
+    "_eager_parent_update",
+)
+
+
 class SecureEngine:
     """Secure-memory pipeline of one memory partition."""
 

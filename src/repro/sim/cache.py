@@ -221,9 +221,15 @@ class SectoredCache:
     def fill(self, addr: int, dirty: bool = False) -> List[Eviction]:
         """Install the sector (or whole line, if non-sectored) for *addr*.
 
-        Returns evictions performed to make room (at most one).
+        Returns evictions performed to make room (at most one).  Fills run
+        on every miss response (L1, L2, and metadata caches), so the set/
+        tag/sector-bit geometry is inlined here just as in :meth:`lookup`.
         """
-        cache_set, tag = self._locate(addr)
+        shift = self._line_shift
+        tag = addr >> shift if shift is not None else addr // self._line_bytes
+        cache_set = self._single_set
+        if cache_set is None:
+            cache_set = self._sets[tag % self._num_sets]
         evictions: List[Eviction] = []
         line = cache_set.get(tag)
         if line is None:
@@ -231,10 +237,15 @@ class SectoredCache:
                 evictions.append(self._evict_lru(cache_set))
             line = _Line()
             cache_set[tag] = line
-        bit = self._sector_bit(addr) if self._sectored else self._full_mask
+        if not self._sectored:
+            bit = self._full_mask
+        elif self._spl_mask is not None:
+            bit = 1 << ((addr >> self._sector_shift) & self._spl_mask)
+        else:
+            bit = self._sector_bit(addr)
         line.valid_mask |= bit
         if dirty:
-            line.dirty_mask |= bit if self._sectored else self._full_mask
+            line.dirty_mask |= bit
         cache_set.move_to_end(tag)
         self._counts["fills"] += 1.0
         return evictions

@@ -39,6 +39,20 @@ ALL_CATEGORIES = (
 )
 
 
+#: surface the columnar delivery lane (:mod:`repro.sim.columnar`) binds at
+#: lane construction: the FCFS channel state it reserves inline for data
+#: fetches/write-backs and the memoized per-size occupancy it reuses so
+#: timing floats stay the exact division results the scalar path computes.
+#: Renames here require a matching lane update; the contract test in
+#: ``tests/test_fastpath_identity.py`` pins the names.
+COLUMNAR_CONTRACT = (
+    "channel",
+    "access_latency",
+    "_counts",
+    "_occupancy",
+)
+
+
 class DramChannel:
     """One partition's memory channel."""
 

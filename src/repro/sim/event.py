@@ -162,6 +162,17 @@ class EventQueue:
         far = self._far
         occupied = self._occupied
         current = self._cycle
+        # lazy-deletion bound: stale entries (drained or reused cycles that
+        # never reached the heap front) may outnumber the live ones after
+        # bursty schedule/drain patterns.  Live cycles are at most _near
+        # (each non-empty bucket holds >= 1 event), so once the heap grows
+        # past twice that, rebuild it from the actually-occupied cycles —
+        # a sorted list is a valid heap, and the set-comprehension also
+        # drops duplicate entries from empty->non-empty->empty->non-empty
+        # transitions of one cycle.
+        if len(occupied) > 64 and len(occupied) > (self._near << 1):
+            live = {c for c in occupied if c >= current and buckets[c & mask]}
+            occupied[:] = sorted(live)
         while True:
             # drop stale occupied-cycle entries: the bucket emptied since the
             # push, or the cycle was drained and its bucket slot has since
@@ -229,6 +240,30 @@ class EventQueue:
         limit = int(until)
         if limit < self._cycle:
             limit = self._cycle
+        if max_events is None:
+            # horizon-bounded hot path (the simulator's run calls land
+            # here): pop eagerly and push the entry back on the rare
+            # horizon overshoot — cheaper than peeking every event.
+            push = _heappush
+            while True:
+                bucket = buckets[self._cycle & mask]
+                while bucket:
+                    entry = pop(bucket)
+                    event_time = entry[0]
+                    if event_time > until:
+                        push(bucket, entry)
+                        self.now = until
+                        return processed
+                    self._near -= 1
+                    self.now = event_time
+                    entry[2](*entry[3])
+                    processed += 1
+                    if self._stopped:
+                        return processed
+                if not self._advance(limit):
+                    if not self._stopped and self.now < until:
+                        self.now = until
+                    return processed
         while True:
             bucket = buckets[self._cycle & mask]
             while bucket:

@@ -14,8 +14,10 @@ config share one cache entry).
 
 Environment overrides (checked once at import):
 
-* ``REPRO_NO_BATCH=1``  — disable batched delivery + epoch trace generation;
-* ``REPRO_NO_POOL=1``   — disable object pooling/slot reuse.
+* ``REPRO_NO_BATCH=1``    — disable batched delivery + epoch trace generation;
+* ``REPRO_NO_POOL=1``     — disable object pooling/slot reuse.
+* ``REPRO_NO_COLUMNAR=1`` — disable the columnar delivery lane (fused
+  partition/metadata/DRAM timing for regular delivery groups).
 """
 
 from __future__ import annotations
@@ -34,27 +36,56 @@ except ImportError:  # pragma: no cover - exercised in numpy-less environments
 BATCHING = not os.environ.get("REPRO_NO_BATCH")
 #: MshrEntry/_Inflight free-lists and per-warp callback reuse.
 POOLING = not os.environ.get("REPRO_NO_POOL")
+#: columnar delivery lane: regular delivery groups bypass the per-access
+#: event/closure machinery and run as one fused pass (requires BATCHING,
+#: since only grouped deliveries carry whole regular epochs).
+COLUMNAR = not os.environ.get("REPRO_NO_COLUMNAR")
 
 
-def configure(batching: bool | None = None, pooling: bool | None = None) -> None:
+def configure(
+    batching: bool | None = None,
+    pooling: bool | None = None,
+    columnar: bool | None = None,
+) -> None:
     """Flip the fast-path switches (affects GPUs built afterwards)."""
-    global BATCHING, POOLING
+    global BATCHING, POOLING, COLUMNAR
     if batching is not None:
         BATCHING = bool(batching)
     if pooling is not None:
         POOLING = bool(pooling)
+    if columnar is not None:
+        COLUMNAR = bool(columnar)
 
 
 @contextmanager
-def scoped(batching: bool | None = None, pooling: bool | None = None):
+def scoped(
+    batching: bool | None = None,
+    pooling: bool | None = None,
+    columnar: bool | None = None,
+):
     """Temporarily override the switches (the identity tests use this)."""
-    global BATCHING, POOLING
-    saved = (BATCHING, POOLING)
-    configure(batching, pooling)
+    global BATCHING, POOLING, COLUMNAR
+    saved = (BATCHING, POOLING, COLUMNAR)
+    configure(batching, pooling, columnar)
     try:
         yield
     finally:
-        BATCHING, POOLING = saved
+        BATCHING, POOLING, COLUMNAR = saved
+
+
+def switch_state() -> dict:
+    """The active switch states plus the numpy soft-dependency flag.
+
+    Recorded in benchmark metadata (``BENCH_core.json`` host info) so a
+    regression check can refuse to compare runs taken under different
+    fast-path configurations.
+    """
+    return {
+        "batching": BATCHING,
+        "pooling": POOLING,
+        "columnar": COLUMNAR,
+        "numpy": HAVE_NUMPY,
+    }
 
 
 def warm_state() -> dict:

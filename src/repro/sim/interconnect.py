@@ -12,6 +12,7 @@ from typing import Callable, List
 
 from repro.common.config import GpuConfig
 from repro.common.stats import StatGroup
+from repro.sim import columnar
 from repro.sim.event import EventQueue
 from repro.sim.partition import MemoryPartition
 from repro.telemetry.latency import HOP_ICNT, NULL_LATENCY
@@ -53,6 +54,10 @@ class Crossbar:
         self._counts = stats.raw()
         self._lat = latency if latency is not None else NULL_LATENCY
         self._lat_on = self._lat.enabled
+        #: columnar delivery lane (None when the switches or the model
+        #: configuration rule it out); grouped deliveries classified as
+        #: regular bypass the per-access closure machinery through it.
+        self._lane = columnar.build_lane(config, events, partitions, self.latency)
 
     def partition_of(self, addr: int) -> int:
         shift = self._interleave_shift
@@ -105,6 +110,11 @@ class Crossbar:
     def _deliver_batch(self, items: list) -> None:
         events = self.events
         now = events.now
+        lane = self._lane
+        if lane is not None and lane.deliver(now, items):
+            events.extra_events += len(items) - 1
+            events.recycle_list(items)
+            return
         partitions = self.partitions
         latency = self.latency
         schedule_at = events.schedule_at

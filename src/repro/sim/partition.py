@@ -48,6 +48,32 @@ ResponseCallback = Callable[[float], None]
 #: cycles of queued DRAM work beyond which the partition stops admitting.
 BACKLOG_WINDOW = 2048.0
 
+#: surface the columnar delivery lane (:mod:`repro.sim.columnar`) binds at
+#: lane construction and mirrors inline: admission gate + bank port state,
+#: fetch geometry, the L2 MSHR bindings, address-interleave geometry, the
+#: telemetry-emission flags probed per delivery, and the scalar fill
+#: methods the lane delegates to once telemetry flips on at the warmup
+#: boundary.  Renames here require a matching lane update; the contract
+#: test in ``tests/test_fastpath_identity.py`` pins the names.
+COLUMNAR_CONTRACT = (
+    "_bank",
+    "_bank_occupancy",
+    "_hit_latency",
+    "_fetch_bytes",
+    "_dram_channel",
+    "_l2_mshr_entries",
+    "_l2_mshr_cap",
+    "_l2_mshr_enabled",
+    "l2_mshr",
+    "_interleave_shift",
+    "_partition_shift",
+    "_offset_mask",
+    "_lat_on",
+    "_trace_on",
+    "_on_fill",
+    "_on_untracked_fill",
+)
+
 
 class MemoryPartition:
     """One of the GPU's memory partitions."""

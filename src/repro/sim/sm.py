@@ -14,13 +14,14 @@ are silently dropped.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, Iterator, List
 
 from repro.common import params
 from repro.common.config import GpuConfig
 from repro.common.stats import StatGroup
 from repro.sim import fastpath
-from repro.sim.cache import AccessResult, SectoredCache
+from repro.sim.cache import AccessResult, SectoredCache, _Line
 from repro.sim.event import EventQueue
 from repro.sim.resource import ThroughputResource
 from repro.telemetry.latency import HOP_L1, HOP_SM, NULL_LATENCY, STALL_L1_MSHR_FULL
@@ -87,6 +88,24 @@ class StreamingMultiprocessor:
         self._l1_mshrs = config.l1_config.num_mshrs
         self._l1_inflight: Dict[int, List[Callable[[float], None]]] = {}
         self._l1_hit_latency = config.l1_config.hit_latency
+        # L1 probe/fill geometry, bound for the inline fast path (taken
+        # when the shape is power-of-two and L1 telemetry is off; the
+        # generic SectoredCache methods cover everything else).
+        l1 = self.l1
+        self._l1_fast = l1._line_shift is not None and (
+            not l1._sectored or l1._spl_mask is not None
+        )
+        self._l1_counts = l1._counts
+        self._l1_single = l1._single_set
+        self._l1_sets = l1._sets
+        self._l1_nsets = l1._num_sets
+        self._l1_shift = l1._line_shift
+        self._l1_sector_shift = l1._sector_shift
+        self._l1_spl_mask = l1._spl_mask
+        self._l1_sectored = l1._sectored
+        self._l1_assoc = l1._assoc
+        self._l1_full_mask = l1._full_mask
+        self._l1_evict = l1._evict_lru
         self.instructions = 0
         self._warps = [
             _WarpState(i, trace) for i, trace in enumerate(warp_traces)
@@ -95,7 +114,6 @@ class StreamingMultiprocessor:
             warp.done = self._make_warp_cb(warp)
         self._stat_add = stats.add
         self._counts = stats.raw()
-        self._issue_acquire = self.issue.acquire
         #: grouped crossbar delivery (one scheduled event per memory op
         #: instead of one per sector); provided by the GPU top level when
         #: the batched core is on, None routes through the scalar path.
@@ -121,6 +139,8 @@ class StreamingMultiprocessor:
         # no-op and is dropped here.
         port_ready = now
         latency = 0.0
+        issue = self.issue
+        width = self.issue_width
         for _ in range(_COMPUTE_BATCH_CAP):
             op = next(warp.trace, None)
             if op is None:
@@ -131,8 +151,13 @@ class StreamingMultiprocessor:
                 if cursor > now:
                     self.events.schedule_at(cursor, lambda: None)
                 return
-            occupancy = op.n_insts / self.issue_width
-            start = self._issue_acquire(now, occupancy)
+            # inline ThroughputResource.acquire — the issue port carries no
+            # stats group, so reservation is just the FCFS cursor bump.
+            occupancy = op.n_insts / width
+            next_free = issue.next_free
+            start = next_free if next_free > now else now
+            issue.next_free = start + occupancy
+            issue.busy_cycles += occupancy
             done = start + occupancy
             if done > port_ready:
                 port_ready = done
@@ -164,7 +189,8 @@ class StreamingMultiprocessor:
         warp.resume_at = now
         hit_ready = now
         counts = self._counts
-        l1_lookup = self.l1.lookup
+        l1 = self.l1
+        l1_lookup = l1.lookup
         inflight = self._l1_inflight
         hit_latency = self._l1_hit_latency
         lat_on = self._lat_on
@@ -173,10 +199,47 @@ class StreamingMultiprocessor:
         lat_cb = None
         batch = self.events.borrow_list() if self.send_batch is not None else None
         send = self.send
+        # inline L1 probe: same stat updates and LRU motion as
+        # SectoredCache.lookup, valid only while L1 telemetry is off (a hit
+        # records a latency sample and traces emit per-probe events).
+        fast = self._l1_fast and not l1._lat_on and not l1._trace_on
+        l1c = self._l1_counts
+        l1_single = self._l1_single
+        l1_sets = self._l1_sets
+        l1_nsets = self._l1_nsets
+        l1_shift = self._l1_shift
+        l1_sshift = self._l1_sector_shift
+        l1_smask = self._l1_spl_mask
+        l1_sectored = self._l1_sectored
         for addr in op.mem_addrs:
             sector = addr & _SECTOR_ALIGN
+            if fast:
+                tag = sector >> l1_shift
+                cache_set = l1_single
+                if cache_set is None:
+                    cache_set = l1_sets[tag % l1_nsets]
+                line = cache_set.get(tag)
+                l1c["accesses"] += 1.0
+                if line is None:
+                    l1c["misses"] += 1.0
+                    hit = False
+                else:
+                    cache_set.move_to_end(tag)
+                    if l1_sectored:
+                        bit = 1 << ((sector >> l1_sshift) & l1_smask)
+                    else:
+                        bit = 1
+                    if line.valid_mask & bit:
+                        l1c["hits"] += 1.0
+                        hit = True
+                    else:
+                        l1c["misses"] += 1.0
+                        l1c["sector_misses"] += 1.0
+                        hit = False
+            else:
+                # probe only — write data is updated in place downstream
+                hit = l1_lookup(sector, is_write=False) is AccessResult.HIT
             if is_write:
-                l1_lookup(sector, is_write=False)  # probe only; data updated in place
                 counts["stores"] += 1.0
                 warp.pending += 1
                 if batch is None:
@@ -184,9 +247,8 @@ class StreamingMultiprocessor:
                 else:
                     batch.append((sector, True, warp_cb))
                 continue
-            result = l1_lookup(sector, is_write=False)
             counts["loads"] += 1.0
-            if result is AccessResult.HIT:
+            if hit:
                 ready = now + hit_latency
                 if ready > hit_ready:
                     hit_ready = ready
@@ -225,7 +287,7 @@ class StreamingMultiprocessor:
                 continue
             if len(inflight) < self._l1_mshrs:
                 inflight[sector] = [cb]
-                fill_cb = lambda t, s=sector: self._on_l1_fill(s, t)  # noqa: E731
+                fill_cb = partial(self._on_l1_fill, sector)
                 if batch is None:
                     send(now, sector, False, fill_cb)
                 else:
@@ -257,8 +319,34 @@ class StreamingMultiprocessor:
             warp.resume_at = hit_ready
 
     def _on_l1_fill(self, sector: int, time: float) -> None:
-        """A missed sector returned: install it and wake the merged waiters."""
-        self.l1.fill(sector)  # write-through L1: evictions are clean, dropped
+        """A missed sector returned: install it and wake the merged waiters.
+
+        The install mirrors :meth:`SectoredCache.fill` inline (fill emits no
+        telemetry — only counts and eviction stats — so the inline path is
+        gated purely on geometry).  Write-through L1: evictions are clean
+        and dropped either way.
+        """
+        if self._l1_fast:
+            tag = sector >> self._l1_shift
+            cache_set = self._l1_single
+            if cache_set is None:
+                cache_set = self._l1_sets[tag % self._l1_nsets]
+            line = cache_set.get(tag)
+            if line is None:
+                if len(cache_set) >= self._l1_assoc:
+                    self._l1_evict(cache_set)
+                line = _Line()
+                cache_set[tag] = line
+            if self._l1_sectored:
+                line.valid_mask |= 1 << (
+                    (sector >> self._l1_sector_shift) & self._l1_spl_mask
+                )
+            else:
+                line.valid_mask |= self._l1_full_mask
+            cache_set.move_to_end(tag)
+            self._l1_counts["fills"] += 1.0
+        else:
+            self.l1.fill(sector)
         for waiter in self._l1_inflight.pop(sector, ()):
             waiter(time)
 

@@ -40,6 +40,8 @@ import math
 from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
+from repro.sim import fastpath
+
 # -- hop names ---------------------------------------------------------------
 
 HOP_SM = "sm_mem"
@@ -238,6 +240,12 @@ try:  # optional: vectorizes the deferred histogram fold below.
 except ImportError:  # pragma: no cover - exercised via REPRO_NO_BATCH runs
     _np = None
 
+#: below this batch size the eager per-value replay wins — the same
+#: call-overhead crossover as the columnar lane's
+#: :data:`repro.sim.columnar.NUMPY_MIN_GROUP` (numpy array setup costs
+#: more than it saves on the 2–8 element flushes sparse hops produce).
+NUMPY_MIN_FOLD = 16
+
 
 def _fold_values(hist: LogHistogram, values: List[float]) -> None:
     """Fold raw samples into *hist*, bit-identical to per-value `record`.
@@ -262,12 +270,10 @@ def _fold_values(hist: LogHistogram, values: List[float]) -> None:
     """
     if (
         _np is not None
-        and len(values) >= 16
+        and len(values) >= NUMPY_MIN_FOLD
         and hist.n == 0
         and not hist.buckets
     ):
-        from repro.sim import fastpath
-
         if fastpath.BATCHING:
             arr = _np.asarray(values, dtype=_np.float64)
             if (arr < 0.0).any():

@@ -24,9 +24,14 @@ from repro.common import params
 THREADS_PER_WARP = 32
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WarpOp:
-    """One step of a warp: issue *n_insts*, wait, access memory."""
+    """One step of a warp: issue *n_insts*, wait, access memory.
+
+    Slotted: the SM's issue loop reads several fields per op for millions
+    of ops per run, and slot descriptors beat per-instance dict lookups
+    (they also shrink the resident epoch buffers).
+    """
 
     n_insts: int
     compute_cycles: int = 0

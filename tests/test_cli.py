@@ -138,3 +138,63 @@ class TestDesignRegistryConsistency:
             secure = factory()
             if name != "baseline":
                 assert secure is not None
+
+
+class TestBench:
+    """`repro bench` wraps the perf harness; wiring tested with a canned
+    report so the suite never pays for a real multi-second benchmark."""
+
+    @staticmethod
+    def _canned_report():
+        import json
+
+        from repro.sim import fastpath
+
+        return {
+            "host": {"fastpath": fastpath.switch_state()},
+            "events_per_second": 100.0,
+            "identical_results": True,
+            "telemetry": {"drift_free": True},
+        }
+
+    def test_load_perf_smoke_exposes_harness(self):
+        from repro import cli
+
+        harness = cli._load_perf_smoke()
+        assert callable(harness.core_bench)
+        assert callable(harness.regression_guard)
+
+    def test_bench_writes_json_and_guards(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        from repro import cli
+        from repro.sim import fastpath
+
+        harness = cli._load_perf_smoke()
+        monkeypatch.setattr(harness, "core_bench", self._canned_report)
+        monkeypatch.setattr(cli, "_load_perf_smoke", lambda: harness)
+        monkeypatch.setattr("os.getloadavg", lambda: (0.0, 0.0, 0.0))
+
+        out = tmp_path / "bench.json"
+        baseline = tmp_path / "base.json"
+
+        baseline.write_text(json.dumps(
+            {"events_per_second": 90.0,
+             "host": {"fastpath": fastpath.switch_state()}}))
+        assert main(["bench", "--json", str(out), "--check",
+                     "--baseline", str(baseline)]) == 0
+        assert json.loads(out.read_text())["events_per_second"] == 100.0
+
+        # a baseline taken under different switches is never compared
+        flipped = dict(fastpath.switch_state())
+        flipped["columnar"] = not flipped["columnar"]
+        baseline.write_text(json.dumps(
+            {"events_per_second": 90.0, "host": {"fastpath": flipped}}))
+        assert main(["bench", "--check", "--baseline", str(baseline)]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+        # a real regression against a same-switch baseline fails the check
+        baseline.write_text(json.dumps(
+            {"events_per_second": 1000.0,
+             "host": {"fastpath": fastpath.switch_state()}}))
+        assert main(["bench", "--check", "--baseline", str(baseline)]) == 1

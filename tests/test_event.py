@@ -106,3 +106,40 @@ class TestRunControl:
         queue.schedule_at(0, chain, 0)
         queue.run()
         assert seen == [0, 1, 2, 3, 4]
+
+
+class TestOccupiedHeapCompaction:
+    """The idle fast-forward's lazy occupied-cycle heap stays bounded."""
+
+    def test_stale_entries_are_compacted(self):
+        queue = EventQueue()
+        seen = []
+        # one real pending event, far enough out that _advance has to jump.
+        queue.schedule_at(900.0, seen.append, "real")
+        # manufacture a large stale backlog: cycles that were once occupied
+        # but whose buckets have since drained (lazy deletion leaves their
+        # heap entries behind until the front reaches them).
+        import heapq
+
+        for cycle in range(100, 800):
+            heapq.heappush(queue._occupied, cycle)
+        assert len(queue._occupied) > 2 * queue._near
+        queue.run()
+        assert seen == ["real"]
+        # compaction ran during _advance: only entries for genuinely
+        # occupied (or already-drained-and-popped) cycles may remain, and
+        # the heap obeys the lazy-deletion bound.
+        assert len(queue._occupied) <= max(64, 2 * queue._near)
+
+    def test_compaction_preserves_firing_order(self):
+        queue = EventQueue()
+        seen = []
+        for t in (50.0, 700.0, 1200.0, 4100.0):
+            queue.schedule_at(t, seen.append, t)
+        import heapq
+
+        for cycle in range(60, 600):
+            heapq.heappush(queue._occupied, cycle)
+        queue.run()
+        assert seen == [50.0, 700.0, 1200.0, 4100.0]
+        assert len(queue._occupied) <= max(64, 2 * queue._near)

@@ -1,16 +1,19 @@
-"""Bit-identity contracts for the batched/pooled simulation core.
+"""Bit-identity contracts for the batched/pooled/columnar simulation core.
 
 The batched core (grouped crossbar delivery, epoch trace pregeneration),
-the object pools (MSHR entries, in-flight records, event tuples) and the
-vectorized telemetry fold are *mechanical* optimizations: every simulated
-statistic, latency histogram, and run-ledger record must be bit-identical
-to the scalar allocation-per-event path.  These tests pin that claim with
-a golden dump of a secure + partitioned configuration whose traffic
-exercises all four protected classes (DATA, COUNTER, MAC, TREE), then
-replay the same point under every combination of the
+the object pools (MSHR entries, in-flight records, event tuples), the
+columnar delivery lane (regular delivery groups routed around the
+per-access event/closure machinery) and the vectorized telemetry fold are
+*mechanical* optimizations: every simulated statistic, latency histogram,
+and run-ledger record must be bit-identical to the scalar
+allocation-per-event path.  These tests pin that claim with golden dumps
+of secure + partitioned configurations — a stencil sweep (``fdtd2d``) and
+a pointer chase (``bfs``), together exercising all four protected classes
+(DATA, COUNTER, MAC, TREE) under both streaming and irregular reuse —
+then replay the same points under every combination of the
 :mod:`repro.sim.fastpath` switches.
 
-Regenerate the golden (only after an intentional model change) with::
+Regenerate the goldens (only after an intentional model change) with::
 
     PYTHONPATH=src python tests/test_fastpath_identity.py --regen
 """
@@ -31,20 +34,35 @@ from repro.sim import fastpath
 from repro.sim.gpu import simulate
 from repro.workloads.suite import get_benchmark
 
-GOLDEN_PATH = Path(__file__).parent / "golden" / "fdtd2d-secure-telemetry.json"
+GOLDEN_DIR = Path(__file__).parent / "golden"
 
-WORKLOAD = "fdtd2d"
+#: golden-pinned workloads: a regular stencil and a pointer chase (the
+#: latter drives the columnar lane's irregular/fallback boundaries).
+WORKLOADS = ["fdtd2d", "bfs"]
 PARTITIONS = 2
 HORIZON = 4_000.0
 WARMUP = 2_000.0
 
-#: every switch combination the identity claim covers.
+#: every switch combination the identity claim covers (full 2^3 matrix;
+#: columnar requires batching, so the batching-off rows also pin that the
+#: lane disengages cleanly rather than half-running).
 MODES = [
-    ("batched+pooled", {}),
-    ("scalar", {"batching": False}),
+    ("batched+pooled+columnar", {}),
+    ("no-columnar", {"columnar": False}),
     ("unpooled", {"pooling": False}),
+    ("unpooled+no-columnar", {"pooling": False, "columnar": False}),
+    ("scalar", {"batching": False}),
+    ("scalar+no-columnar", {"batching": False, "columnar": False}),
     ("scalar+unpooled", {"batching": False, "pooling": False}),
+    (
+        "scalar+unpooled+no-columnar",
+        {"batching": False, "pooling": False, "columnar": False},
+    ),
 ]
+
+
+def _golden_path(workload: str) -> Path:
+    return GOLDEN_DIR / f"{workload}-secure-telemetry.json"
 
 
 def _config():
@@ -55,10 +73,10 @@ def _config():
     )
 
 
-def _dump() -> dict:
+def _dump(workload: str) -> dict:
     """One run's stats + latency export, in golden-file shape."""
     result = simulate(
-        _config(), get_benchmark(WORKLOAD), horizon=HORIZON, warmup=WARMUP
+        _config(), get_benchmark(workload), horizon=HORIZON, warmup=WARMUP
     )
     return {
         "result": result_to_dict(result),
@@ -67,37 +85,39 @@ def _dump() -> dict:
     }
 
 
-def _ledger_records(tmp_path: Path, tag: str) -> list:
+def _ledger_records(tmp_path: Path, tag: str, workload: str) -> list:
     """Canonical ledger records from one Runner-driven run of the point."""
     ledger_path = tmp_path / f"ledger-{tag}.jsonl"
     runner = Runner(
         horizon=HORIZON,
         warmup=WARMUP,
-        benchmarks=[WORKLOAD],
+        benchmarks=[workload],
         ledger_path=ledger_path,
     )
-    runner.run(WORKLOAD, _config())
+    runner.run(workload, _config())
     return canonical_points(read_ledger(ledger_path))
 
 
-def _golden() -> dict:
-    return json.loads(GOLDEN_PATH.read_text())
+def _golden(workload: str) -> dict:
+    return json.loads(_golden_path(workload).read_text())
 
 
+@pytest.mark.parametrize("workload", WORKLOADS)
 @pytest.mark.parametrize("label,overrides", MODES)
-def test_mode_matches_golden(label: str, overrides: dict) -> None:
-    """Every switch combination reproduces the committed dump exactly."""
-    golden = _golden()
+def test_mode_matches_golden(workload: str, label: str, overrides: dict) -> None:
+    """Every switch combination reproduces the committed dumps exactly."""
+    golden = _golden(workload)
     with fastpath.scoped(**overrides):
-        dump = _dump()
-    assert dump["result"] == golden["result"], label
-    assert dump["stats"] == golden["stats"], label
-    assert dump["latency"] == golden["latency"], label
+        dump = _dump(workload)
+    assert dump["result"] == golden["result"], (workload, label)
+    assert dump["stats"] == golden["stats"], (workload, label)
+    assert dump["latency"] == golden["latency"], (workload, label)
 
 
-def test_golden_exercises_all_protected_classes() -> None:
-    """The pinned point really does carry DATA, COUNTER, MAC and TREE traffic."""
-    golden = _golden()
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_golden_exercises_all_protected_classes(workload: str) -> None:
+    """The pinned points really do carry DATA, COUNTER, MAC and TREE traffic."""
+    golden = _golden(workload)
     dram_classes = set()
     for hop_classes in golden["latency"]["hops"].values():
         dram_classes.update(hop_classes)
@@ -106,23 +126,57 @@ def test_golden_exercises_all_protected_classes() -> None:
     assert txn["ctr"] > 0 and txn["mac"] > 0 and txn["bmt"] > 0
 
 
-def test_ledger_records_identical_across_modes(tmp_path: Path) -> None:
-    """Batched/scalar and pooled/unpooled runs write record-equivalent ledgers."""
-    golden = _golden()
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_ledger_records_identical_across_modes(
+    tmp_path: Path, workload: str
+) -> None:
+    """All switch combinations write record-equivalent run ledgers."""
+    golden = _golden(workload)
     for label, overrides in MODES:
         with fastpath.scoped(**overrides):
-            records = _ledger_records(tmp_path, label)
-        assert records == golden["ledger"], label
+            records = _ledger_records(tmp_path, label, workload)
+        assert records == golden["ledger"], (workload, label)
+
+
+def test_columnar_contract_attributes_resolve() -> None:
+    """Every attribute the columnar lane binds exists on a live model.
+
+    The lane (:mod:`repro.sim.columnar`) flattens private state of the
+    partition, L2 MSHR, DRAM channel and secure engine into slot views at
+    construction.  Each owning module declares that surface in a
+    ``COLUMNAR_CONTRACT`` tuple next to the class; this test resolves
+    every name against freshly built instances so a rename in one layer
+    fails here with the contract's name, not as an ``AttributeError``
+    mid-simulation (or worse, a silently disengaged lane).
+    """
+    from repro.secure import engine as engine_mod
+    from repro.sim import dram as dram_mod
+    from repro.sim import mshr as mshr_mod
+    from repro.sim import partition as partition_mod
+    from repro.sim.gpu import Gpu
+
+    gpu = Gpu(_config(), get_benchmark(WORKLOADS[0]))
+    part = gpu.partitions[0]
+    for owner, contract in [
+        (part, partition_mod.COLUMNAR_CONTRACT),
+        (part.l2_mshr, mshr_mod.COLUMNAR_CONTRACT),
+        (part.dram, dram_mod.COLUMNAR_CONTRACT),
+        (part.engine, engine_mod.COLUMNAR_CONTRACT),
+    ]:
+        for name in contract:
+            assert hasattr(owner, name), (type(owner).__name__, name)
 
 
 def _regenerate() -> None:
-    dump = _dump()
     import tempfile
 
-    with tempfile.TemporaryDirectory() as tmp:
-        dump["ledger"] = _ledger_records(Path(tmp), "regen")
-    GOLDEN_PATH.write_text(json.dumps(dump, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {GOLDEN_PATH}")
+    for workload in WORKLOADS:
+        dump = _dump(workload)
+        with tempfile.TemporaryDirectory() as tmp:
+            dump["ledger"] = _ledger_records(Path(tmp), "regen", workload)
+        path = _golden_path(workload)
+        path.write_text(json.dumps(dump, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
 
 
 if __name__ == "__main__":
