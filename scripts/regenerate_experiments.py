@@ -362,6 +362,73 @@ the workers' ledger files are on another machine.  CLI sweeps
 (`repro sweep --store`) and HTTP sweeps are rows in the same table —
 one execution path either way.  `scripts/serve_smoke.py` exercises the
 whole loop (serve → submit over HTTP → drain → dashboard) and runs in CI.
+
+## Fleet observability
+
+Every process in the sweep fleet carries a **metrics registry**
+(`src/repro/obsv/metrics.py` — dependency-free counters, gauges, and
+log2-bucket histograms built on the telemetry layer's `LogHistogram`):
+the store counts claims/reports/requeues/poison-fails and times each
+SQLite op (`repro_store_op_us{{op=...}}`), the worker counts points by
+outcome and buckets per-point wall time, and the service labels every
+HTTP request by method/endpoint/status (sweep ids folded to `{{id}}` so
+the label set stays bounded).  Workers persist a JSON snapshot of their
+registry into the store's `workers` table on the heartbeat path, so the
+service sees throughput for worker processes on other hosts with no
+network path between them — the store is the only rendezvous.
+
+```bash
+curl -s localhost:8076/metrics                               # Prometheus text
+curl -s "localhost:8076/sweeps/<id>/events?since=0&timeout=25"   # long-poll
+repro top --url http://localhost:8076                        # live fleet screen
+repro top --store sweeps.sqlite --once                       # one frame, no server
+repro serve --store sweeps.sqlite --access-log access.jsonl  # structured log
+```
+
+`GET /metrics` merges three sources into one exposition: the service's
+own registry (request counters and duration histograms rendered as
+cumulative `_bucket`/`_sum`/`_count` series), gauges derived from store
+rows (`repro_store_jobs{{status=...}}`, `repro_store_sweeps`,
+`repro_fleet_workers`, per-worker last-seen age), and every persisted
+worker snapshot stamped with a `worker="<id>"` label — one scrape shows
+`repro_worker_points_total{{outcome=...}}` and `repro_worker_points_per_s`
+for the whole fleet.  Worker snapshots are plain JSON,
+`{{"schema": 1, "metrics": {{name: {{kind, help, labels, series: [...]}}}}}}`
+— counter/gauge series carry a `value`, histogram series carry the
+log2-bucket `hist` dict the telemetry layer already persists.
+
+`GET /sweeps/<id>/events?since=<ts>&timeout=<s>` long-polls terminal
+events: it returns as soon as a point finishes after the `since` cursor
+(result payloads omitted — follow up with `/results`), immediately when
+the sweep is already terminal, or with an empty list at the timeout.
+`repro top` renders the same fleet state as text, reading the store
+directly (`--store`) or scraping `/sweeps` + `/metrics` over HTTP
+(`--url`); `--once` prints one frame (CI-friendly), otherwise it
+redraws every `--interval` seconds:
+
+```
+repro top — sweeps.sqlite
+1 sweep(s), 0 running · 1 worker(s), 0 busy · 10:38:35
+
+sweep         label  status  done  fail  pts/s  eta
+------------  -----  ------  ----  ----  -----  ---
+3725a9b57bb9  demo   done    2/2   0     5.50   -
+
+worker      state  sim  cached  fail  pts/s  seen
+----------  -----  ---  ------  ----  -----  ----
+host1-3021  idle   2    0       0     95.21  0s
+```
+
+`--access-log PATH` appends one JSON line per request — `{{"ts":
+1786185400.873, "method": "GET", "path": "/healthz", "status": 200,
+"duration_ms": 0.4}}` — off by default.  All of it is strictly passive:
+the simulation core never touches the registry (the default
+`NULL_METRICS` stub absorbs everything behind one attribute load, and
+the runner guards even that), golden dumps stay bit-identical, and
+`scripts/perf_smoke.py` records the instrumented-vs-null worker-drain
+overhead in `BENCH_parallel.json` under `metrics_registry` to keep it
+honest.  `scripts/serve_smoke.py` scrapes `/metrics` mid-CI and asserts
+the worker's claim/report counters made it through the store.
 """
 
     text = header + "\n" + "\n".join(sections)

@@ -3,10 +3,13 @@
 
 Starts ``repro serve`` as a subprocess on an ephemeral port, submits a
 two-point sweep with POST /sweeps, drains it with one ``repro worker``
-subprocess, polls progress until the sweep is terminal, and asserts the
-rendered dashboard HTML is non-empty.  Exercises the exact process
-boundaries CI cares about: server and worker are separate OS processes
-meeting only at the SQLite store, and the client talks real TCP.
+subprocess, polls progress until the sweep is terminal, asserts the
+rendered dashboard HTML is non-empty, and scrapes ``GET /metrics``,
+asserting the worker's claim/report counters made it through the store
+and the service's own request histograms are present.  Exercises the
+exact process boundaries CI cares about: server and worker are separate
+OS processes meeting only at the SQLite store, and the client talks
+real TCP.
 
 Exit 0 on success; any failure raises (non-zero exit) with the server's
 output echoed for diagnosis.
@@ -120,7 +123,49 @@ def main() -> int:
         assert html_text.strip(), "dashboard HTML is empty"
         assert "<html" in html_text, html_text[:200]
         assert sweep_id in html_text
+        assert 'id="fleet"' in html_text, "dashboard lacks the fleet section"
         print(f"dashboard ok ({len(html_text)} bytes)")
+
+        with urllib.request.urlopen(base + "/metrics", timeout=30) as response:
+            content_type = response.headers.get("Content-Type", "")
+            metrics_text = response.read().decode()
+        assert content_type.startswith("text/plain"), content_type
+        sys.path.insert(0, str(ROOT / "src"))
+        from repro.obsv.metrics import parse_prometheus
+
+        samples = parse_prometheus(metrics_text)
+        claims = sum(
+            value
+            for (name, labels), value in samples.items()
+            if name == "repro_store_claims_total" and dict(labels).get("worker")
+        )
+        reports = sum(
+            value
+            for (name, labels), value in samples.items()
+            if name == "repro_store_reports_total" and dict(labels).get("worker")
+        )
+        assert claims >= 2, f"expected >=2 worker claims, got {claims}"
+        assert reports >= 2, f"expected >=2 worker reports, got {reports}"
+        assert any(
+            name == "repro_http_request_duration_us_count"
+            for (name, _labels) in samples
+        ), "request duration histogram missing"
+        assert any(
+            name == "repro_worker_points_total" for (name, _labels) in samples
+        ), "worker point counters missing"
+        print(
+            f"metrics ok ({len(metrics_text.splitlines())} lines, "
+            f"{claims:.0f} claims / {reports:.0f} reports seen)"
+        )
+
+        top = subprocess.run(
+            [*REPRO, "top", "--store", str(store), "--once"],
+            capture_output=True, text=True, env=ENV, cwd=ROOT,
+            timeout=TIMEOUT_S,
+        )
+        assert top.returncode == 0, top.stderr
+        assert sweep_id in top.stdout, top.stdout
+        print("repro top ok")
 
         print("serve smoke: PASS")
         return 0

@@ -14,6 +14,7 @@ Commands
                the committed ``BENCH_core.json``)
 ``figure``     regenerate one paper figure/table and print it
 ``serve``      long-lived HTTP/JSON sweep service over a shared job store
+``top``        live terminal view of the fleet (sweeps, workers, rates)
 ``worker``     claim and execute points from a shared job store
 ``scorecard``  evaluate the paper-fidelity scorecard (exit 1 on FAIL)
 ``diff``       compare two sweep run-ledgers metric-by-metric
@@ -286,6 +287,36 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve.add_argument(
+        "--access-log",
+        default=None,
+        metavar="PATH",
+        help="append one structured JSONL record per request "
+        "(ts, method, path, status, duration_ms)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal view of the sweep fleet: sweeps, rates, ETAs, "
+        "per-worker throughput",
+    )
+    top_source = top.add_mutually_exclusive_group(required=True)
+    top_source.add_argument(
+        "--store", metavar="PATH", help="read a job store SQLite file directly"
+    )
+    top_source.add_argument(
+        "--url", metavar="URL", help="read a running `repro serve` over HTTP"
+    )
+    top.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period between frames",
     )
 
     worker = sub.add_parser(
@@ -828,7 +859,11 @@ def _cmd_serve(args) -> int:
 
     port = DEFAULT_PORT if args.port is None else args.port
     service = SweepService(
-        args.store, host=args.host, port=port, quiet=not args.verbose
+        args.store,
+        host=args.host,
+        port=port,
+        quiet=not args.verbose,
+        access_log=args.access_log,
     )
     workers = []
     if args.workers:
@@ -877,13 +912,19 @@ def _cmd_worker(args) -> int:
             for process in processes:
                 process.terminate()
         return 0
-    store = SQLiteJobStore(args.store)
+    from repro.obsv.metrics import MetricsRegistry
+
+    # one shared registry: store ops and worker series land in the same
+    # snapshot the heartbeat persists for the fleet views.
+    registry = MetricsRegistry()
+    store = SQLiteJobStore(args.store, metrics=registry)
     worker = Worker(
         store,
         lease_s=args.lease,
         cache_dir=args.cache,
         ledger_dir=args.ledger_dir,
         max_points=args.max_points,
+        metrics=registry,
     )
     try:
         worker.run(until=until)
@@ -897,6 +938,27 @@ def _cmd_worker(args) -> int:
     )
     store.close()
     return 0
+
+
+def _cmd_top(args) -> int:
+    import functools
+
+    from repro.obsv.top import fleet_from_store, fleet_from_url, run_top
+
+    if args.url:
+        fleet_fn = functools.partial(fleet_from_url, args.url)
+        return run_top(fleet_fn, once=args.once, interval_s=args.interval)
+    from repro.jobs.store import SQLiteJobStore
+
+    store = SQLiteJobStore(args.store)
+    try:
+        return run_top(
+            functools.partial(fleet_from_store, store),
+            once=args.once,
+            interval_s=args.interval,
+        )
+    finally:
+        store.close()
 
 
 def _cmd_figure(args) -> int:
@@ -1129,6 +1191,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "worker":
         return _cmd_worker(args)
     if args.command == "scorecard":

@@ -243,6 +243,7 @@ class ParallelRunner(Runner):
         heartbeat_path: Optional[str | Path] = None,
         ledger_path: Optional[str | Path] = None,
         cache_read_only: bool = False,
+        metrics=None,
     ) -> None:
         self.jobs = max(1, int(jobs) if jobs is not None else (os.cpu_count() or 1))
         self.heartbeat_path = Path(heartbeat_path) if heartbeat_path else None
@@ -256,6 +257,7 @@ class ParallelRunner(Runner):
             flush_every=flush_every,
             telemetry_dir=telemetry_dir,
             ledger_path=ledger_path,
+            metrics=metrics,
         )
 
     # -- sharded cache primitives ---------------------------------------
@@ -357,11 +359,15 @@ class ParallelRunner(Runner):
             seen.add(key)
             if key in self._memory:
                 self.stats.memory_hits += 1
+                if self._metrics_on:
+                    self._m_points.labels("memory_hit").inc()
                 continue
             disk_key = self._disk_key(workload_name, key[1])
             payload = self._cache_get(disk_key)
             if payload is not None:
                 self.stats.disk_hits += 1
+                if self._metrics_on:
+                    self._m_points.labels("disk_hit").inc()
                 result = result_from_dict(payload)
                 self._memory[key] = result
                 if self.ledger is not None:
@@ -433,6 +439,10 @@ class ParallelRunner(Runner):
         self.stats.sim_seconds += wall
         self.stats.add_phase("simulate", wall)
         self.stats.points_simulated += completed
+        if self._metrics_on:
+            if completed:
+                self._m_points.labels("simulated").inc(completed)
+            self._refresh_metric_gauges()
 
         t2 = time.perf_counter()
         for (key, disk_key, _name, _config), payload in zip(pending, payloads):

@@ -184,9 +184,34 @@ class Runner:
         flush_every: int = 16,
         telemetry_dir: Optional[str | Path] = None,
         ledger_path: Optional[str | Path] = None,
+        metrics=None,
     ) -> None:
         self.horizon = horizon
         self.warmup = warmup
+        # Live metrics are opt-in and NULL by default: the sim hot path
+        # must cost nothing when nobody is watching.  Guarded by a plain
+        # bool so the default path never even calls the null stubs.
+        if metrics is None:
+            # deferred import: repro.obsv.scorecard imports this module.
+            from repro.obsv.metrics import NULL_METRICS
+
+            metrics = NULL_METRICS
+        self.metrics = metrics
+        self._metrics_on = bool(metrics.enabled)
+        if self._metrics_on:
+            self._m_points = metrics.counter(
+                "repro_runner_points_total",
+                "Points resolved by this runner, by outcome",
+                labels=("outcome",),
+            )
+            self._m_rate = metrics.gauge(
+                "repro_runner_points_per_s",
+                "Simulation throughput over this runner's lifetime",
+            )
+            self._m_hit_ratio = metrics.gauge(
+                "repro_runner_cache_hit_ratio",
+                "Fraction of lookups served from memory or disk cache",
+            )
         self.benchmarks = list(benchmarks) if benchmarks is not None else list(BENCHMARK_ORDER)
         #: where per-point telemetry artifacts land (next to the result
         #: cache, one subdirectory per simulated point).  None disables
@@ -309,16 +334,24 @@ class Runner:
             error=error,
         )
 
+    def _refresh_metric_gauges(self) -> None:
+        self._m_rate.set(self.stats.points_per_second)
+        self._m_hit_ratio.set(self.stats.cache_hit_rate)
+
     def run(self, workload_name: str, config: GpuConfig) -> SimulationResult:
         key = (workload_name, config_key(config))
         cached = self._memory.get(key)
         if cached is not None:
             self.stats.memory_hits += 1
+            if self._metrics_on:
+                self._m_points.labels("memory_hit").inc()
             return cached
         disk_key = self._disk_key(workload_name, key[1])
         payload = self._cache_get(disk_key)
         if payload is not None:
             self.stats.disk_hits += 1
+            if self._metrics_on:
+                self._m_points.labels("disk_hit").inc()
             result = result_from_dict(payload)
             if self.ledger is not None:
                 from repro.obsv.ledger import key_stats
@@ -347,6 +380,9 @@ class Runner:
             elapsed = time.perf_counter() - t0
             self.stats.sim_seconds += elapsed
             self.stats.points_simulated += 1
+            if self._metrics_on:
+                self._m_points.labels("simulated").inc()
+                self._refresh_metric_gauges()
             tel_dir = self._persist_telemetry(workload_name, key[1], result.telemetry)
             # the result cache stays telemetry-free: artifacts live in
             # telemetry_dir, and cached payloads are identical whether the

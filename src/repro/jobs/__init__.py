@@ -17,8 +17,14 @@ back durably:
   ledger all reused), heartbeat the lease, back off on transient
   failures, poison-fail a point after ``max_attempts``;
 * :mod:`repro.jobs.service` — a stdlib-only HTTP/JSON front end
-  (`repro serve`): submit sweeps, poll progress, fetch results and the
-  self-contained observability dashboard.
+  (`repro serve`): submit sweeps, poll progress, long-poll terminal
+  events, fetch results, the self-contained observability dashboard,
+  and the fleet's Prometheus text exposition on ``GET /metrics``.
+
+Live fleet visibility rides the store: every worker persists its
+:mod:`repro.obsv.metrics` registry snapshot into the ``workers`` table
+on its heartbeat path, so the service (and ``repro top``) can render
+per-worker throughput for processes on other hosts.
 
 The simulator is deterministic, so a sweep drained by many workers is
 bit-identical — statistics and canonical ledger records — to the same

@@ -21,11 +21,26 @@ API (all JSON unless noted)::
                                   -> 201 {"sweep_id": ..., "total": N, ...}
     GET  /sweeps/<id>             progress: counts, rate, ETA, failures
     GET  /sweeps/<id>/results     terminal rows incl. result payloads
+    GET  /sweeps/<id>/events      long-poll: terminal events after
+         ?since=TS&timeout=S      ``since``; returns early when any land
     GET  /sweeps/<id>/dashboard   the PR-5 self-contained HTML report
                                   (text/html), synthesized from store rows
+    GET  /metrics                 Prometheus text exposition (text/plain):
+                                  service HTTP series, store counters,
+                                  queue-depth gauges, and every worker's
+                                  persisted snapshot labeled worker="id"
 
 Progress queries also sweep expired leases back into the queue, so a
 dead worker's points become claimable the next time anyone looks.
+
+The service keeps a live :class:`~repro.obsv.metrics.MetricsRegistry`
+shared with its store, so request counts/latency and service-side store
+ops are always on.  Workers are separate processes — their registries
+arrive through the store's ``workers`` table (persisted on the lease
+heartbeat path) and are re-rendered here with a ``worker`` label, which
+is what makes ``GET /metrics`` a *fleet* view rather than one process's.
+An opt-in structured access log (``--access-log``) appends one JSONL
+record per request: ts, method, path, status, duration_ms.
 
 The service is an *observer and broker*, never a simulator: submission
 validates designs/workloads against the same registries the CLI uses
@@ -43,17 +58,24 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import List, Optional, Tuple
+from urllib.parse import parse_qs
 
 import repro
 from repro.experiments.designs import DESIGNS
 from repro.experiments.runner import result_from_dict
 from repro.jobs.store import SQLiteJobStore, iter_points
+from repro.obsv.metrics import MetricsRegistry, render_prometheus
 from repro.workloads.suite import BENCHMARK_ORDER
 
 #: default TCP port; "s" + "m" (secure memory) on a phone keypad.
 DEFAULT_PORT = 8076
 
-_SWEEP_PATH = re.compile(r"^/sweeps/([0-9a-f]{12})(/results|/dashboard)?$")
+_SWEEP_PATH = re.compile(r"^/sweeps/([0-9a-f]{12})(/results|/dashboard|/events)?$")
+
+#: long-poll defaults/caps for GET /sweeps/<id>/events.
+EVENTS_DEFAULT_TIMEOUT_S = 25.0
+EVENTS_MAX_TIMEOUT_S = 60.0
+EVENTS_POLL_S = 0.2
 
 
 # ---------------------------------------------------------------------------
@@ -210,11 +232,39 @@ class SweepService(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         quiet: bool = True,
+        access_log: Optional[str | Path] = None,
     ) -> None:
-        self.store = SQLiteJobStore(store_path)
+        self.metrics = MetricsRegistry()
+        self.store = SQLiteJobStore(store_path, metrics=self.metrics)
         self.store_path = Path(store_path)
         self.quiet = quiet
+        self.access_log_path = Path(access_log) if access_log else None
+        if self.access_log_path is not None:
+            self.access_log_path.parent.mkdir(parents=True, exist_ok=True)
+        self._access_lock = threading.Lock()
+        self.m_requests = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by method/endpoint/status",
+            labels=("method", "endpoint", "status"),
+        )
+        self.m_request_us = self.metrics.histogram(
+            "repro_http_request_duration_us",
+            "HTTP request wall time in microseconds, by endpoint",
+            labels=("endpoint",),
+        )
         super().__init__((host, port), _Handler)
+
+    def log_access(self, record: dict) -> None:
+        """Append one JSONL access record, best-effort (opt-in)."""
+        if self.access_log_path is None:
+            return
+        try:
+            line = json.dumps(record, sort_keys=True) + "\n"
+            with self._access_lock:
+                with open(self.access_log_path, "a") as fh:
+                    fh.write(line)
+        except OSError:
+            pass  # auditing must never take down the service
 
     @property
     def url(self) -> str:
@@ -242,7 +292,46 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:
             super().log_message(fmt, *args)
 
+    def _endpoint_label(self) -> str:
+        """A low-cardinality endpoint name for metric labels.
+
+        Sweep ids are folded to ``{id}`` so one busy store cannot mint
+        an unbounded label set.
+        """
+        path = self.path.partition("?")[0]
+        if path in ("/", "/healthz"):
+            return "/healthz"
+        match = _SWEEP_PATH.match(path)
+        if match:
+            return "/sweeps/{id}" + (match.group(2) or "")
+        if path in ("/sweeps", "/metrics"):
+            return path
+        return "other"
+
+    def _instrumented(self, method: str, route) -> None:
+        """Run one route with request metrics + the optional access log."""
+        server = self.server
+        self._status = 0
+        start = time.perf_counter()
+        try:
+            route()
+        finally:
+            duration_s = time.perf_counter() - start
+            endpoint = self._endpoint_label()
+            server.m_requests.labels(method, endpoint, str(self._status or 0)).inc()
+            server.m_request_us.labels(endpoint).observe(duration_s * 1e6)
+            server.log_access(
+                {
+                    "ts": round(time.time(), 3),
+                    "method": method,
+                    "path": self.path,
+                    "status": self._status or 0,
+                    "duration_ms": round(duration_s * 1e3, 3),
+                }
+            )
+
     def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self._status = code
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -272,9 +361,16 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes ---------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        self._instrumented("GET", self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._instrumented("POST", self._route_post)
+
+    def _route_get(self) -> None:
         store = self.server.store
+        path, _, query = self.path.partition("?")
         try:
-            if self.path in ("/", "/healthz"):
+            if path in ("/", "/healthz"):
                 store.requeue_expired()
                 self._json(
                     200,
@@ -285,20 +381,25 @@ class _Handler(BaseHTTPRequestHandler):
                         "counts": store.counts(),
                         "endpoints": [
                             "GET /healthz",
+                            "GET /metrics",
                             "GET /sweeps",
                             "POST /sweeps",
                             "GET /sweeps/<id>",
                             "GET /sweeps/<id>/results",
+                            "GET /sweeps/<id>/events?since=TS&timeout=S",
                             "GET /sweeps/<id>/dashboard",
                         ],
                     },
                 )
                 return
-            if self.path == "/sweeps":
+            if path == "/sweeps":
                 store.requeue_expired()
                 self._json(200, {"sweeps": store.sweeps()})
                 return
-            match = _SWEEP_PATH.match(self.path)
+            if path == "/metrics":
+                self._metrics()
+                return
+            match = _SWEEP_PATH.match(path)
             if match:
                 sweep_id, tail = match.group(1), match.group(2)
                 store.requeue_expired()
@@ -307,18 +408,20 @@ class _Handler(BaseHTTPRequestHandler):
                         self._json(200, {"results": store.results(sweep_id)})
                     elif tail == "/dashboard":
                         self._dashboard(sweep_id)
+                    elif tail == "/events":
+                        self._events(sweep_id, query)
                     else:
                         self._json(200, store.progress(sweep_id))
                 except KeyError:
                     self._error(404, f"no such sweep: {sweep_id}")
                 return
-            self._error(404, f"no such endpoint: {self.path}")
+            self._error(404, f"no such endpoint: {path}")
         except BrokenPipeError:  # client went away mid-response
             pass
         except Exception as exc:  # noqa: BLE001 — a request must not kill the server
             self._error(500, f"{type(exc).__name__}: {exc}")
 
-    def do_POST(self) -> None:  # noqa: N802
+    def _route_post(self) -> None:
         try:
             if self.path != "/sweeps":
                 self._error(404, f"no such endpoint: POST {self.path}")
@@ -344,6 +447,95 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001
             self._error(500, f"{type(exc).__name__}: {exc}")
 
+    def _metrics(self) -> None:
+        """The fleet exposition: this process + store + every worker."""
+        server = self.server
+        store = server.store
+        store.requeue_expired()
+        fleet = store.workers_seen()
+        # Point-in-time store gauges are derived per scrape rather than
+        # carried as registry state — the store is the ground truth.
+        derived = MetricsRegistry()
+        jobs_gauge = derived.gauge(
+            "repro_store_jobs", "Jobs in the store by status", labels=("status",)
+        )
+        for status, count in store.counts().items():
+            jobs_gauge.labels(status).set(count)
+        derived.gauge("repro_store_sweeps", "Sweeps submitted to the store").set(
+            store.sweep_count()
+        )
+        derived.gauge("repro_fleet_workers", "Workers that ever joined this store").set(
+            len(fleet)
+        )
+        age_gauge = derived.gauge(
+            "repro_worker_last_seen_age_s",
+            "Seconds since each worker's last snapshot",
+            labels=("worker",),
+        )
+        for entry in fleet:
+            age_gauge.labels(entry["worker"]).set(entry["age_s"])
+        exposition = [(server.metrics.snapshot(), None), (derived.snapshot(), None)]
+        for entry in fleet:
+            if entry["metrics"]:
+                exposition.append((entry["metrics"], {"worker": entry["worker"]}))
+        body = render_prometheus(exposition)
+        self._send(200, body.encode(), "text/plain; version=0.0.4; charset=utf-8")
+
+    def _events(self, sweep_id: str, query: str) -> None:
+        """Long-poll for terminal events newer than ``since``.
+
+        Returns as soon as any job of the sweep reaches ``done``/
+        ``failed`` with ``done_ts > since``, the sweep itself is
+        terminal, or the (capped) timeout lapses — whichever is first.
+        Result payloads are deliberately omitted; ``/results`` serves
+        those.
+        """
+        params = parse_qs(query)
+
+        def _param(name: str, default: float) -> float:
+            try:
+                return float(params[name][0])
+            except (KeyError, IndexError, ValueError):
+                return default
+
+        since = _param("since", 0.0)
+        timeout = min(
+            max(_param("timeout", EVENTS_DEFAULT_TIMEOUT_S), 0.0),
+            EVENTS_MAX_TIMEOUT_S,
+        )
+        store = self.server.store
+        deadline = time.monotonic() + timeout
+        while True:
+            store.requeue_expired()
+            progress = store.progress(sweep_id)  # KeyError -> 404 upstream
+            events = [
+                {
+                    key: row[key]
+                    for key in (
+                        "seq", "workload", "spec", "status", "outcome",
+                        "attempts", "worker", "duration_s", "done_ts",
+                    )
+                }
+                for row in store.results(sweep_id)
+                if row["done_ts"] is not None and row["done_ts"] > since
+            ]
+            if (
+                events
+                or progress["status"] != "running"
+                or time.monotonic() >= deadline
+            ):
+                self._json(
+                    200,
+                    {
+                        "now": time.time(),
+                        "since": since,
+                        "events": events,
+                        "progress": progress,
+                    },
+                )
+                return
+            time.sleep(EVENTS_POLL_S)
+
     def _dashboard(self, sweep_id: str) -> None:
         from repro.obsv.dashboard import build_dashboard
 
@@ -353,6 +545,7 @@ class _Handler(BaseHTTPRequestHandler):
             title=f"Sweep {sweep_id}" + (f" — {progress['label']}" if progress["label"] else ""),
             ledger_records=sweep_ledger_records(store, sweep_id),
             heartbeat_lines=sweep_heartbeat_lines(store, sweep_id),
+            fleet=store.workers_seen(),
             sources={"job store": str(self.server.store_path), "sweep": sweep_id},
         )
         self._send(200, html_text.encode(), "text/html; charset=utf-8")
@@ -363,6 +556,9 @@ def serve(
     host: str = "127.0.0.1",
     port: int = DEFAULT_PORT,
     quiet: bool = True,
+    access_log: Optional[str | Path] = None,
 ) -> SweepService:
     """Construct (but don't start) the service; callers pick the loop."""
-    return SweepService(store_path, host=host, port=port, quiet=quiet)
+    return SweepService(
+        store_path, host=host, port=port, quiet=quiet, access_log=access_log
+    )

@@ -46,14 +46,25 @@ import uuid
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
-#: bump when the jobs/sweeps table layout changes incompatibly.
-JOB_SCHEMA = 1
+from repro.obsv.metrics import NULL_METRICS, snapshot_to_json
+
+#: bump when the jobs/sweeps/workers table layout changes incompatibly.
+#: v2 added the ``workers`` table (live worker metric snapshots); the
+#: upgrade from v1 is additive, so old stores open seamlessly.
+JOB_SCHEMA = 2
 
 #: the states a job row can be in.
 STATUSES = ("pending", "running", "done", "failed")
 
 #: default claims (initial + retries) before a point is poison-failed.
 DEFAULT_MAX_ATTEMPTS = 3
+
+
+def _no_timer() -> None:
+    """Timer stand-in when metrics are disabled."""
+
+
+_NO_TIMER = _no_timer
 
 
 @dataclasses.dataclass
@@ -117,6 +128,12 @@ class JobStore(Protocol):
 
     def results(self, sweep_id: str) -> List[dict]: ...
 
+    def record_worker(
+        self, worker_id: str, snapshot: dict, started_ts: Optional[float] = None
+    ) -> None: ...
+
+    def workers_seen(self, max_age_s: Optional[float] = None) -> List[dict]: ...
+
     def close(self) -> None: ...
 
 
@@ -160,14 +177,52 @@ class SQLiteJobStore:
         )""",
         "CREATE INDEX IF NOT EXISTS jobs_claim ON jobs(status, not_before, sweep_id, seq)",
         "CREATE INDEX IF NOT EXISTS jobs_sweep ON jobs(sweep_id, seq)",
+        """CREATE TABLE IF NOT EXISTS workers (
+            id TEXT PRIMARY KEY,
+            started_ts REAL NOT NULL,
+            updated_ts REAL NOT NULL,
+            metrics TEXT
+        )""",
     )
 
-    def __init__(self, path: str | Path, timeout_s: float = 30.0) -> None:
+    def __init__(
+        self, path: str | Path, timeout_s: float = 30.0, metrics=NULL_METRICS
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
         self._conn = self._connect(timeout_s)
         self._init_schema()
+        self.metrics = metrics
+        self._m_claims = metrics.counter(
+            "repro_store_claims_total", "Jobs atomically claimed from the store"
+        )
+        self._m_reports = metrics.counter(
+            "repro_store_reports_total",
+            "Attempt outcomes reported to the store",
+            labels=("outcome",),
+        )
+        self._m_requeued = metrics.counter(
+            "repro_store_requeued_total", "Expired leases returned to pending"
+        )
+        self._m_poisoned = metrics.counter(
+            "repro_store_poisoned_total",
+            "Jobs poison-failed after exhausting their attempt budget",
+        )
+        self._m_op_us = metrics.histogram(
+            "repro_store_op_us",
+            "Store operation latency in microseconds",
+            labels=("op",),
+        )
+
+    def _timed(self, op: str):
+        """Start an op-latency measurement; call the result to record it."""
+        if not self.metrics.enabled:
+            return _NO_TIMER
+        start = time.perf_counter()
+        return lambda: self._m_op_us.labels(op).observe(
+            (time.perf_counter() - start) * 1e6
+        )
 
     def _connect(self, timeout_s: float) -> sqlite3.Connection:
         """Open the backend connection (override for another DB-API)."""
@@ -262,6 +317,7 @@ class SQLiteJobStore:
         exactly one sees ``rowcount == 1``; the rest move to the next row.
         """
         now = time.time()
+        done = self._timed("claim")
         with self._lock:
             while True:
                 row = self._conn.execute(
@@ -270,6 +326,7 @@ class SQLiteJobStore:
                     (now,),
                 ).fetchone()
                 if row is None:
+                    done()
                     return None
                 taken = self._conn.execute(
                     "UPDATE jobs SET status='running', worker=?, lease_deadline=?,"
@@ -277,7 +334,10 @@ class SQLiteJobStore:
                     (worker_id, now + lease_s, now, row["id"]),
                 )
                 if taken.rowcount == 1:
-                    return self._job(row["id"])
+                    job = self._job(row["id"])
+                    done()
+                    self._m_claims.inc()
+                    return job
 
     def _job(self, job_id: int) -> Job:
         row = self._conn.execute(
@@ -301,12 +361,14 @@ class SQLiteJobStore:
 
     def heartbeat(self, job_id: int, worker_id: str, lease_s: float) -> bool:
         """Extend a running job's lease; False when the claim was lost."""
+        done = self._timed("heartbeat")
         with self._lock:
             cur = self._conn.execute(
                 "UPDATE jobs SET lease_deadline=? WHERE id=? AND worker=?"
                 " AND status='running'",
                 (time.time() + lease_s, job_id, worker_id),
             )
+            done()
             return cur.rowcount == 1
 
     def report(
@@ -328,6 +390,7 @@ class SQLiteJobStore:
         capped backoff); at the budget it is poison-failed for good.
         """
         now = time.time()
+        done = self._timed("report")
         with self._lock:
             if outcome != "failed":
                 cur = self._conn.execute(
@@ -344,20 +407,34 @@ class SQLiteJobStore:
                         worker_id,
                     ),
                 )
-                return cur.rowcount == 1
-            # a failed attempt: retry with backoff, or poison at the budget.
-            cur = self._conn.execute(
-                "UPDATE jobs SET status=CASE WHEN attempts >= max_attempts"
-                "   THEN 'failed' ELSE 'pending' END,"
-                " outcome=CASE WHEN attempts >= max_attempts THEN 'failed' END,"
-                " done_ts=CASE WHEN attempts >= max_attempts THEN ? END,"
-                " not_before=?, worker=NULL, lease_deadline=NULL, error=?,"
-                " duration_s=?, config_digest=?"
-                " WHERE id=? AND worker=? AND status='running'",
-                (now, now + max(0.0, retry_in_s), error, duration_s,
-                 config_digest, job_id, worker_id),
-            )
-            return cur.rowcount == 1
+            else:
+                # a failed attempt: retry with backoff, or poison at the budget.
+                cur = self._conn.execute(
+                    "UPDATE jobs SET status=CASE WHEN attempts >= max_attempts"
+                    "   THEN 'failed' ELSE 'pending' END,"
+                    " outcome=CASE WHEN attempts >= max_attempts THEN 'failed' END,"
+                    " done_ts=CASE WHEN attempts >= max_attempts THEN ? END,"
+                    " not_before=?, worker=NULL, lease_deadline=NULL, error=?,"
+                    " duration_s=?, config_digest=?"
+                    " WHERE id=? AND worker=? AND status='running'",
+                    (now, now + max(0.0, retry_in_s), error, duration_s,
+                     config_digest, job_id, worker_id),
+                )
+            accepted = cur.rowcount == 1
+            poisoned = False
+            if accepted and outcome == "failed" and self.metrics.enabled:
+                poisoned = (
+                    self._conn.execute(
+                        "SELECT status FROM jobs WHERE id=?", (job_id,)
+                    ).fetchone()["status"]
+                    == "failed"
+                )
+            done()
+        if accepted:
+            self._m_reports.labels(outcome).inc()
+            if poisoned:
+                self._m_poisoned.inc()
+        return accepted
 
     def requeue_expired(self) -> Tuple[int, int]:
         """Return lapsed leases to ``pending``; poison-fail exhausted ones.
@@ -366,6 +443,7 @@ class SQLiteJobStore:
         every worker iteration and every service progress query.
         """
         now = time.time()
+        done = self._timed("requeue_expired")
         with self._lock:
             requeued = self._conn.execute(
                 "UPDATE jobs SET status='pending', worker=NULL, lease_deadline=NULL,"
@@ -380,7 +458,12 @@ class SQLiteJobStore:
                 " WHERE status='running' AND lease_deadline<?",
                 (now, now),
             ).rowcount
-            return requeued, poisoned
+            done()
+        if requeued:
+            self._m_requeued.inc(requeued)
+        if poisoned:
+            self._m_poisoned.inc(poisoned)
+        return requeued, poisoned
 
     # -- observation ----------------------------------------------------
 
@@ -442,10 +525,16 @@ class SQLiteJobStore:
         total = sweep["total"]
         terminal = counts["done"] + counts["failed"]
         now = time.time()
-        elapsed = max(now - sweep["created_ts"], 1e-9)
-        rate = counts["done"] / elapsed
+        # Rate and ETA must degrade to explicit nulls, never division
+        # artifacts: a cross-host clock ahead of ours makes created_ts
+        # sit in the future (elapsed clamps to 0, not to an epsilon that
+        # would fabricate a ~1e9 points/s rate), zero completed points
+        # means no rate basis at all, and an all-failed sweep has no
+        # remaining work an ETA could describe.
+        elapsed = max(now - sweep["created_ts"], 0.0)
+        rate = counts["done"] / elapsed if counts["done"] and elapsed > 0 else 0.0
         remaining = total - terminal
-        eta = remaining / rate if rate > 0 and remaining else None
+        eta = remaining / rate if rate > 0 and remaining > 0 else None
         status = "running"
         if terminal == total:
             status = "failed" if counts["failed"] else "done"
@@ -465,6 +554,73 @@ class SQLiteJobStore:
             "workers": workers,
             "failures": failures,
         }
+
+    def record_worker(
+        self, worker_id: str, snapshot: dict, started_ts: Optional[float] = None
+    ) -> None:
+        """Upsert one worker's metrics snapshot (the live-fleet feed).
+
+        Workers call this from their heartbeat path, so the service — a
+        different process, possibly a different host — can aggregate
+        every worker's counters into ``GET /metrics`` and the dashboard
+        fleet section without sharing memory with any of them.
+        """
+        now = time.time()
+        payload = snapshot_to_json(snapshot)
+        done = self._timed("record_worker")
+        with self._lock:
+            cur = self._conn.execute(
+                "UPDATE workers SET updated_ts=?, metrics=? WHERE id=?",
+                (now, payload, worker_id),
+            )
+            if cur.rowcount == 0:
+                # UPDATE-then-INSERT instead of SQLite's UPSERT syntax so
+                # the statement set stays portable across DB-API backends.
+                self._conn.execute(
+                    "INSERT INTO workers (id, started_ts, updated_ts, metrics)"
+                    " VALUES (?, ?, ?, ?)",
+                    (worker_id, started_ts if started_ts is not None else now,
+                     now, payload),
+                )
+            done()
+
+    def workers_seen(self, max_age_s: Optional[float] = None) -> List[dict]:
+        """Known workers with their last snapshot, most recent first.
+
+        *max_age_s* filters out workers whose last snapshot is older —
+        the live-fleet views use this to drop long-gone processes.
+        """
+        now = time.time()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT id, started_ts, updated_ts, metrics FROM workers"
+                " ORDER BY updated_ts DESC, id"
+            ).fetchall()
+        out = []
+        for row in rows:
+            age_s = max(now - row["updated_ts"], 0.0)
+            if max_age_s is not None and age_s > max_age_s:
+                continue
+            try:
+                snapshot = json.loads(row["metrics"]) if row["metrics"] else None
+            except ValueError:
+                snapshot = None
+            out.append(
+                {
+                    "worker": row["id"],
+                    "started_ts": row["started_ts"],
+                    "updated_ts": row["updated_ts"],
+                    "age_s": round(age_s, 3),
+                    "uptime_s": round(max(row["updated_ts"] - row["started_ts"], 0.0), 3),
+                    "metrics": snapshot,
+                }
+            )
+        return out
+
+    def sweep_count(self) -> int:
+        """How many sweeps the store holds (cheap, for gauges)."""
+        with self._lock:
+            return self._conn.execute("SELECT COUNT(*) FROM sweeps").fetchone()[0]
 
     def sweeps(self) -> List[dict]:
         """Every sweep in submission order, with its progress summary."""
@@ -514,9 +670,9 @@ class SQLiteJobStore:
         return out
 
 
-def open_store(path: str | Path) -> SQLiteJobStore:
+def open_store(path: str | Path, metrics=NULL_METRICS) -> SQLiteJobStore:
     """The default backend for a filesystem path (SQLite, WAL mode)."""
-    return SQLiteJobStore(path)
+    return SQLiteJobStore(path, metrics=metrics)
 
 
 def iter_points(

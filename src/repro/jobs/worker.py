@@ -40,6 +40,7 @@ from repro.experiments.designs import build_named_gpu
 from repro.experiments.parallel import ParallelRunner
 from repro.experiments.runner import config_key, result_to_dict
 from repro.jobs.store import Job, SQLiteJobStore
+from repro.obsv.metrics import MetricsRegistry
 
 #: backoff after the n-th failed attempt: min(cap, base * 2**(n-1)).
 BACKOFF_BASE_S = 0.5
@@ -83,6 +84,7 @@ class Worker:
         backoff_base_s: float = BACKOFF_BASE_S,
         backoff_cap_s: float = BACKOFF_CAP_S,
         max_points: Optional[int] = None,
+        metrics=None,
     ) -> None:
         self.store = store
         self.worker_id = worker_id or default_worker_id()
@@ -98,6 +100,41 @@ class Worker:
         #: one runner per (horizon, warmup) window, reused across jobs so
         #: the memo table and warm state survive between points.
         self._runners: Dict[Tuple[float, float], ParallelRunner] = {}
+        # Workers default to a live registry (the per-point emission
+        # sites cost microseconds against multi-second points); pass the
+        # store's registry to share one process-wide view, or
+        # NULL_METRICS to switch the whole plane off (the overhead
+        # bench's control arm).
+        if metrics is None:
+            metrics = store.metrics if store.metrics.enabled else MetricsRegistry()
+        self.metrics = metrics
+        self.started_ts = time.time()
+        self._m_points = metrics.counter(
+            "repro_worker_points_total",
+            "Points this worker executed, by outcome",
+            labels=("outcome",),
+        )
+        self._m_point_us = metrics.histogram(
+            "repro_worker_point_duration_us",
+            "Per-point wall time in microseconds, by outcome",
+            labels=("outcome",),
+        )
+        self._m_heartbeats = metrics.counter(
+            "repro_worker_heartbeats_total", "Lease-heartbeat ticks sent"
+        )
+        self._m_idle_sleeps = metrics.counter(
+            "repro_worker_idle_sleeps_total",
+            "Poll sleeps taken with no claimable job",
+        )
+        self._m_busy = metrics.gauge(
+            "repro_worker_busy", "1 while executing a point, else 0"
+        )
+        self._m_rate = metrics.gauge(
+            "repro_worker_points_per_s", "Lifetime points-per-second throughput"
+        )
+        self._m_uptime = metrics.gauge(
+            "repro_worker_uptime_s", "Seconds since this worker started"
+        )
 
     # ------------------------------------------------------------------
 
@@ -115,9 +152,33 @@ class Worker:
                 cache_read_only=True,
                 jobs=1,
                 ledger_path=ledger_path,
+                metrics=self.metrics,
             )
             self._runners[window] = runner
         return runner
+
+    def _refresh_gauges(self) -> None:
+        uptime = max(time.time() - self.started_ts, 0.0)
+        self._m_uptime.set(uptime)
+        total = sum(self.executed.values())
+        self._m_rate.set(total / uptime if total and uptime > 0 else 0.0)
+
+    def _persist_snapshot(self) -> None:
+        """Push this worker's registry into the store, best-effort.
+
+        Rides the heartbeat/report cadence; a failure to persist is
+        never allowed to take down the work loop (observability is a
+        passenger here, same rule as the telemetry layer).
+        """
+        if not self.metrics.enabled:
+            return
+        self._refresh_gauges()
+        try:
+            self.store.record_worker(
+                self.worker_id, self.metrics.snapshot(), started_ts=self.started_ts
+            )
+        except Exception:  # noqa: BLE001 — observability must not kill work
+            pass
 
     def _heartbeat_loop(self, job: Job, stop: threading.Event) -> None:
         """Extend the lease at a third of its period until told to stop."""
@@ -125,6 +186,8 @@ class Worker:
         while not stop.wait(every):
             if not self.store.heartbeat(job.id, self.worker_id, self.lease_s):
                 return  # claim lost (lease expired under a stalled sim)
+            self._m_heartbeats.inc()
+            self._persist_snapshot()
 
     def _execute(self, job: Job) -> str:
         """Run one claimed job to a report; returns the outcome."""
@@ -133,6 +196,7 @@ class Worker:
             target=self._heartbeat_loop, args=(job, stop), daemon=True
         )
         beat.start()
+        self._m_busy.set(1)
         t0 = time.perf_counter()
         try:
             config = build_config(job.spec)
@@ -169,7 +233,11 @@ class Worker:
         finally:
             stop.set()
             beat.join()
+            self._m_busy.set(0)
         self.executed[outcome] += 1
+        self._m_points.labels(outcome).inc()
+        self._m_point_us.labels(outcome).observe((time.perf_counter() - t0) * 1e6)
+        self._persist_snapshot()
         return outcome
 
     # ------------------------------------------------------------------
@@ -179,6 +247,7 @@ class Worker:
         if until not in ("drained", "forever"):
             raise ValueError(f"until must be 'drained' or 'forever', got {until!r}")
         executed = 0
+        self._persist_snapshot()  # register with the fleet before first claim
         while True:
             self.store.requeue_expired()
             job = self.store.claim(self.worker_id, self.lease_s)
@@ -191,7 +260,9 @@ class Worker:
             counts = self.store.counts()
             if until == "drained" and not counts["pending"] and not counts["running"]:
                 break
+            self._m_idle_sleeps.inc()
             time.sleep(self.poll_s)
+        self._persist_snapshot()
         self.close()
         return executed
 
@@ -206,9 +277,13 @@ class Worker:
 
 
 def _worker_main(store_path: str, kwargs: dict, until: str) -> None:
-    store = SQLiteJobStore(store_path)
+    # One shared registry per worker process: store-op series and worker
+    # series land in the same snapshot the heartbeat persists, so the
+    # service can render per-worker claim/report counters it never saw.
+    registry = MetricsRegistry()
+    store = SQLiteJobStore(store_path, metrics=registry)
     try:
-        Worker(store, **kwargs).run(until=until)
+        Worker(store, metrics=registry, **kwargs).run(until=until)
     finally:
         store.close()
 

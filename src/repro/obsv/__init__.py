@@ -6,10 +6,22 @@ package answers the meta-questions around a sweep — what actually ran
 paper's conclusions (:mod:`repro.obsv.scorecard`), what moved between
 two sweeps (:mod:`repro.obsv.diff`), and one self-contained HTML page
 tying it all together (:mod:`repro.obsv.dashboard`).
+
+The *runtime* half lives in :mod:`repro.obsv.metrics` (the live metric
+registry and Prometheus exposition behind ``GET /metrics``) and
+:mod:`repro.obsv.top` (the ``repro top`` fleet view).
 """
 
 from repro.obsv.dashboard import build_dashboard
 from repro.obsv.diff import diff_ledgers, render_diff
+from repro.obsv.metrics import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    NULL_METRICS,
+    parse_prometheus,
+    render_prometheus,
+    snapshot_value,
+)
 from repro.obsv.ledger import (
     LEDGER_SCHEMA,
     RunLedger,
@@ -34,9 +46,15 @@ __all__ = [
     "EXPECTATIONS",
     "Expectation",
     "LEDGER_SCHEMA",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "NULL_METRICS",
     "PROFILES",
     "RunLedger",
     "build_dashboard",
+    "parse_prometheus",
+    "render_prometheus",
+    "snapshot_value",
     "build_scorecard",
     "canonical_points",
     "diff_ledgers",

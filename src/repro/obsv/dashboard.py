@@ -27,6 +27,7 @@ from repro.obsv.ledger import ledger_points, summarize_ledger
 SECTIONS = (
     "summary",
     "progress",
+    "fleet",
     "scorecard",
     "ledger",
     "traffic",
@@ -259,6 +260,44 @@ def _progress_section(heartbeat: List[dict]) -> str:
     )
 
 
+def _fleet_section(fleet: Optional[List[dict]]) -> str:
+    """Live workers, from snapshots persisted through the job store.
+
+    Each entry is one :meth:`SQLiteJobStore.workers_seen` row: worker
+    id, last-seen age, and the worker's metrics snapshot (see
+    :mod:`repro.obsv.metrics`) holding its executed-point counters and
+    throughput gauges.
+    """
+    if not fleet:
+        return _nodata("fleet")
+    from repro.obsv.metrics import snapshot_value
+
+    rows = []
+    for entry in fleet:
+        snap = entry.get("metrics")
+        simulated = snapshot_value(snap, "repro_worker_points_total", {"outcome": "simulated"})
+        cached = snapshot_value(snap, "repro_worker_points_total", {"outcome": "cached"})
+        failed = snapshot_value(snap, "repro_worker_points_total", {"outcome": "failed"})
+        rate = snapshot_value(snap, "repro_worker_points_per_s")
+        busy = snapshot_value(snap, "repro_worker_busy")
+        age = entry.get("age_s")
+        rows.append(
+            [
+                _esc(entry.get("worker", "?")),
+                _badge("pass") + " busy" if busy else _badge("skip") + " idle",
+                f"{simulated:.0f}",
+                f"{cached:.0f}",
+                f"{failed:.0f}" if failed else "0",
+                f"{rate:.2f}",
+                "-" if age is None else f"{age:.1f}s ago",
+            ]
+        )
+    return _table(
+        ["worker", "state", "simulated", "cached", "failed", "pts/s", "last seen"],
+        rows,
+    )
+
+
 def _scorecard_section(scorecard: Optional[dict]) -> str:
     if not scorecard:
         return _nodata("scorecard")
@@ -411,6 +450,7 @@ def build_dashboard(
     bottleneck: Optional[dict] = None,
     trace: Optional[dict] = None,
     bench: Optional[Dict[str, dict]] = None,
+    fleet: Optional[List[dict]] = None,
     sources: Optional[Dict[str, str]] = None,
 ) -> str:
     """Render the complete dashboard; every argument is optional."""
@@ -421,6 +461,7 @@ def build_dashboard(
     bodies = {
         "summary": _summary_section(summary, heartbeat, scorecard),
         "progress": _progress_section(heartbeat),
+        "fleet": _fleet_section(fleet),
         "scorecard": _scorecard_section(scorecard),
         "ledger": _ledger_section(summary, records),
         "traffic": _traffic_section(records, trace),
@@ -430,6 +471,7 @@ def build_dashboard(
     titles = {
         "summary": "Sweep summary",
         "progress": "Sweep progress",
+        "fleet": "Live fleet",
         "scorecard": "Paper-fidelity scorecard",
         "ledger": "Run ledger",
         "traffic": "Traffic by class",

@@ -1,0 +1,487 @@
+"""Process metrics registry: live counters, gauges, and histograms.
+
+The rest of :mod:`repro.obsv` is *post-hoc* — ledgers, scorecards, and
+dashboards read files after a sweep finished.  This module is the
+*runtime* half: components register named metric families on a shared
+:class:`MetricsRegistry`, increment them as work happens, and anything
+holding the registry can snapshot the whole process's state at any
+moment.  The sweep service exposes its registry (plus every worker's
+persisted snapshot) as Prometheus text exposition on ``GET /metrics``,
+and ``repro top`` renders the same data as a live terminal view.
+
+Three metric kinds, the conventional minimum:
+
+* **counter** — monotonic total (claims, reports, HTTP requests);
+* **gauge** — last-write value (queue depth, points/sec, busy flag);
+* **histogram** — a log2-bucket latency distribution reusing the
+  telemetry layer's :class:`~repro.telemetry.latency.LogHistogram`
+  (associative merge, bucket-mean quantiles).  Durations are recorded
+  in **microseconds** (``*_us`` naming) so sub-millisecond SQLite ops
+  and multi-second simulation points both resolve across log2 buckets.
+
+Families are **labeled**: ``registry.counter("x_total", labels=("op",))``
+returns a family whose ``labels("claim")`` child is its own series, the
+same shape Prometheus client libraries use.  Increments are thread-safe
+(one registry-wide lock — the emission sites here are service-path
+operations measured in milliseconds, not the simulator hot path, which
+keeps :data:`NULL_METRICS` instead and never pays for any of this).
+
+Snapshots are plain JSON-able dicts, so a worker process can persist its
+registry through the job store's heartbeat path and the service can
+aggregate *remote* workers it never shared memory with:
+:func:`render_prometheus` takes any number of ``(snapshot,
+extra_labels)`` pairs and renders one exposition — worker snapshots get
+a ``worker="<id>"`` label stamped onto every series.
+:meth:`MetricsRegistry.merge` folds a snapshot back into a live registry
+(counters add, gauges overwrite, histograms merge), so
+snapshot → merge round-trips losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.telemetry.latency import LogHistogram
+
+#: bump when the snapshot layout changes incompatibly.
+METRICS_SCHEMA = 1
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Prometheus label-value escaping: backslash, double quote, newline.
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def escape_label_value(value: str) -> str:
+    """Escape one label value for the Prometheus text format."""
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in str(value))
+
+
+class Counter:
+    """One monotonic series; ``inc`` only ever moves it forward."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """One last-write-wins series; settable and incrementable."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Histogram:
+    """One distribution series over a log2-bucket :class:`LogHistogram`."""
+
+    __slots__ = ("_lock", "hist")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.hist = LogHistogram()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.hist.record(value)
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class Family:
+    """One named metric family: kind + help + labeled child series.
+
+    ``labels(*values)`` returns (creating on first use) the child series
+    for one label-value tuple; the no-label convenience methods
+    (``inc``/``set``/``observe``) operate on the single unlabeled child.
+    """
+
+    __slots__ = ("name", "kind", "help", "label_names", "_children", "_lock")
+
+    def __init__(
+        self, name: str, kind: str, help_text: str, label_names: Tuple[str, ...],
+        lock: threading.Lock,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = label_names
+        self._lock = lock
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def labels(self, *values) -> object:
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.label_names):
+            raise ValueError(
+                f"{self.name} takes labels {self.label_names}, got {key}"
+            )
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._children[key] = _KINDS[self.kind](self._lock)
+        return child
+
+    # -- unlabeled conveniences ----------------------------------------
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def series(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """Stable (label-values, child) listing for rendering."""
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """A process's named metric families, snapshot-able as one dict."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, Family] = {}
+
+    def _family(
+        self, name: str, kind: str, help_text: str, labels: Sequence[str]
+    ) -> Family:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        label_names = tuple(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = Family(
+                    name, kind, help_text, label_names, self._lock
+                )
+                return family
+        if family.kind != kind or family.label_names != label_names:
+            raise ValueError(
+                f"metric {name} already registered as {family.kind}"
+                f"{family.label_names}, not {kind}{label_names}"
+            )
+        return family
+
+    def counter(self, name: str, help_text: str = "", labels: Sequence[str] = ()) -> Family:
+        return self._family(name, "counter", help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "", labels: Sequence[str] = ()) -> Family:
+        return self._family(name, "gauge", help_text, labels)
+
+    def histogram(self, name: str, help_text: str = "", labels: Sequence[str] = ()) -> Family:
+        return self._family(name, "histogram", help_text, labels)
+
+    # -- snapshot / merge ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything registered, as one JSON-able dict."""
+        metrics: Dict[str, dict] = {}
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            series = []
+            for key, child in family.series():
+                entry: dict = {"labels": dict(zip(family.label_names, key))}
+                if family.kind == "histogram":
+                    entry["hist"] = child.hist.to_dict()
+                else:
+                    entry["value"] = child.value
+                series.append(entry)
+            metrics[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "labels": list(family.label_names),
+                "series": series,
+            }
+        return {"schema": METRICS_SCHEMA, "metrics": metrics}
+
+    def merge(self, snap: Optional[dict], extra_labels: Optional[dict] = None) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and histograms accumulate; gauges take the snapshot's
+        value (last write wins).  *extra_labels* appends label
+        dimensions to every merged series (the service stamps
+        ``worker=<id>`` onto worker snapshots this way).
+        """
+        extra = dict(extra_labels or {})
+        for name, doc in ((snap or {}).get("metrics") or {}).items():
+            label_names = tuple(doc.get("labels", ())) + tuple(extra)
+            family = self._family(
+                name, doc.get("kind", "gauge"), doc.get("help", ""), label_names
+            )
+            for entry in doc.get("series", ()):
+                labels = dict(entry.get("labels", {}), **extra)
+                child = family.labels(*(labels.get(n, "") for n in label_names))
+                if family.kind == "counter":
+                    child.inc(float(entry.get("value", 0.0)))
+                elif family.kind == "gauge":
+                    child.set(float(entry.get("value", 0.0)))
+                else:
+                    child.hist.merge_from(LogHistogram.from_dict(entry.get("hist", {})))
+
+
+class _NullSeries:
+    """Absorbs every metric operation at one attribute-load of cost."""
+
+    __slots__ = ()
+
+    def labels(self, *values) -> "_NullSeries":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        """No-op."""
+
+    def dec(self, amount: float = 1.0) -> None:
+        """No-op."""
+
+    def set(self, value: float) -> None:
+        """No-op."""
+
+    def observe(self, value: float) -> None:
+        """No-op."""
+
+
+_NULL_SERIES = _NullSeries()
+
+
+class NullMetricsRegistry:
+    """Zero-cost stand-in wherever metrics are off (the default).
+
+    The simulator hot path and every default-constructed runner/store
+    hold this, so the observability plane costs nothing unless a caller
+    opts in with a real :class:`MetricsRegistry` — the same discipline
+    as ``NULL_TRACER`` / ``NULL_LATENCY``.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, help_text: str = "", labels: Sequence[str] = ()) -> _NullSeries:
+        return _NULL_SERIES
+
+    gauge = counter
+    histogram = counter
+
+    def snapshot(self) -> dict:
+        return {"schema": METRICS_SCHEMA, "metrics": {}}
+
+    def merge(self, snap: Optional[dict], extra_labels: Optional[dict] = None) -> None:
+        """No-op."""
+
+
+#: the shared disabled registry; components default to this.
+NULL_METRICS = NullMetricsRegistry()
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects (ints bare)."""
+    return str(int(value)) if float(value).is_integer() else repr(float(value))
+
+
+def _label_str(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{escape_label_value(value)}"' for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _render_histogram(name: str, labels: Dict[str, str], hist: dict, out: List[str]) -> None:
+    """One histogram series as cumulative ``_bucket``/``_sum``/``_count``.
+
+    The log2 buckets become ``le`` upper bounds (bucket *i* covers
+    ``[2**(i-1), 2**i)``, so its ``le`` is ``2**i``), which keeps the
+    exposition a faithful cumulative view of the underlying histogram.
+    """
+    buckets = {int(k): v for k, v in (hist.get("buckets") or {}).items()}
+    cumulative = 0.0
+    for index in sorted(buckets):
+        cumulative += buckets[index][0]
+        le = _format_value(float(2**index) if index > 0 else 1.0)
+        out.append(
+            f"{name}_bucket{_label_str(dict(labels, le=le))} {_format_value(cumulative)}"
+        )
+    out.append(
+        f'{name}_bucket{_label_str(dict(labels, le="+Inf"))} '
+        f"{_format_value(float(hist.get('n', 0)))}"
+    )
+    out.append(f"{name}_sum{_label_str(labels)} {_format_value(float(hist.get('sum', 0.0)))}")
+    out.append(f"{name}_count{_label_str(labels)} {_format_value(float(hist.get('n', 0)))}")
+
+
+def render_prometheus(
+    snapshots: Iterable[Tuple[Optional[dict], Optional[dict]]],
+) -> str:
+    """Render ``(snapshot, extra_labels)`` pairs as one text exposition.
+
+    Families sharing a name across snapshots merge under one
+    ``# HELP``/``# TYPE`` block; colliding series (same name *and* same
+    final label set) add for counters/histograms and last-write for
+    gauges — though in practice the service's ``worker=<id>`` stamping
+    keeps every snapshot's series distinct.
+    """
+    # name -> (kind, help); name -> {label_tuple_items: value|hist}
+    meta: Dict[str, Tuple[str, str]] = {}
+    series: Dict[str, Dict[Tuple[Tuple[str, str], ...], object]] = {}
+    for snap, extra_labels in snapshots:
+        extra = dict(extra_labels or {})
+        for name, doc in ((snap or {}).get("metrics") or {}).items():
+            kind = doc.get("kind", "gauge")
+            if name not in meta:
+                meta[name] = (kind, doc.get("help", ""))
+            bucket = series.setdefault(name, {})
+            for entry in doc.get("series", ()):
+                labels = dict(entry.get("labels", {}), **extra)
+                key = tuple(sorted(labels.items()))
+                if kind == "histogram":
+                    hist = LogHistogram.from_dict(entry.get("hist", {}))
+                    existing = bucket.get(key)
+                    if existing is not None:
+                        hist.merge_from(existing)  # associative either way
+                    bucket[key] = hist
+                else:
+                    value = float(entry.get("value", 0.0))
+                    if kind == "counter":
+                        value += float(bucket.get(key, 0.0))
+                    bucket[key] = value
+    out: List[str] = []
+    for name in sorted(meta):
+        kind, help_text = meta[name]
+        if help_text:
+            out.append(f"# HELP {name} {help_text}")
+        out.append(f"# TYPE {name} {kind}")
+        for key in sorted(series[name]):
+            labels = dict(key)
+            value = series[name][key]
+            if kind == "histogram":
+                _render_histogram(name, labels, value.to_dict(), out)
+            else:
+                out.append(f"{name}{_label_str(labels)} {_format_value(value)}")
+    return "\n".join(out) + "\n" if out else ""
+
+
+# ---------------------------------------------------------------------------
+# reading expositions and snapshots back (repro top, dashboard, tests)
+# ---------------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_RE = re.compile(r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"')
+
+
+def _unescape_label_value(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        if "\\" in value
+        else value
+    )
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse a text exposition back into ``{(name, labels): value}``.
+
+    Labels are a sorted tuple of ``(name, value)`` pairs.  Comment and
+    malformed lines are skipped; this reads *our own* exposition (and
+    any conforming one) for ``repro top --url`` and the tests.
+    """
+    out: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            continue
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            continue
+        labels = tuple(
+            sorted(
+                (m.group("name"), _unescape_label_value(m.group("value")))
+                for m in _LABEL_RE.finditer(match.group("labels") or "")
+            )
+        )
+        out[(match.group("name"), labels)] = value
+    return out
+
+
+def snapshot_value(
+    snap: Optional[dict], name: str, labels: Optional[dict] = None
+) -> float:
+    """Sum a snapshot family's series values matching *labels* (subset)."""
+    doc = ((snap or {}).get("metrics") or {}).get(name)
+    if not doc:
+        return 0.0
+    want = (labels or {}).items()
+    total = 0.0
+    for entry in doc.get("series", ()):
+        have = entry.get("labels", {})
+        if all(have.get(k) == v for k, v in want):
+            total += float(entry.get("value", 0.0))
+    return total
+
+
+def snapshot_histogram(
+    snap: Optional[dict], name: str, labels: Optional[dict] = None
+) -> Optional[LogHistogram]:
+    """Merge a snapshot family's histogram series matching *labels*."""
+    doc = ((snap or {}).get("metrics") or {}).get(name)
+    if not doc or doc.get("kind") != "histogram":
+        return None
+    want = (labels or {}).items()
+    merged: Optional[LogHistogram] = None
+    for entry in doc.get("series", ()):
+        have = entry.get("labels", {})
+        if all(have.get(k) == v for k, v in want):
+            hist = LogHistogram.from_dict(entry.get("hist", {}))
+            if merged is None:
+                merged = hist
+            else:
+                merged.merge_from(hist)
+    return merged
+
+
+def snapshot_to_json(snap: dict) -> str:
+    """Deterministic JSON for persisting a snapshot (job-store rows)."""
+    return json.dumps(snap, sort_keys=True)

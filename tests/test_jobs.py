@@ -31,6 +31,15 @@ from repro.jobs.service import (
     validate_submission,
 )
 from repro.obsv.ledger import canonical_points, read_ledger
+from repro.obsv.metrics import (
+    MetricsRegistry,
+    NULL_METRICS,
+    escape_label_value,
+    parse_prometheus,
+    render_prometheus,
+    snapshot_value,
+)
+from repro.obsv.top import fleet_from_store, render_top
 
 HORIZON, WARMUP = 1200.0, 800.0
 BENCHES = ["nw", "bfs"]
@@ -493,6 +502,325 @@ class TestService:
         assert progress["counts"]["pending"] == 1  # back in the queue
         assert progress["counts"]["running"] == 0
         store.close()
+
+
+# ---------------------------------------------------------------------------
+# the metrics registry and fleet observability
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_concurrent_increments_are_exact(self):
+        """4 threads hammering one counter lose nothing."""
+        registry = MetricsRegistry()
+        counter = registry.counter("t_total", "test", labels=("lane",))
+        hist = registry.histogram("t_us", "test")
+        per_thread, threads_n = 5_000, 4
+
+        def hammer(lane):
+            series = counter.labels(lane)
+            for i in range(per_thread):
+                series.inc()
+                hist.observe(float(i % 7 + 1))
+
+        threads = [threading.Thread(target=hammer, args=(f"l{i % 2}",))
+                   for i in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = registry.snapshot()
+        assert snapshot_value(snap, "t_total") == per_thread * threads_n
+        assert snapshot_value(snap, "t_total", {"lane": "l0"}) == 2 * per_thread
+        hist_doc = snap["metrics"]["t_us"]["series"][0]["hist"]
+        assert hist_doc["n"] == per_thread * threads_n
+
+    def test_label_cardinality_and_validation(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", "test", labels=("outcome",))
+        family.labels("a").inc()
+        family.labels("b").inc(2)
+        family.labels("a").inc(3)
+        snap = registry.snapshot()
+        series = snap["metrics"]["c_total"]["series"]
+        assert len(series) == 2  # one series per distinct label tuple
+        assert snapshot_value(snap, "c_total", {"outcome": "a"}) == 4
+        assert snapshot_value(snap, "c_total", {"outcome": "b"}) == 2
+        with pytest.raises(ValueError):
+            family.labels("a", "extra")  # arity mismatch
+        with pytest.raises(ValueError):
+            registry.gauge("c_total")  # kind mismatch on re-register
+        with pytest.raises(ValueError):
+            registry.counter("c_total", labels=("other",))  # label mismatch
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            family.labels("a").inc(-1)  # counters only go up
+        # idempotent re-registration returns the same family.
+        assert registry.counter("c_total", labels=("outcome",)) is family
+
+    def test_prometheus_escaping_roundtrip(self):
+        nasty = 'quo"te\\slash\nnewline'
+        assert escape_label_value(nasty) == 'quo\\"te\\\\slash\\nnewline'
+        registry = MetricsRegistry()
+        registry.counter("e_total", "test", labels=("path",)).labels(nasty).inc()
+        text = render_prometheus([(registry.snapshot(), None)])
+        assert "\n\n" not in text  # escaped newline never splits a sample
+        samples = parse_prometheus(text)
+        assert samples[("e_total", (("path", nasty),))] == 1.0
+
+    def test_snapshot_merge_roundtrip(self):
+        a = MetricsRegistry()
+        a.counter("m_total", "test", labels=("k",)).labels("x").inc(3)
+        a.gauge("m_gauge", "test").set(7.0)
+        a.histogram("m_us", "test").observe(100.0)
+        b = MetricsRegistry()
+        b.counter("m_total", "test", labels=("k",)).labels("x").inc(2)
+        b.merge(a.snapshot())
+        b.merge(a.snapshot())
+        snap = b.snapshot()
+        # counters add per merge; gauges last-write-win.
+        assert snapshot_value(snap, "m_total", {"k": "x"}) == 3 + 3 + 2
+        assert snapshot_value(snap, "m_gauge") == 7.0
+        assert snap["metrics"]["m_us"]["series"][0]["hist"]["n"] == 2
+        # extra labels widen the series without touching the original.
+        c = MetricsRegistry()
+        c.merge(a.snapshot(), extra_labels={"worker": "w1"})
+        stamped = c.snapshot()
+        assert snapshot_value(stamped, "m_total",
+                              {"k": "x", "worker": "w1"}) == 3
+        assert snapshot_value(stamped, "m_total", {"worker": "w9"}) == 0
+
+    def test_render_parse_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("r_total", "help text", labels=("op",)).labels("claim").inc(5)
+        registry.gauge("r_gauge").set(2.5)
+        registry.histogram("r_us", "latency").observe(3.0)
+        text = render_prometheus([(registry.snapshot(), None)])
+        assert "# TYPE r_total counter" in text
+        assert "# HELP r_total help text" in text
+        samples = parse_prometheus(text)
+        assert samples[("r_total", (("op", "claim"),))] == 5.0
+        assert samples[("r_gauge", ())] == 2.5
+        assert samples[("r_us_count", ())] == 1.0
+        assert samples[("r_us_sum", ())] == 3.0
+        # cumulative buckets: value 3 lands in le=4, carried into +Inf.
+        assert samples[("r_us_bucket", (("le", "4"),))] == 1.0
+        assert samples[("r_us_bucket", (("le", "+Inf"),))] == 1.0
+
+    def test_null_registry_absorbs_everything(self):
+        assert not NULL_METRICS.enabled
+        NULL_METRICS.counter("x_total", labels=("a",)).labels("v").inc()
+        NULL_METRICS.gauge("x").set(1.0)
+        NULL_METRICS.histogram("x_us").observe(2.0)
+        assert NULL_METRICS.snapshot()["metrics"] == {}
+
+
+class TestProgressEdges:
+    def test_zero_completed_has_no_rate_or_eta(self, tmp_path):
+        with SQLiteJobStore(tmp_path / "q.sqlite") as store:
+            sweep_id = submit(store)
+            progress = store.progress(sweep_id)
+            assert progress["points_per_s"] == 0.0
+            assert progress["eta_s"] is None
+
+    def test_all_failed_has_no_eta(self, tmp_path):
+        with SQLiteJobStore(tmp_path / "q.sqlite") as store:
+            sweep_id = submit(store, points=[("nw", SPECS[0])], max_attempts=1)
+            job = store.claim("w1", 30)
+            store.report(job.id, "w1", "failed", error="boom", retry_in_s=0.0)
+            progress = store.progress(sweep_id)
+            assert progress["status"] == "failed"
+            assert progress["points_per_s"] == 0.0
+            assert progress["eta_s"] is None
+
+    def test_future_created_ts_never_fabricates_rate(self, tmp_path):
+        """A submitting host's clock ahead of ours must not yield a
+        ~1e9 points/s division artifact."""
+        with SQLiteJobStore(tmp_path / "q.sqlite") as store:
+            sweep_id = submit(store, points=[("nw", SPECS[0]),
+                                             ("bfs", SPECS[0])])
+            job = store.claim("w1", 30)
+            store.report(job.id, "w1", "simulated", result={})
+            store._conn.execute(
+                "UPDATE sweeps SET created_ts=? WHERE id=?",
+                (time.time() + 3600.0, sweep_id),
+            )
+            progress = store.progress(sweep_id)
+            assert progress["elapsed_s"] == 0.0
+            assert progress["points_per_s"] == 0.0
+            assert progress["eta_s"] is None
+
+    def test_done_sweep_has_no_eta(self, tmp_path):
+        with SQLiteJobStore(tmp_path / "q.sqlite") as store:
+            sweep_id = submit(store, points=[("nw", SPECS[0])])
+            job = store.claim("w1", 30)
+            store.report(job.id, "w1", "simulated", result={})
+            progress = store.progress(sweep_id)
+            assert progress["status"] == "done"
+            assert progress["eta_s"] is None  # nothing remaining
+
+
+class TestFleetMetrics:
+    def instrumented_drain(self, tmp_path):
+        """Mirror ``_worker_main``: store and worker share one registry."""
+        path = tmp_path / "q.sqlite"
+        with SQLiteJobStore(path) as store:
+            sweep_id = submit(store)
+        registry = MetricsRegistry()
+        store = SQLiteJobStore(path, metrics=registry)
+        worker = Worker(store, worker_id="w1", poll_s=0.01, metrics=registry)
+        worker.run()
+        return store, sweep_id, registry
+
+    def test_store_and_worker_counters(self, tmp_path):
+        store, _sweep_id, registry = self.instrumented_drain(tmp_path)
+        total = len(BENCHES) * len(SPECS)
+        snap = registry.snapshot()
+        assert snapshot_value(snap, "repro_store_claims_total") == total
+        assert snapshot_value(snap, "repro_store_reports_total",
+                              {"outcome": "simulated"}) == total
+        assert snapshot_value(snap, "repro_worker_points_total",
+                              {"outcome": "simulated"}) == total
+        hist = snap["metrics"]["repro_worker_point_duration_us"]["series"]
+        assert sum(entry["hist"]["n"] for entry in hist) == total
+        op_hist = snap["metrics"]["repro_store_op_us"]["series"]
+        assert any(entry["labels"]["op"] == "claim" for entry in op_hist)
+        store.close()
+
+    def test_worker_snapshot_persists_through_store(self, tmp_path):
+        store, sweep_id, _registry = self.instrumented_drain(tmp_path)
+        fleet = store.workers_seen()
+        assert [entry["worker"] for entry in fleet] == ["w1"]
+        entry = fleet[0]
+        assert entry["uptime_s"] is not None and entry["age_s"] >= 0
+        persisted = entry["metrics"]
+        total = len(BENCHES) * len(SPECS)
+        assert snapshot_value(persisted, "repro_worker_points_total",
+                              {"outcome": "simulated"}) == total
+        # the store's own counters travel inside the worker snapshot.
+        assert snapshot_value(persisted, "repro_store_claims_total") == total
+        # repro top renders the same fleet state from the store.
+        text = render_top(fleet_from_store(store))
+        assert sweep_id in text
+        assert "w1" in text
+        store.close()
+
+    def test_default_worker_self_instruments(self, tmp_path):
+        """No registry given: the worker makes its own, so the fleet is
+        visible even over an un-instrumented store — but the store's
+        counters (NULL registry) stay out of the snapshot."""
+        path = tmp_path / "q.sqlite"
+        with SQLiteJobStore(path) as store:
+            submit(store, points=[("nw", SPECS[0])])
+        store = SQLiteJobStore(path)
+        Worker(store, worker_id="w1", poll_s=0.01).run()
+        fleet = store.workers_seen()
+        assert [entry["worker"] for entry in fleet] == ["w1"]
+        persisted = fleet[0]["metrics"]
+        assert snapshot_value(persisted, "repro_worker_points_total",
+                              {"outcome": "simulated"}) == 1
+        assert snapshot_value(persisted, "repro_store_claims_total") == 0
+        store.close()
+
+    def test_metrics_endpoint(self, service, tmp_path):
+        http_json(
+            service.url + "/sweeps",
+            {"design": "baseline", "workloads": ["nw"], "partitions": 2,
+             "horizon": HORIZON, "warmup": WARMUP},
+        )
+        registry = MetricsRegistry()
+        store = SQLiteJobStore(tmp_path / "q.sqlite", metrics=registry)
+        Worker(store, worker_id="w1", poll_s=0.01, metrics=registry).run()
+        store.close()
+        with urllib.request.urlopen(service.url + "/metrics") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode()
+        samples = parse_prometheus(text)
+        by_name = {}
+        for (name, labels), value in samples.items():
+            by_name.setdefault(name, []).append((dict(labels), value))
+        # the service's own HTTP series.
+        assert any(labels.get("endpoint") == "/sweeps"
+                   for labels, _ in by_name["repro_http_requests_total"])
+        assert "repro_http_request_duration_us_count" in by_name
+        # derived store gauges.
+        assert sum(v for labels, v in by_name["repro_store_jobs"]
+                   if labels.get("status") == "done") == 1
+        assert by_name["repro_store_sweeps"][0][1] == 1
+        # the drained worker's snapshot, stamped worker="w1".
+        assert any(labels.get("worker") == "w1" and
+                   labels.get("outcome") == "simulated" and value == 1
+                   for labels, value in by_name["repro_worker_points_total"])
+        assert by_name["repro_fleet_workers"][0][1] == 1
+
+    def test_events_endpoint(self, service, tmp_path):
+        _, doc = http_json(
+            service.url + "/sweeps",
+            {"design": "baseline", "workloads": BENCHES, "partitions": 2,
+             "horizon": HORIZON, "warmup": WARMUP},
+        )
+        sweep_id = doc["sweep_id"]
+        store = SQLiteJobStore(tmp_path / "q.sqlite")
+        Worker(store, worker_id="w1", poll_s=0.01).run()
+        store.close()
+        status, payload = http_json(
+            service.url + f"/sweeps/{sweep_id}/events?since=0&timeout=0"
+        )
+        assert status == 200
+        events = payload["events"]
+        assert len(events) == len(BENCHES)
+        assert all(event["status"] == "done" for event in events)
+        assert all("result" not in event for event in events)  # projection
+        assert payload["progress"]["status"] == "done"
+        # a cursor past the last event long-polls and returns empty
+        # immediately because the sweep is terminal.
+        last = max(event["done_ts"] for event in events)
+        _, tail = http_json(
+            service.url + f"/sweeps/{sweep_id}/events?since={last}&timeout=30"
+        )
+        assert tail["events"] == []
+        assert tail["now"] >= last
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http_json(service.url + "/sweeps/" + "0" * 12 +
+                      "/events?timeout=0")
+        assert excinfo.value.code == 404
+
+    def test_access_log(self, tmp_path):
+        log_path = tmp_path / "logs" / "access.jsonl"
+        svc = SweepService(tmp_path / "q.sqlite", port=0,
+                           access_log=log_path)
+        svc.run_in_thread()
+        try:
+            http_json(svc.url + "/healthz")
+            with pytest.raises(urllib.error.HTTPError):
+                http_json(svc.url + "/nope")
+        finally:
+            svc.shutdown()
+            svc.server_close()
+        records = [json.loads(line)
+                   for line in log_path.read_text().splitlines()]
+        assert [r["path"] for r in records] == ["/healthz", "/nope"]
+        assert [r["status"] for r in records] == [200, 404]
+        for record in records:
+            assert record["method"] == "GET"
+            assert record["duration_ms"] >= 0
+            assert record["ts"] > 0
+
+    def test_live_registry_counts_requests(self, service):
+        http_json(service.url + "/healthz")
+        # the handler's finally block runs just after the client reads
+        # the body — poll briefly rather than racing it.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            snap = service.metrics.snapshot()
+            if snapshot_value(snap, "repro_http_requests_total",
+                              {"endpoint": "/healthz", "status": "200"}):
+                break
+            time.sleep(0.01)
+        assert snapshot_value(snap, "repro_http_requests_total",
+                              {"endpoint": "/healthz", "status": "200"}) == 1
 
 
 class TestSynthesizedObservability:
