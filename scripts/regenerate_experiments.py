@@ -419,9 +419,13 @@ worker      state  sim  cached  fail  pts/s  seen
 host1-3021  idle   2    0       0     95.21  0s
 ```
 
-`--access-log PATH` appends one JSON line per request — `{{"ts":
-1786185400.873, "method": "GET", "path": "/healthz", "status": 200,
-"duration_ms": 0.4}}` — off by default.  All of it is strictly passive:
+`--access-log PATH` writes through the structured logger
+(`src/repro/obsv/logging.py`): one JSON line per request — `{{"ts":
+1786185400.873, "level": "info", "event": "http.request", "method":
+"GET", "path": "/healthz", "status": 200, "duration_ms": 0.4,
+"trace_id": "..."}}` — rolled to `<path>.1` before it would exceed
+`--access-log-max-bytes` (default 64 MiB); off by default.  All of it
+is strictly passive:
 the simulation core never touches the registry (the default
 `NULL_METRICS` stub absorbs everything behind one attribute load, and
 the runner guards even that), golden dumps stay bit-identical, and
@@ -429,6 +433,53 @@ the runner guards even that), golden dumps stay bit-identical, and
 overhead in `BENCH_parallel.json` under `metrics_registry` to keep it
 honest.  `scripts/serve_smoke.py` scrapes `/metrics` mid-CI and asserts
 the worker's claim/report counters made it through the store.
+
+## Distributed tracing
+
+A sweep that crosses three process kinds — service, workers, simulator
+— gets one correlated timeline (`src/repro/obsv/spans.py`).  `POST
+/sweeps` opens an `http.submit` request span and mints the sweep's
+trace id; the store persists the id with the sweep and stamps every job
+row with a W3C-style `traceparent`
+(`00-<32 hex trace>-<16 hex span>-<flags>`), so trace context crosses
+hosts the same way results do — through the SQLite store, with no
+network path between workers required.  Workers parse the job's
+traceparent (malformed context is dropped and the point simply runs
+untraced, per the W3C processing model), record a pre-measured
+`worker.claim` span, wrap execution in a `worker.execute` span whose
+lease heartbeats ride along as instant events, and hand the context to
+the `Runner`, which nests `runner.point` ⊃ `runner.simulate` spans
+underneath and stamps `trace_id`/`span_id` into its ledger records and
+telemetry metadata.  Every finished span lands back in the store's
+`spans` table — the same rendezvous the results use.
+
+```bash
+repro spans <sweep-id> --store sweeps.sqlite         # indented span tree
+repro spans <sweep-id> --url http://localhost:8076   # same, over HTTP
+repro spans <sweep-id> --store ... --chrome t.json   # Perfetto trace_event
+curl -s localhost:8076/sweeps/<id>/spans             # raw span records
+```
+
+The span tree shows request ⊃ claim/execute ⊃ point ⊃ simulate with
+per-span wall offsets and durations; `--chrome` exports the Chrome
+`trace_event` format with one lane per component (`service`,
+`worker:<id>`, `runner`), loadable in ui.perfetto.dev, and the
+dashboard's "Sweep timeline" section renders the same spans as an SVG
+Gantt.  The serve process also runs a background **reaper thread**
+(every `--reaper-interval` seconds, default half the worker lease) so
+expired leases requeue even when nobody polls — passes counted by
+`repro_reaper_passes_total` — and idle workers back off exponentially
+with a deterministic per-worker jitter factor seeded by worker id, so
+a fleet never polls the store in lockstep.
+
+Tracing follows the observability ground rules: spans take their
+timeline position from the wall clock but their duration from a
+monotonic clock, sinks swallow their own errors, the disabled path
+(`NULL_SPANS`) costs one attribute check, and untraced ledger records
+carry no trace fields at all — `tests/test_spans.py` asserts traced
+and untraced sweeps stay canonical-record identical, and
+`scripts/serve_smoke.py` validates one trace id across the whole
+HTTP → worker → simulator flow in CI.
 """
 
     text = header + "\n" + "\n".join(sections)

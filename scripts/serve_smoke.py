@@ -4,9 +4,13 @@
 Starts ``repro serve`` as a subprocess on an ephemeral port, submits a
 two-point sweep with POST /sweeps, drains it with one ``repro worker``
 subprocess, polls progress until the sweep is terminal, asserts the
-rendered dashboard HTML is non-empty, and scrapes ``GET /metrics``,
-asserting the worker's claim/report counters made it through the store
-and the service's own request histograms are present.  Exercises the
+rendered dashboard HTML is non-empty, scrapes ``GET /metrics``
+(asserting the worker's claim/report counters made it through the store
+and the service's own request histograms are present), and validates
+the distributed trace: ``GET /sweeps/<id>/spans`` must show one trace
+id with at least one ``runner.point`` span per point, and ``repro
+spans --chrome`` must emit a loadable trace_event file (written to
+``$SMOKE_TRACE_OUT`` when set, for CI artifact upload).  Exercises the
 exact process boundaries CI cares about: server and worker are separate
 OS processes meeting only at the SQLite store, and the client talks
 real TCP.
@@ -166,6 +170,38 @@ def main() -> int:
         assert top.returncode == 0, top.stderr
         assert sweep_id in top.stdout, top.stdout
         print("repro top ok")
+
+        spans_doc = http_json(base + f"/sweeps/{sweep_id}/spans")
+        spans = spans_doc["spans"]
+        trace_ids = {s["trace_id"] for s in spans}
+        assert trace_ids == {submitted["trace_id"]}, trace_ids
+        points = [s for s in spans if s["name"] == "runner.point"]
+        assert len(points) >= submitted["total"], (
+            f"expected >= {submitted['total']} runner.point spans, "
+            f"got {len(points)}"
+        )
+        assert any(s["name"] == "http.submit" for s in spans), spans
+        assert any(s["name"] == "worker.execute" for s in spans), spans
+        print(f"spans ok ({len(spans)} spans, one trace)")
+
+        chrome_out = os.environ.get(
+            "SMOKE_TRACE_OUT", str(tmp / "sweep-trace.json")
+        )
+        spans_cli = subprocess.run(
+            [*REPRO, "spans", sweep_id, "--store", str(store),
+             "--chrome", chrome_out],
+            capture_output=True, text=True, env=ENV, cwd=ROOT,
+            timeout=TIMEOUT_S,
+        )
+        assert spans_cli.returncode == 0, spans_cli.stderr
+        assert "runner.simulate" in spans_cli.stdout, spans_cli.stdout
+        chrome = json.loads(Path(chrome_out).read_text())
+        x_events = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        assert len(x_events) >= submitted["total"], chrome["otherData"]
+        assert chrome["otherData"]["sweep_id"] == sweep_id
+        print(
+            f"repro spans ok ({len(x_events)} timeline events -> {chrome_out})"
+        )
 
         print("serve smoke: PASS")
         return 0

@@ -14,6 +14,8 @@ Commands
                the committed ``BENCH_core.json``)
 ``figure``     regenerate one paper figure/table and print it
 ``serve``      long-lived HTTP/JSON sweep service over a shared job store
+``spans``      print a sweep's distributed-trace span tree (``--chrome``
+               exports a trace_event file for Perfetto)
 ``top``        live terminal view of the fleet (sweeps, workers, rates)
 ``worker``     claim and execute points from a shared job store
 ``scorecard``  evaluate the paper-fidelity scorecard (exit 1 on FAIL)
@@ -293,7 +295,49 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="append one structured JSONL record per request "
-        "(ts, method, path, status, duration_ms)",
+        "(ts, level, event, method, path, status, duration_ms, trace_id)",
+    )
+    serve.add_argument(
+        "--access-log-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="roll the access log to <path>.1 when it would exceed N bytes "
+        "(default 64 MiB)",
+    )
+    serve.add_argument(
+        "--reaper-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="background expired-lease reaper period (default 15; "
+        "0 disables the reaper thread)",
+    )
+
+    spans = sub.add_parser(
+        "spans",
+        help="print one sweep's distributed-trace span tree; optionally "
+        "export a Chrome trace_event file",
+    )
+    spans.add_argument("sweep_id", metavar="SWEEP", help="sweep id to inspect")
+    spans_source = spans.add_mutually_exclusive_group(required=True)
+    spans_source.add_argument(
+        "--store", metavar="PATH", help="read a job store SQLite file directly"
+    )
+    spans_source.add_argument(
+        "--url", metavar="URL", help="read a running `repro serve` over HTTP"
+    )
+    spans.add_argument(
+        "--chrome",
+        default=None,
+        metavar="PATH",
+        help="also write a chrome://tracing / Perfetto trace_event JSON file",
+    )
+    spans.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the raw span records as JSON",
     )
 
     top = sub.add_parser(
@@ -858,12 +902,18 @@ def _cmd_serve(args) -> int:
     from repro.jobs.worker import run_workers
 
     port = DEFAULT_PORT if args.port is None else args.port
+    extra = {}
+    if args.access_log_max_bytes is not None:
+        extra["access_log_max_bytes"] = args.access_log_max_bytes
+    if args.reaper_interval is not None:
+        extra["reaper_interval_s"] = args.reaper_interval
     service = SweepService(
         args.store,
         host=args.host,
         port=port,
         quiet=not args.verbose,
         access_log=args.access_log,
+        **extra,
     )
     workers = []
     if args.workers:
@@ -937,6 +987,66 @@ def _cmd_worker(args) -> int:
         f"{executed['failed']} failed"
     )
     store.close()
+    return 0
+
+
+def _cmd_spans(args) -> int:
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    from repro.obsv.spans import span_tree, spans_to_chrome, validate_links
+
+    root_span = None
+    if args.url:
+        url = args.url.rstrip("/") + f"/sweeps/{args.sweep_id}/spans"
+        try:
+            with urllib.request.urlopen(url, timeout=10.0) as response:
+                doc = _json.loads(response.read())
+        except urllib.error.URLError as exc:
+            print(f"repro spans: cannot fetch {url}: {exc}", file=sys.stderr)
+            return 1
+        records = doc["spans"]
+        root_span = doc.get("root_span")
+    else:
+        from repro.jobs.store import SQLiteJobStore
+
+        store = SQLiteJobStore(args.store)
+        try:
+            records = store.spans(args.sweep_id)
+            root_span = store.progress(args.sweep_id).get("root_span")
+        except KeyError:
+            print(f"repro spans: unknown sweep {args.sweep_id}", file=sys.stderr)
+            return 1
+        finally:
+            store.close()
+
+    if not records:
+        print(f"sweep {args.sweep_id}: no spans recorded (tracing disabled?)")
+        return 0
+    trace_ids = sorted({r.get("trace_id") for r in records if r.get("trace_id")})
+    print(f"sweep             {args.sweep_id}")
+    print(f"trace             {', '.join(trace_ids) or '-'}")
+    print(f"spans             {len(records)}")
+    for problem in validate_links(records, roots=[root_span] if root_span else None):
+        print(f"warning           {problem}")
+    print()
+    for line in span_tree(records):
+        print(line)
+    if args.json:
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(_json.dumps(records, indent=2, sort_keys=True))
+        print(f"\nspan records      {out}")
+    if args.chrome:
+        out = Path(args.chrome)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        doc = spans_to_chrome(records, meta={"sweep_id": args.sweep_id})
+        out.write_text(_json.dumps(doc, indent=2, sort_keys=True))
+        print(
+            f"\nchrome trace      {out} "
+            f"({len(doc['traceEvents'])} events; open in ui.perfetto.dev)"
+        )
     return 0
 
 
@@ -1191,6 +1301,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "spans":
+        return _cmd_spans(args)
     if args.command == "top":
         return _cmd_top(args)
     if args.command == "worker":

@@ -370,11 +370,22 @@ class ParallelRunner(Runner):
                     self._m_points.labels("disk_hit").inc()
                 result = result_from_dict(payload)
                 self._memory[key] = result
+                trace_id = span_id = None
+                if self._spans_on:
+                    span_record = self._spans.record(
+                        "runner.point", component="runner",
+                        parent=self._span_parent,
+                        attrs={"workload": workload_name, "config": key[1],
+                               "outcome": "cached"},
+                    )
+                    trace_id = span_record["trace_id"]
+                    span_id = span_record["span_id"]
                 if self.ledger is not None:
                     from repro.obsv.ledger import key_stats
 
                     self._record_ledger(
-                        workload_name, key[1], "cached", stats=key_stats(result)
+                        workload_name, key[1], "cached", stats=key_stats(result),
+                        trace_id=trace_id, span_id=span_id,
                     )
                 continue
             pending.append((key, disk_key, workload_name, config))
@@ -392,6 +403,12 @@ class ParallelRunner(Runner):
         if not pending:
             return 0
 
+        batch_span = None
+        if self._spans_on:
+            batch_span = self._spans.start_span(
+                "runner.batch", component="runner", parent=self._span_parent,
+                attrs={"pending": len(pending), "jobs": jobs},
+            )
         if self.heartbeat_path is not None:
             # leading record: lets consumers compute progress/ETA before
             # the first point completes (and distinguishes "just started"
@@ -450,6 +467,24 @@ class ParallelRunner(Runner):
                 continue
             export = payload.pop("_telemetry", None)
             elapsed = payload.pop("_elapsed_s", None)
+            trace_id = span_id = None
+            if self._spans_on:
+                # pool workers are trace-blind; the parent records their
+                # spans at merge from the worker-reported wall time (the
+                # jobs=1 path goes through Runner.run and is exact).
+                span_record = self._spans.record(
+                    "runner.point", component="runner", parent=batch_span,
+                    ts=time.time() - (elapsed or 0.0),
+                    duration_s=elapsed or 0.0,
+                    attrs={"workload": key[0], "config": key[1],
+                           "outcome": "simulated",
+                           "timing": "worker-reported"},
+                )
+                trace_id = span_record["trace_id"]
+                span_id = span_record["span_id"]
+                if isinstance(export, dict) and isinstance(export.get("meta"), dict):
+                    export["meta"]["trace_id"] = trace_id
+                    export["meta"]["span_id"] = span_id
             tel_dir = self._persist_telemetry(key[0], key[1], export)
             self._cache_put(disk_key, payload)
             result = result_from_dict(payload)
@@ -465,13 +500,29 @@ class ParallelRunner(Runner):
                     duration_s=elapsed,
                     stats=key_stats(result),
                     telemetry_dir=tel_dir,
+                    trace_id=trace_id,
+                    span_id=span_id,
                 )
         for index, exc in errors:
             key = pending[index][0]
+            trace_id = span_id = None
+            if self._spans_on:
+                span_record = self._spans.record(
+                    "runner.point", component="runner", parent=batch_span,
+                    status="error",
+                    attrs={"workload": key[0], "config": key[1],
+                           "outcome": "failed"},
+                )
+                trace_id = span_record["trace_id"]
+                span_id = span_record["span_id"]
             self._record_ledger(
-                key[0], key[1], "failed", error=f"{type(exc).__name__}: {exc}"
+                key[0], key[1], "failed", error=f"{type(exc).__name__}: {exc}",
+                trace_id=trace_id, span_id=span_id,
             )
         self.stats.add_phase("merge", time.perf_counter() - t2)
+        if batch_span is not None:
+            batch_span.set(completed=completed, failed=len(errors))
+            batch_span.end(status="error" if errors else None)
         self._emit_heartbeat_done(completed, len(pending), t1, len(errors))
         if errors:
             # completed points are already durably cached and ledgered;

@@ -229,6 +229,14 @@ class Runner:
 
             self.ledger = RunLedger(ledger_path)
         self.stats = RunnerStats()
+        # Distributed-trace context, NULL by default (same discipline as
+        # metrics): a worker executing a claimed job injects a recorder +
+        # parent span via set_trace_context, and every site below guards
+        # on the plain bool so the untraced path — the one golden dumps
+        # are recorded on — does no extra work.
+        self._spans = None
+        self._span_parent = None
+        self._spans_on = False
         self._memory: Dict[Tuple[str, str], SimulationResult] = {}
         self._cache_path = Path(cache_path) if cache_path else None
         self._disk: Dict[str, dict] = {}
@@ -310,6 +318,18 @@ class Runner:
         write_artifacts(directory, export)
         return directory
 
+    def set_trace_context(self, recorder, parent=None) -> None:
+        """Attach (or clear) distributed-trace context.
+
+        *recorder* is a :class:`~repro.obsv.spans.SpanRecorder` (or the
+        NULL stub, or ``None`` to clear); *parent* is the span/context
+        the per-point spans hang beneath — the worker's ``worker.execute``
+        span on the serving path.
+        """
+        self._spans = recorder
+        self._span_parent = parent
+        self._spans_on = bool(recorder is not None and recorder.enabled)
+
     def _record_ledger(
         self,
         workload_name: str,
@@ -319,6 +339,8 @@ class Runner:
         stats: Optional[dict] = None,
         telemetry_dir: Optional[Path] = None,
         error: Optional[str] = None,
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
     ) -> None:
         if self.ledger is None:
             return
@@ -332,6 +354,8 @@ class Runner:
             stats=stats,
             telemetry_dir=telemetry_dir,
             error=error,
+            trace_id=trace_id,
+            span_id=span_id,
         )
 
     def _refresh_metric_gauges(self) -> None:
@@ -345,6 +369,13 @@ class Runner:
             self.stats.memory_hits += 1
             if self._metrics_on:
                 self._m_points.labels("memory_hit").inc()
+            if self._spans_on:
+                self._spans.record(
+                    "runner.point", component="runner",
+                    parent=self._span_parent,
+                    attrs={"workload": workload_name, "config": key[1],
+                           "outcome": "memory_hit"},
+                )
             return cached
         disk_key = self._disk_key(workload_name, key[1])
         payload = self._cache_get(disk_key)
@@ -353,13 +384,37 @@ class Runner:
             if self._metrics_on:
                 self._m_points.labels("disk_hit").inc()
             result = result_from_dict(payload)
+            trace_id = span_id = None
+            if self._spans_on:
+                span_record = self._spans.record(
+                    "runner.point", component="runner",
+                    parent=self._span_parent,
+                    attrs={"workload": workload_name, "config": key[1],
+                           "outcome": "cached"},
+                )
+                trace_id = span_record["trace_id"]
+                span_id = span_record["span_id"]
             if self.ledger is not None:
                 from repro.obsv.ledger import key_stats
 
                 self._record_ledger(
-                    workload_name, key[1], "cached", stats=key_stats(result)
+                    workload_name, key[1], "cached", stats=key_stats(result),
+                    trace_id=trace_id, span_id=span_id,
                 )
         else:
+            point_span = None
+            sim_span = None
+            if self._spans_on:
+                point_span = self._spans.start_span(
+                    "runner.point", component="runner",
+                    parent=self._span_parent,
+                    attrs={"workload": workload_name, "config": key[1]},
+                )
+                sim_span = self._spans.start_span(
+                    "runner.simulate", component="runner", parent=point_span,
+                    attrs={"workload": workload_name,
+                           "horizon": self.horizon, "warmup": self.warmup},
+                )
             t0 = time.perf_counter()
             try:
                 result = simulate(
@@ -369,20 +424,36 @@ class Runner:
                     warmup=self.warmup,
                 )
             except (Exception, KeyboardInterrupt) as exc:
+                if point_span is not None:
+                    sim_span.end(status="error")
+                    point_span.set(outcome="failed")
+                    point_span.end(status="error")
                 self._record_ledger(
                     workload_name,
                     key[1],
                     "failed",
                     duration_s=time.perf_counter() - t0,
                     error=f"{type(exc).__name__}: {exc}",
+                    trace_id=point_span.trace_id if point_span else None,
+                    span_id=point_span.span_id if point_span else None,
                 )
                 raise
             elapsed = time.perf_counter() - t0
+            if sim_span is not None:
+                sim_span.end()
             self.stats.sim_seconds += elapsed
             self.stats.points_simulated += 1
             if self._metrics_on:
                 self._m_points.labels("simulated").inc()
                 self._refresh_metric_gauges()
+            if point_span is not None and isinstance(result.telemetry, dict):
+                # join the point's sim-level artifacts (trace.json meta /
+                # summary.json) to its service-level span.  Only when a
+                # trace is live: untraced exports stay byte-identical.
+                meta = result.telemetry.get("meta")
+                if isinstance(meta, dict):
+                    meta["trace_id"] = point_span.trace_id
+                    meta["span_id"] = point_span.span_id
             tel_dir = self._persist_telemetry(workload_name, key[1], result.telemetry)
             # the result cache stays telemetry-free: artifacts live in
             # telemetry_dir, and cached payloads are identical whether the
@@ -398,7 +469,12 @@ class Runner:
                     duration_s=elapsed,
                     stats=key_stats(result),
                     telemetry_dir=tel_dir,
+                    trace_id=point_span.trace_id if point_span else None,
+                    span_id=point_span.span_id if point_span else None,
                 )
+            if point_span is not None:
+                point_span.set(outcome="simulated")
+                point_span.end()
         self._memory[key] = result
         return result
 

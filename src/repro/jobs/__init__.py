@@ -26,6 +26,14 @@ Live fleet visibility rides the store: every worker persists its
 on its heartbeat path, so the service (and ``repro top``) can render
 per-worker throughput for processes on other hosts.
 
+Distributed tracing rides the store the same way: ``submit_sweep``
+stamps every sweep with a trace id and every job row with a W3C-style
+``traceparent``; workers parse it, wrap claim/execute in child spans,
+hand the context to the runner for per-point spans, and persist every
+finished span back through :meth:`SQLiteJobStore.record_span` — so
+``repro spans`` (and the dashboard timeline) can render one correlated
+timeline across the service, every worker host, and the simulator.
+
 The simulator is deterministic, so a sweep drained by many workers is
 bit-identical — statistics and canonical ledger records — to the same
 points run serially; ``tests/test_jobs.py`` enforces this, including
@@ -38,8 +46,9 @@ from repro.jobs.store import (
     JobStore,
     SQLiteJobStore,
     open_store,
+    span_sink,
 )
-from repro.jobs.worker import Worker, run_workers
+from repro.jobs.worker import Worker, backoff_jitter, run_workers
 from repro.jobs.service import SweepService, serve
 
 __all__ = [
@@ -49,7 +58,9 @@ __all__ = [
     "SQLiteJobStore",
     "SweepService",
     "Worker",
+    "backoff_jitter",
     "open_store",
     "run_workers",
     "serve",
+    "span_sink",
 ]

@@ -25,13 +25,18 @@ API (all JSON unless noted)::
          ?since=TS&timeout=S      ``since``; returns early when any land
     GET  /sweeps/<id>/dashboard   the PR-5 self-contained HTML report
                                   (text/html), synthesized from store rows
+    GET  /sweeps/<id>/spans       the sweep's distributed-trace span
+                                  records (submit/claim/execute/simulate)
     GET  /metrics                 Prometheus text exposition (text/plain):
                                   service HTTP series, store counters,
                                   queue-depth gauges, and every worker's
                                   persisted snapshot labeled worker="id"
 
-Progress queries also sweep expired leases back into the queue, so a
-dead worker's points become claimable the next time anyone looks.
+Expired leases are reclaimed two ways: progress queries sweep them
+inline (so a dead worker's points become claimable the next time anyone
+looks), and a background **reaper thread** runs :meth:`requeue_expired`
+every ``reaper_interval_s`` (default: half the worker lease) so
+abandoned leases requeue even when nobody is polling.
 
 The service keeps a live :class:`~repro.obsv.metrics.MetricsRegistry`
 shared with its store, so request counts/latency and service-side store
@@ -39,8 +44,14 @@ ops are always on.  Workers are separate processes — their registries
 arrive through the store's ``workers`` table (persisted on the lease
 heartbeat path) and are re-rendered here with a ``worker`` label, which
 is what makes ``GET /metrics`` a *fleet* view rather than one process's.
-An opt-in structured access log (``--access-log``) appends one JSONL
-record per request: ts, method, path, status, duration_ms.
+
+Every request is also a **trace participant**: the handler opens a
+request span, ``POST /sweeps`` mints the sweep's trace and stamps its
+request span as the root (persisted to the store's ``spans`` table, so
+worker and runner spans hang beneath it), and the opt-in access log
+(``--access-log``) rides the structured JSONL logger — one record per
+request with ts, method, path, status, duration_ms and, where known,
+trace_id/span_id — with max-size rollover for long-running serves.
 
 The service is an *observer and broker*, never a simulator: submission
 validates designs/workloads against the same registries the CLI uses
@@ -64,13 +75,22 @@ import repro
 from repro.experiments.designs import DESIGNS
 from repro.experiments.runner import result_from_dict
 from repro.jobs.store import SQLiteJobStore, iter_points
+from repro.obsv.logging import DEFAULT_MAX_BYTES, NULL_LOG, StructuredLogger
 from repro.obsv.metrics import MetricsRegistry, render_prometheus
+from repro.obsv.spans import SPAN_SCHEMA, new_span_id, new_trace_id
 from repro.workloads.suite import BENCHMARK_ORDER
 
 #: default TCP port; "s" + "m" (secure memory) on a phone keypad.
 DEFAULT_PORT = 8076
 
-_SWEEP_PATH = re.compile(r"^/sweeps/([0-9a-f]{12})(/results|/dashboard|/events)?$")
+#: background lease-reaper cadence: half the default worker lease (30 s),
+#: so an abandoned lease is back in the queue within one lease period
+#: even when no client ever polls progress.
+DEFAULT_REAPER_INTERVAL_S = 15.0
+
+_SWEEP_PATH = re.compile(
+    r"^/sweeps/([0-9a-f]{12})(/results|/dashboard|/events|/spans)?$"
+)
 
 #: long-poll defaults/caps for GET /sweeps/<id>/events.
 EVENTS_DEFAULT_TIMEOUT_S = 25.0
@@ -233,15 +253,19 @@ class SweepService(ThreadingHTTPServer):
         port: int = DEFAULT_PORT,
         quiet: bool = True,
         access_log: Optional[str | Path] = None,
+        access_log_max_bytes: int = DEFAULT_MAX_BYTES,
+        reaper_interval_s: Optional[float] = DEFAULT_REAPER_INTERVAL_S,
     ) -> None:
         self.metrics = MetricsRegistry()
         self.store = SQLiteJobStore(store_path, metrics=self.metrics)
         self.store_path = Path(store_path)
         self.quiet = quiet
         self.access_log_path = Path(access_log) if access_log else None
-        if self.access_log_path is not None:
-            self.access_log_path.parent.mkdir(parents=True, exist_ok=True)
-        self._access_lock = threading.Lock()
+        self.access_log = (
+            StructuredLogger(self.access_log_path, max_bytes=access_log_max_bytes)
+            if self.access_log_path is not None
+            else NULL_LOG
+        )
         self.m_requests = self.metrics.counter(
             "repro_http_requests_total",
             "HTTP requests served, by method/endpoint/status",
@@ -252,19 +276,38 @@ class SweepService(ThreadingHTTPServer):
             "HTTP request wall time in microseconds, by endpoint",
             labels=("endpoint",),
         )
+        self.m_reaper_passes = self.metrics.counter(
+            "repro_reaper_passes_total",
+            "Background lease-reaper sweeps completed",
+        )
         super().__init__((host, port), _Handler)
+        self._reaper_stop = threading.Event()
+        self._reaper_thread: Optional[threading.Thread] = None
+        if reaper_interval_s is not None and reaper_interval_s > 0:
+            self._reaper_thread = threading.Thread(
+                target=self._reaper_loop,
+                args=(float(reaper_interval_s),),
+                daemon=True,
+                name="sweep-reaper",
+            )
+            self._reaper_thread.start()
 
     def log_access(self, record: dict) -> None:
-        """Append one JSONL access record, best-effort (opt-in)."""
-        if self.access_log_path is None:
-            return
-        try:
-            line = json.dumps(record, sort_keys=True) + "\n"
-            with self._access_lock:
-                with open(self.access_log_path, "a") as fh:
-                    fh.write(line)
-        except OSError:
-            pass  # auditing must never take down the service
+        """Append one structured access record, best-effort (opt-in)."""
+        self.access_log.log("http.request", **record)
+
+    def _reaper_loop(self, interval_s: float) -> None:
+        """Requeue expired leases on a fixed cadence, poller or not."""
+        while not self._reaper_stop.wait(interval_s):
+            try:
+                requeued, poisoned = self.store.requeue_expired()
+            except Exception:  # noqa: BLE001 — a closing store must not raise
+                return
+            self.m_reaper_passes.inc()
+            if requeued or poisoned:
+                self.access_log.log(
+                    "reaper.pass", requeued=requeued, poisoned=poisoned
+                )
 
     @property
     def url(self) -> str:
@@ -277,7 +320,10 @@ class SweepService(ThreadingHTTPServer):
         thread.start()
         return thread
 
-    def server_close(self) -> None:  # also close the store
+    def server_close(self) -> None:  # also stop the reaper, close the store
+        self._reaper_stop.set()
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(timeout=5.0)
         super().server_close()
         self.store.close()
 
@@ -309,24 +355,60 @@ class _Handler(BaseHTTPRequestHandler):
         return "other"
 
     def _instrumented(self, method: str, route) -> None:
-        """Run one route with request metrics + the optional access log."""
+        """Run one route with a request span, metrics + the access log.
+
+        Every request gets a span id; routes that resolve a sweep set
+        ``self._trace_id`` so the access-log line joins the sweep's
+        trace, and ``POST /sweeps`` sets ``self._persist_span`` so its
+        finished request span is stored as the trace root the worker
+        and runner spans hang beneath.
+        """
         server = self.server
         self._status = 0
+        self._trace_id = None
+        self._span_id = new_span_id()
+        self._persist_span: Optional[str] = None  # sweep id to store under
+        wall_ts = time.time()
         start = time.perf_counter()
         try:
             route()
         finally:
             duration_s = time.perf_counter() - start
             endpoint = self._endpoint_label()
-            server.m_requests.labels(method, endpoint, str(self._status or 0)).inc()
+            status = self._status or 0
+            server.m_requests.labels(method, endpoint, str(status)).inc()
             server.m_request_us.labels(endpoint).observe(duration_s * 1e6)
+            if self._persist_span and self._trace_id:
+                try:
+                    server.store.record_span(
+                        self._persist_span,
+                        {
+                            "schema": SPAN_SCHEMA,
+                            "event": "span",
+                            "trace_id": self._trace_id,
+                            "span_id": self._span_id,
+                            "parent_id": None,
+                            "name": "http.submit",
+                            "component": "service",
+                            "ts": wall_ts,
+                            "duration_s": duration_s,
+                            "status": "ok" if status < 400 else "error",
+                            "attrs": {"method": method, "endpoint": endpoint,
+                                      "http.status": status},
+                            "events": [],
+                        },
+                    )
+                except Exception:  # noqa: BLE001 — tracing is passive
+                    pass
             server.log_access(
                 {
                     "ts": round(time.time(), 3),
                     "method": method,
                     "path": self.path,
-                    "status": self._status or 0,
+                    "status": status,
                     "duration_ms": round(duration_s * 1e3, 3),
+                    "trace_id": self._trace_id,
+                    "span_id": self._span_id,
                 }
             )
 
@@ -388,6 +470,7 @@ class _Handler(BaseHTTPRequestHandler):
                             "GET /sweeps/<id>/results",
                             "GET /sweeps/<id>/events?since=TS&timeout=S",
                             "GET /sweeps/<id>/dashboard",
+                            "GET /sweeps/<id>/spans",
                         ],
                     },
                 )
@@ -410,8 +493,23 @@ class _Handler(BaseHTTPRequestHandler):
                         self._dashboard(sweep_id)
                     elif tail == "/events":
                         self._events(sweep_id, query)
+                    elif tail == "/spans":
+                        spans = store.spans(sweep_id)
+                        progress = store.progress(sweep_id)
+                        self._trace_id = progress.get("trace_id")
+                        self._json(
+                            200,
+                            {
+                                "sweep_id": sweep_id,
+                                "trace_id": progress.get("trace_id"),
+                                "root_span": progress.get("root_span"),
+                                "spans": spans,
+                            },
+                        )
                     else:
-                        self._json(200, store.progress(sweep_id))
+                        progress = store.progress(sweep_id)
+                        self._trace_id = progress.get("trace_id")
+                        self._json(200, progress)
                 except KeyError:
                     self._error(404, f"no such sweep: {sweep_id}")
                 return
@@ -432,7 +530,17 @@ class _Handler(BaseHTTPRequestHandler):
             except ValueError as exc:
                 self._error(400, str(exc))
                 return
-            sweep_id = self.server.store.submit_sweep(points, **options)
+            # the request span is the trace root: jobs inherit it via
+            # their traceparent, and _instrumented persists it once the
+            # request's duration is known.
+            self._trace_id = new_trace_id()
+            sweep_id = self.server.store.submit_sweep(
+                points,
+                trace_id=self._trace_id,
+                parent_span=self._span_id,
+                **options,
+            )
+            self._persist_span = sweep_id
             self._json(
                 201,
                 {
@@ -440,6 +548,8 @@ class _Handler(BaseHTTPRequestHandler):
                     "total": len(points),
                     "url": f"/sweeps/{sweep_id}",
                     "dashboard": f"/sweeps/{sweep_id}/dashboard",
+                    "spans": f"/sweeps/{sweep_id}/spans",
+                    "trace_id": self._trace_id,
                 },
             )
         except BrokenPipeError:
@@ -541,11 +651,13 @@ class _Handler(BaseHTTPRequestHandler):
 
         store = self.server.store
         progress = store.progress(sweep_id)  # KeyError -> 404 upstream
+        self._trace_id = progress.get("trace_id")
         html_text = build_dashboard(
             title=f"Sweep {sweep_id}" + (f" — {progress['label']}" if progress["label"] else ""),
             ledger_records=sweep_ledger_records(store, sweep_id),
             heartbeat_lines=sweep_heartbeat_lines(store, sweep_id),
             fleet=store.workers_seen(),
+            spans=store.spans(sweep_id),
             sources={"job store": str(self.server.store_path), "sweep": sweep_id},
         )
         self._send(200, html_text.encode(), "text/html; charset=utf-8")
@@ -557,8 +669,12 @@ def serve(
     port: int = DEFAULT_PORT,
     quiet: bool = True,
     access_log: Optional[str | Path] = None,
+    access_log_max_bytes: int = DEFAULT_MAX_BYTES,
+    reaper_interval_s: Optional[float] = DEFAULT_REAPER_INTERVAL_S,
 ) -> SweepService:
     """Construct (but don't start) the service; callers pick the loop."""
     return SweepService(
-        store_path, host=host, port=port, quiet=quiet, access_log=access_log
+        store_path, host=host, port=port, quiet=quiet, access_log=access_log,
+        access_log_max_bytes=access_log_max_bytes,
+        reaper_interval_s=reaper_interval_s,
     )

@@ -47,11 +47,14 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.obsv.metrics import NULL_METRICS, snapshot_to_json
+from repro.obsv.spans import SPAN_SCHEMA, format_traceparent, new_span_id, new_trace_id
 
 #: bump when the jobs/sweeps/workers table layout changes incompatibly.
-#: v2 added the ``workers`` table (live worker metric snapshots); the
-#: upgrade from v1 is additive, so old stores open seamlessly.
-JOB_SCHEMA = 2
+#: v2 added the ``workers`` table (live worker metric snapshots); v3
+#: added trace columns (``sweeps.trace_id``/``root_span``,
+#: ``jobs.traceparent``) and the ``spans`` table.  Both upgrades are
+#: additive, so old stores open seamlessly.
+JOB_SCHEMA = 3
 
 #: the states a job row can be in.
 STATUSES = ("pending", "running", "done", "failed")
@@ -81,6 +84,9 @@ class Job:
     attempts: int
     max_attempts: int
     lease_deadline: float
+    #: W3C-style trace context inherited from the submit request, so a
+    #: worker on another host can hang its spans under the same trace.
+    traceparent: Optional[str] = None
 
 
 class JobStore(Protocol):
@@ -100,6 +106,8 @@ class JobStore(Protocol):
         warmup: float,
         label: Optional[str] = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        trace_id: Optional[str] = None,
+        parent_span: Optional[str] = None,
     ) -> str: ...
 
     def claim(self, worker_id: str, lease_s: float) -> Optional[Job]: ...
@@ -134,6 +142,10 @@ class JobStore(Protocol):
 
     def workers_seen(self, max_age_s: Optional[float] = None) -> List[dict]: ...
 
+    def record_span(self, sweep_id: str, record: dict) -> None: ...
+
+    def spans(self, sweep_id: str) -> List[dict]: ...
+
     def close(self) -> None: ...
 
 
@@ -153,7 +165,9 @@ class SQLiteJobStore:
             horizon REAL NOT NULL,
             warmup REAL NOT NULL,
             total INTEGER NOT NULL,
-            label TEXT
+            label TEXT,
+            trace_id TEXT,
+            root_span TEXT
         )""",
         """CREATE TABLE IF NOT EXISTS jobs (
             id INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -173,7 +187,8 @@ class SQLiteJobStore:
             outcome TEXT,
             config_digest TEXT,
             result TEXT,
-            error TEXT
+            error TEXT,
+            traceparent TEXT
         )""",
         "CREATE INDEX IF NOT EXISTS jobs_claim ON jobs(status, not_before, sweep_id, seq)",
         "CREATE INDEX IF NOT EXISTS jobs_sweep ON jobs(sweep_id, seq)",
@@ -183,6 +198,28 @@ class SQLiteJobStore:
             updated_ts REAL NOT NULL,
             metrics TEXT
         )""",
+        """CREATE TABLE IF NOT EXISTS spans (
+            id INTEGER PRIMARY KEY AUTOINCREMENT,
+            sweep_id TEXT NOT NULL,
+            trace_id TEXT,
+            span_id TEXT,
+            parent_id TEXT,
+            name TEXT NOT NULL,
+            component TEXT,
+            ts REAL,
+            duration_s REAL,
+            status TEXT,
+            attrs TEXT,
+            events TEXT
+        )""",
+        "CREATE INDEX IF NOT EXISTS spans_sweep ON spans(sweep_id, ts)",
+    )
+
+    #: columns added by additive schema bumps: table -> (column, DDL type).
+    _UPGRADE_COLUMNS = (
+        ("sweeps", "trace_id", "TEXT"),
+        ("sweeps", "root_span", "TEXT"),
+        ("jobs", "traceparent", "TEXT"),
     )
 
     def __init__(
@@ -213,6 +250,10 @@ class SQLiteJobStore:
             "repro_store_op_us",
             "Store operation latency in microseconds",
             labels=("op",),
+        )
+        self._m_spans = metrics.counter(
+            "repro_store_spans_total",
+            "Distributed-trace spans persisted to the store",
         )
 
     def _timed(self, op: str):
@@ -247,6 +288,20 @@ class SQLiteJobStore:
                 )
             for statement in self._CREATE:
                 self._conn.execute(statement)
+            if version and version < JOB_SCHEMA:
+                # additive upgrade: CREATE IF NOT EXISTS left pre-bump
+                # tables untouched, so bolt on any column they miss.
+                for table, column, ddl_type in self._UPGRADE_COLUMNS:
+                    present = {
+                        row[1]
+                        for row in self._conn.execute(
+                            f"PRAGMA table_info({table})"
+                        )
+                    }
+                    if column not in present:
+                        self._conn.execute(
+                            f"ALTER TABLE {table} ADD COLUMN {column} {ddl_type}"
+                        )
             if version < JOB_SCHEMA:
                 self._conn.execute(f"PRAGMA user_version={JOB_SCHEMA}")
 
@@ -271,6 +326,8 @@ class SQLiteJobStore:
         warmup: float,
         label: Optional[str] = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        trace_id: Optional[str] = None,
+        parent_span: Optional[str] = None,
     ) -> str:
         """Insert one sweep and one pending job per point; returns its id.
 
@@ -278,26 +335,35 @@ class SQLiteJobStore:
         JSON-serializable description the worker can rebuild the exact
         :class:`~repro.common.config.GpuConfig` from — today
         ``{"design": <named design>, "partitions": N}``.
+
+        Every sweep gets trace context: *trace_id*/*parent_span* come
+        from the submitter's request span (the service stamps its HTTP
+        span here) or are minted fresh, and each job row carries the
+        resulting traceparent so workers join the same trace.
         """
         points = list(points)
         if not points:
             raise ValueError("a sweep needs at least one point")
         sweep_id = uuid.uuid4().hex[:12]
+        trace_id = trace_id or new_trace_id()
+        root_span = parent_span or new_span_id()
+        traceparent = format_traceparent(trace_id, root_span)
         now = time.time()
         with self._lock:
             self._conn.execute("BEGIN IMMEDIATE")
             try:
                 self._conn.execute(
-                    "INSERT INTO sweeps (id, created_ts, horizon, warmup, total, label)"
-                    " VALUES (?, ?, ?, ?, ?, ?)",
-                    (sweep_id, now, horizon, warmup, len(points), label),
+                    "INSERT INTO sweeps (id, created_ts, horizon, warmup, total,"
+                    " label, trace_id, root_span) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (sweep_id, now, horizon, warmup, len(points), label,
+                     trace_id, root_span),
                 )
                 self._conn.executemany(
-                    "INSERT INTO jobs (sweep_id, seq, workload, spec, max_attempts)"
-                    " VALUES (?, ?, ?, ?, ?)",
+                    "INSERT INTO jobs (sweep_id, seq, workload, spec, max_attempts,"
+                    " traceparent) VALUES (?, ?, ?, ?, ?, ?)",
                     [
                         (sweep_id, seq, workload, json.dumps(spec, sort_keys=True),
-                         max(1, int(max_attempts)))
+                         max(1, int(max_attempts)), traceparent)
                         for seq, (workload, spec) in enumerate(points)
                     ],
                 )
@@ -342,7 +408,7 @@ class SQLiteJobStore:
     def _job(self, job_id: int) -> Job:
         row = self._conn.execute(
             "SELECT j.id, j.sweep_id, j.seq, j.workload, j.spec, j.attempts,"
-            " j.max_attempts, j.lease_deadline, s.horizon, s.warmup"
+            " j.max_attempts, j.lease_deadline, j.traceparent, s.horizon, s.warmup"
             " FROM jobs j JOIN sweeps s ON s.id = j.sweep_id WHERE j.id=?",
             (job_id,),
         ).fetchone()
@@ -357,6 +423,7 @@ class SQLiteJobStore:
             attempts=row["attempts"],
             max_attempts=row["max_attempts"],
             lease_deadline=row["lease_deadline"],
+            traceparent=row["traceparent"],
         )
 
     def heartbeat(self, job_id: int, worker_id: str, lease_s: float) -> bool:
@@ -538,9 +605,12 @@ class SQLiteJobStore:
         status = "running"
         if terminal == total:
             status = "failed" if counts["failed"] else "done"
+        keys = sweep.keys()
         return {
             "sweep_id": sweep_id,
             "label": sweep["label"],
+            "trace_id": sweep["trace_id"] if "trace_id" in keys else None,
+            "root_span": sweep["root_span"] if "root_span" in keys else None,
             "created_ts": sweep["created_ts"],
             "horizon": sweep["horizon"],
             "warmup": sweep["warmup"],
@@ -645,7 +715,7 @@ class SQLiteJobStore:
                 raise KeyError(sweep_id)
             rows = self._conn.execute(
                 "SELECT seq, workload, spec, status, outcome, attempts, worker,"
-                " duration_s, done_ts, config_digest, result, error"
+                " duration_s, done_ts, config_digest, result, error, traceparent"
                 " FROM jobs WHERE sweep_id=? ORDER BY seq",
                 (sweep_id,),
             ).fetchall()
@@ -654,6 +724,7 @@ class SQLiteJobStore:
             out.append(
                 {
                     "seq": row["seq"],
+                    "traceparent": row["traceparent"],
                     "workload": row["workload"],
                     "spec": json.loads(row["spec"]),
                     "status": row["status"],
@@ -668,6 +739,97 @@ class SQLiteJobStore:
                 }
             )
         return out
+
+    # -- distributed trace spans ----------------------------------------
+
+    def record_span(self, sweep_id: str, record: dict) -> None:
+        """Persist one finished span record against a sweep.
+
+        Workers and the service both write here, so the store is the
+        rendezvous point for the merged timeline exactly as it is for
+        results and metric snapshots.
+        """
+        done = self._timed("record_span")
+        attrs = record.get("attrs") or {}
+        events = record.get("events") or []
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO spans (sweep_id, trace_id, span_id, parent_id,"
+                " name, component, ts, duration_s, status, attrs, events)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    sweep_id,
+                    record.get("trace_id"),
+                    record.get("span_id"),
+                    record.get("parent_id"),
+                    record.get("name") or "span",
+                    record.get("component"),
+                    record.get("ts"),
+                    record.get("duration_s"),
+                    record.get("status") or "ok",
+                    json.dumps(attrs, sort_keys=True, default=str) if attrs else None,
+                    json.dumps(events, default=str) if events else None,
+                ),
+            )
+            done()
+        self._m_spans.inc()
+
+    def spans(self, sweep_id: str) -> List[dict]:
+        """One sweep's span records in start order (record-dict shape).
+
+        Raises :class:`KeyError` for an unknown sweep id.
+        """
+        with self._lock:
+            if (
+                self._conn.execute(
+                    "SELECT 1 FROM sweeps WHERE id=?", (sweep_id,)
+                ).fetchone()
+                is None
+            ):
+                raise KeyError(sweep_id)
+            rows = self._conn.execute(
+                "SELECT trace_id, span_id, parent_id, name, component, ts,"
+                " duration_s, status, attrs, events FROM spans"
+                " WHERE sweep_id=? ORDER BY ts, id",
+                (sweep_id,),
+            ).fetchall()
+        out = []
+        for row in rows:
+            try:
+                attrs = json.loads(row["attrs"]) if row["attrs"] else {}
+            except ValueError:
+                attrs = {}
+            try:
+                events = json.loads(row["events"]) if row["events"] else []
+            except ValueError:
+                events = []
+            out.append(
+                {
+                    "schema": SPAN_SCHEMA,
+                    "event": "span",
+                    "trace_id": row["trace_id"],
+                    "span_id": row["span_id"],
+                    "parent_id": row["parent_id"],
+                    "name": row["name"],
+                    "component": row["component"],
+                    "ts": row["ts"],
+                    "duration_s": row["duration_s"],
+                    "status": row["status"],
+                    "attrs": attrs,
+                    "events": events,
+                }
+            )
+        return out
+
+
+def span_sink(store: JobStore, sweep_id: str):
+    """A :class:`~repro.obsv.spans.SpanRecorder` sink that persists
+    finished spans into *store* against *sweep_id*."""
+
+    def sink(record: dict) -> None:
+        store.record_span(sweep_id, record)
+
+    return sink
 
 
 def open_store(path: str | Path, metrics=NULL_METRICS) -> SQLiteJobStore:

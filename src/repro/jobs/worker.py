@@ -22,10 +22,19 @@ stops heartbeating and the lease lapses, returning the point to the
 queue for someone else.  Failures are retried with capped exponential
 backoff (stamped into the row's ``not_before``) and poison-failed at the
 attempt budget, so one crashing config cannot wedge a sweep.
+
+The worker is also a trace participant: each claimed job carries the
+sweep's traceparent (minted at submit), and the worker hangs a
+``worker.claim`` span and a ``worker.execute`` span (heartbeats as
+instant events) under it, persisted back through the store — the same
+rendezvous results take.  All backoff sleeps carry a deterministic
+per-worker jitter factor (seeded by the worker id) so a fleet of idle
+workers never polls the store in lockstep.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
 import socket
@@ -39,17 +48,34 @@ from repro.common.config import GpuConfig
 from repro.experiments.designs import build_named_gpu
 from repro.experiments.parallel import ParallelRunner
 from repro.experiments.runner import config_key, result_to_dict
-from repro.jobs.store import Job, SQLiteJobStore
+from repro.jobs.store import Job, SQLiteJobStore, span_sink
+from repro.obsv.logging import NULL_LOG
 from repro.obsv.metrics import MetricsRegistry
+from repro.obsv.spans import NULL_SPANS, SpanRecorder, parse_traceparent
 
-#: backoff after the n-th failed attempt: min(cap, base * 2**(n-1)).
+#: backoff after the n-th failed attempt: min(cap, base * 2**(n-1) * jitter).
 BACKOFF_BASE_S = 0.5
 BACKOFF_CAP_S = 30.0
+
+#: idle claim polling backs off exponentially from ``poll_s`` up to here.
+IDLE_BACKOFF_CAP_S = 5.0
 
 
 def default_worker_id() -> str:
     """host-pid-nonce: unique across hosts sharing one store."""
     return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+def backoff_jitter(worker_id: str) -> float:
+    """Deterministic per-worker jitter factor in ``[0.75, 1.25)``.
+
+    Seeded by the worker id (not the RNG) so a worker's backoff
+    schedule is reproducible run-to-run, yet any two workers sharing a
+    store desynchronize instead of hammering SQLite in lockstep after
+    a simultaneous idle poll or a common failure.
+    """
+    digest = hashlib.sha256(worker_id.encode("utf-8")).hexdigest()
+    return 0.75 + (int(digest[:8], 16) / 0x100000000) * 0.5
 
 
 def build_config(spec: dict) -> GpuConfig:
@@ -83,8 +109,11 @@ class Worker:
         ledger_dir: Optional[str | Path] = None,
         backoff_base_s: float = BACKOFF_BASE_S,
         backoff_cap_s: float = BACKOFF_CAP_S,
+        idle_cap_s: float = IDLE_BACKOFF_CAP_S,
         max_points: Optional[int] = None,
         metrics=None,
+        tracing: bool = True,
+        log=NULL_LOG,
     ) -> None:
         self.store = store
         self.worker_id = worker_id or default_worker_id()
@@ -94,7 +123,14 @@ class Worker:
         self.ledger_dir = Path(ledger_dir) if ledger_dir else None
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
+        self.idle_cap_s = max(self.poll_s, float(idle_cap_s))
         self.max_points = max_points
+        self.tracing = tracing
+        self.log = log
+        self.jitter = backoff_jitter(self.worker_id)
+        self._idle_streak = 0
+        #: wall ts + duration of the last successful claim, for its span.
+        self._last_claim: Tuple[float, float] = (0.0, 0.0)
         #: outcome -> count, over this worker's lifetime.
         self.executed: Dict[str, int] = {"simulated": 0, "cached": 0, "failed": 0}
         #: one runner per (horizon, warmup) window, reused across jobs so
@@ -180,20 +216,52 @@ class Worker:
         except Exception:  # noqa: BLE001 — observability must not kill work
             pass
 
-    def _heartbeat_loop(self, job: Job, stop: threading.Event) -> None:
+    def _heartbeat_loop(self, job: Job, stop: threading.Event, span) -> None:
         """Extend the lease at a third of its period until told to stop."""
         every = self.lease_s / 3.0
         while not stop.wait(every):
             if not self.store.heartbeat(job.id, self.worker_id, self.lease_s):
+                span.event("lease.lost")
                 return  # claim lost (lease expired under a stalled sim)
+            span.event("lease.heartbeat", lease_s=self.lease_s)
             self._m_heartbeats.inc()
             self._persist_snapshot()
 
+    def _trace_recorder(self, job: Job):
+        """The recorder + parent context for one claimed job.
+
+        The job row carries the sweep's traceparent; spans persist back
+        through the store (the fleet rendezvous), so a worker on any
+        host lands on the submit request's timeline.  No traceparent —
+        or tracing off — degrades to the zero-cost NULL recorder.
+        """
+        if not self.tracing:
+            return NULL_SPANS, None
+        parent = parse_traceparent(job.traceparent)
+        if parent is None:
+            return NULL_SPANS, None
+        return SpanRecorder(sink=span_sink(self.store, job.sweep_id)), parent
+
     def _execute(self, job: Job) -> str:
         """Run one claimed job to a report; returns the outcome."""
+        recorder, parent = self._trace_recorder(job)
+        if recorder.enabled:
+            claim_ts, claim_dur = self._last_claim
+            recorder.record(
+                "worker.claim", component=f"worker:{self.worker_id}",
+                parent=parent, ts=claim_ts, duration_s=claim_dur,
+                attrs={"workload": job.workload, "seq": job.seq,
+                       "attempt": job.attempts},
+            )
+        span = recorder.start_span(
+            "worker.execute", component=f"worker:{self.worker_id}",
+            parent=parent,
+            attrs={"workload": job.workload, "seq": job.seq,
+                   "attempt": job.attempts, "worker": self.worker_id},
+        )
         stop = threading.Event()
         beat = threading.Thread(
-            target=self._heartbeat_loop, args=(job, stop), daemon=True
+            target=self._heartbeat_loop, args=(job, stop, span), daemon=True
         )
         beat.start()
         self._m_busy.set(1)
@@ -201,6 +269,7 @@ class Worker:
         try:
             config = build_config(job.spec)
             runner = self._runner(job.horizon, job.warmup)
+            runner.set_trace_context(recorder, span.context())
             simulated_before = runner.stats.points_simulated
             result = runner.run(job.workload, config)
             outcome = (
@@ -219,9 +288,10 @@ class Worker:
         except Exception as exc:  # noqa: BLE001 — every failure is reported
             retry_in = min(
                 self.backoff_cap_s,
-                self.backoff_base_s * 2 ** max(0, job.attempts - 1),
+                self.backoff_base_s * 2 ** max(0, job.attempts - 1) * self.jitter,
             )
             outcome = "failed"
+            span.set(error=f"{type(exc).__name__}: {exc}")
             self.store.report(
                 job.id,
                 self.worker_id,
@@ -234,10 +304,19 @@ class Worker:
             stop.set()
             beat.join()
             self._m_busy.set(0)
+            for runner in self._runners.values():
+                runner.set_trace_context(NULL_SPANS, None)
+            span.set(outcome=outcome)
+            span.end(status="ok" if outcome != "failed" else "error")
         self.executed[outcome] += 1
         self._m_points.labels(outcome).inc()
         self._m_point_us.labels(outcome).observe((time.perf_counter() - t0) * 1e6)
         self._persist_snapshot()
+        self.log.log(
+            "worker.point", worker=self.worker_id, workload=job.workload,
+            seq=job.seq, outcome=outcome, attempt=job.attempts,
+            trace_id=span.trace_id, span_id=span.span_id,
+        )
         return outcome
 
     # ------------------------------------------------------------------
@@ -248,10 +327,15 @@ class Worker:
             raise ValueError(f"until must be 'drained' or 'forever', got {until!r}")
         executed = 0
         self._persist_snapshot()  # register with the fleet before first claim
+        self.log.log("worker.start", worker=self.worker_id, until=until)
         while True:
             self.store.requeue_expired()
+            claim_wall = time.time()
+            claim_t0 = time.perf_counter()
             job = self.store.claim(self.worker_id, self.lease_s)
             if job is not None:
+                self._last_claim = (claim_wall, time.perf_counter() - claim_t0)
+                self._idle_streak = 0
                 self._execute(job)
                 executed += 1
                 if self.max_points is not None and executed >= self.max_points:
@@ -261,10 +345,19 @@ class Worker:
             if until == "drained" and not counts["pending"] and not counts["running"]:
                 break
             self._m_idle_sleeps.inc()
-            time.sleep(self.poll_s)
+            time.sleep(self._idle_sleep_s())
         self._persist_snapshot()
         self.close()
+        self.log.log("worker.exit", worker=self.worker_id, executed=executed)
         return executed
+
+    def _idle_sleep_s(self) -> float:
+        """Next idle sleep: capped exponential from ``poll_s``, scaled
+        by this worker's deterministic jitter so idle fleets spread out
+        instead of polling in lockstep."""
+        backoff = min(self.idle_cap_s, self.poll_s * (2 ** self._idle_streak))
+        self._idle_streak = min(self._idle_streak + 1, 16)
+        return backoff * self.jitter
 
     def close(self) -> None:
         for runner in self._runners.values():

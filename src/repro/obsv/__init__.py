@@ -8,8 +8,12 @@ two sweeps (:mod:`repro.obsv.diff`), and one self-contained HTML page
 tying it all together (:mod:`repro.obsv.dashboard`).
 
 The *runtime* half lives in :mod:`repro.obsv.metrics` (the live metric
-registry and Prometheus exposition behind ``GET /metrics``) and
-:mod:`repro.obsv.top` (the ``repro top`` fleet view).
+registry and Prometheus exposition behind ``GET /metrics``),
+:mod:`repro.obsv.top` (the ``repro top`` fleet view),
+:mod:`repro.obsv.spans` (distributed-trace spans: W3C-style trace
+context, JSONL/Chrome export, and a zero-cost NULL stub), and
+:mod:`repro.obsv.logging` (the structured JSONL logger with trace/span
+correlation).
 """
 
 from repro.obsv.dashboard import build_dashboard
@@ -32,6 +36,24 @@ from repro.obsv.ledger import (
     read_ledger,
     summarize_ledger,
 )
+from repro.obsv.logging import NULL_LOG, NullLogger, StructuredLogger, read_log
+from repro.obsv.spans import (
+    NULL_SPANS,
+    SPAN_SCHEMA,
+    JsonlSpanSink,
+    NullSpanRecorder,
+    Span,
+    SpanContext,
+    SpanRecorder,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    read_spans,
+    span_tree,
+    spans_to_chrome,
+    validate_links,
+)
 from repro.obsv.scorecard import (
     EXPECTATIONS,
     PROFILES,
@@ -48,10 +70,29 @@ __all__ = [
     "LEDGER_SCHEMA",
     "METRICS_SCHEMA",
     "MetricsRegistry",
+    "NULL_LOG",
     "NULL_METRICS",
+    "NULL_SPANS",
+    "JsonlSpanSink",
+    "NullLogger",
+    "NullSpanRecorder",
     "PROFILES",
     "RunLedger",
+    "SPAN_SCHEMA",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
+    "StructuredLogger",
     "build_dashboard",
+    "format_traceparent",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
+    "read_log",
+    "read_spans",
+    "span_tree",
+    "spans_to_chrome",
+    "validate_links",
     "parse_prometheus",
     "render_prometheus",
     "snapshot_value",

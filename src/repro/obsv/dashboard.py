@@ -27,6 +27,7 @@ from repro.obsv.ledger import ledger_points, summarize_ledger
 SECTIONS = (
     "summary",
     "progress",
+    "timeline",
     "fleet",
     "scorecard",
     "ledger",
@@ -386,6 +387,85 @@ def _traffic_section(records: List[dict], trace: Optional[dict]) -> str:
     return _stacked_bar(shares) + f'<p class="barlabel">{_esc(source)}</p>'
 
 
+#: lane colors cycle through the series palette by component order.
+_TIMELINE_ROW_CAP = 60
+
+
+def _timeline_section(spans: Optional[List[dict]]) -> str:
+    """Distributed-trace Gantt: one bar per span, lanes colored by component.
+
+    Spans come from the job store's ``spans`` table (see
+    :mod:`repro.obsv.spans`); the x axis is wall-clock relative to the
+    earliest span, so the HTTP submit, worker claim/execute, and
+    per-point runner spans read as one correlated timeline.
+    """
+    if not spans:
+        return _nodata("span")
+    rows = sorted(
+        (s for s in spans if isinstance(s.get("ts"), (int, float))),
+        key=lambda s: (s["ts"], s.get("span_id") or ""),
+    )
+    if not rows:
+        return _nodata("span")
+    origin = rows[0]["ts"]
+    extent = max(
+        (s["ts"] - origin) + max(float(s.get("duration_s") or 0.0), 0.0)
+        for s in rows
+    ) or 1e-6
+    components: List[str] = []
+    for s in rows:
+        comp = s.get("component") or "?"
+        if comp not in components:
+            components.append(comp)
+    shown = rows[:_TIMELINE_ROW_CAP]
+    width, label_w, row_h = 560, 190, 18
+    height = row_h * len(shown) + 4
+    parts = [
+        f'<svg width="{width + label_w}" height="{height}" role="img" '
+        f'aria-label="sweep span timeline">'
+    ]
+    for i, s in enumerate(shown):
+        comp = s.get("component") or "?"
+        color = f"--series-{components.index(comp) % 5 + 1}"
+        y = row_h * i + 2
+        x0 = label_w + (s["ts"] - origin) / extent * width
+        dur = max(float(s.get("duration_s") or 0.0), 0.0)
+        w = max(dur / extent * width, 2.0)
+        x0 = min(x0, label_w + width - 2.0)
+        name = s.get("name", "?")
+        failed = s.get("status") == "error"
+        fill = "var(--status-critical)" if failed else f"var({color})"
+        parts.append(
+            f'<text x="0" y="{y + 11}" font-size="11" '
+            f'fill="var(--text-secondary)">{_esc(str(name)[:28])}</text>'
+        )
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{y}" width="{w:.1f}" height="12" rx="3" '
+            f'fill="{fill}"><title>{_esc(name)} ({_esc(comp)}) '
+            f"+{(s['ts'] - origin) * 1000:.1f}ms {dur * 1000:.1f}ms"
+            f"{' [error]' if failed else ''}</title></rect>"
+        )
+    parts.append("</svg>")
+    legend = "".join(
+        f'<span><span class="swatch" '
+        f'style="background:var(--series-{i % 5 + 1})"></span>{_esc(comp)}</span>'
+        for i, comp in enumerate(components)
+    )
+    trace_ids = sorted({s.get("trace_id") for s in rows if s.get("trace_id")})
+    note = (
+        f'<p class="barlabel">trace {_esc(trace_ids[0])} &middot; '
+        f"{len(rows)} span(s) over {extent:.3f}s</p>"
+        if trace_ids
+        else ""
+    )
+    cap_note = (
+        f'<p class="nodata">showing {len(shown)} of {len(rows)} spans</p>'
+        if len(rows) > len(shown)
+        else ""
+    )
+    return "".join(parts) + f'<div class="legend">{legend}</div>' + note + cap_note
+
+
 def _bottleneck_section(bottleneck: Optional[dict]) -> str:
     if not bottleneck:
         return _nodata("bottleneck")
@@ -451,6 +531,7 @@ def build_dashboard(
     trace: Optional[dict] = None,
     bench: Optional[Dict[str, dict]] = None,
     fleet: Optional[List[dict]] = None,
+    spans: Optional[List[dict]] = None,
     sources: Optional[Dict[str, str]] = None,
 ) -> str:
     """Render the complete dashboard; every argument is optional."""
@@ -461,6 +542,7 @@ def build_dashboard(
     bodies = {
         "summary": _summary_section(summary, heartbeat, scorecard),
         "progress": _progress_section(heartbeat),
+        "timeline": _timeline_section(spans),
         "fleet": _fleet_section(fleet),
         "scorecard": _scorecard_section(scorecard),
         "ledger": _ledger_section(summary, records),
@@ -471,6 +553,7 @@ def build_dashboard(
     titles = {
         "summary": "Sweep summary",
         "progress": "Sweep progress",
+        "timeline": "Sweep timeline",
         "fleet": "Live fleet",
         "scorecard": "Paper-fidelity scorecard",
         "ledger": "Run ledger",

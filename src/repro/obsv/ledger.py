@@ -43,7 +43,9 @@ from repro.common.hostinfo import host_metadata
 LEDGER_SCHEMA = 1
 
 #: point-record fields that vary run to run without the result changing.
-VOLATILE_FIELDS = ("ts", "duration_s", "telemetry_dir")
+#: trace ids are volatile by construction — every submit mints a fresh
+#: trace — so traced and untraced sweeps stay record-equivalent.
+VOLATILE_FIELDS = ("ts", "duration_s", "telemetry_dir", "trace_id", "span_id")
 
 #: the outcomes a point record can carry.
 OUTCOMES = ("simulated", "cached", "failed")
@@ -112,12 +114,17 @@ class RunLedger:
         stats: Optional[dict] = None,
         telemetry_dir: Optional[str | Path] = None,
         error: Optional[str] = None,
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
     ) -> bool:
         """Append one point record; returns False if the key was present.
 
         ``outcome`` is one of :data:`OUTCOMES`; ``stats`` is
         :func:`key_stats` output for completed points and None for failed
         ones, where ``error`` carries the exception string instead.
+        ``trace_id``/``span_id`` join the record to its distributed-trace
+        span; they are only written when a trace is live, so untraced
+        ledgers (the golden-dump path) keep their exact field set.
         """
         key = point_key(workload, config, horizon, warmup)
         if key in self._seen:
@@ -137,6 +144,9 @@ class RunLedger:
             "telemetry_dir": str(telemetry_dir) if telemetry_dir else None,
             "error": error,
         }
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+            record["span_id"] = span_id
         self._append(record)
         return True
 

@@ -1,0 +1,128 @@
+"""Structured JSONL logging with trace correlation.
+
+One record per line::
+
+    {"ts": 1754650000.123, "level": "info", "event": "http.request",
+     "trace_id": "…", "span_id": "…", "method": "GET", "status": 200}
+
+``ts``/``level``/``event`` always lead; ``trace_id``/``span_id`` are
+stamped when the caller has an active span so a grep for one trace id
+sweeps service access lines, worker lifecycle lines, and exported
+spans in one pass.  The service's ``--access-log`` and the worker's
+``--log`` both ride on this logger.
+
+Like every ``repro.obsv`` facility the logger is passive (its own I/O
+errors are swallowed, never raised into the serving path) and has a
+zero-cost NULL stub (``NULL_LOG``) guarded by ``enabled``.
+
+Long-running serves rotate by size: when the file would exceed
+``max_bytes`` it is renamed to ``<path>.1`` (replacing any previous
+rollover) and a fresh file starts, bounding disk use at roughly twice
+``max_bytes``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+#: default rollover threshold — generous for CI, bounded for servers.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+LEVELS = ("debug", "info", "warning", "error")
+
+
+class StructuredLogger:
+    """Append structured records to a JSONL file with size rollover."""
+
+    enabled = True
+
+    def __init__(self, path: Any, max_bytes: int = DEFAULT_MAX_BYTES):
+        self.path = os.fspath(path)
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._size: Optional[int] = None
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+
+    def log(self, event: str, level: str = "info",
+            trace_id: Optional[str] = None, span_id: Optional[str] = None,
+            **fields: Any) -> None:
+        record: Dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "level": level if level in LEVELS else "info",
+            "event": event,
+        }
+        if trace_id:
+            record["trace_id"] = trace_id
+        if span_id:
+            record["span_id"] = span_id
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        data = line.encode("utf-8")
+        try:
+            with self._lock:
+                self._roll_if_needed(len(data))
+                with open(self.path, "ab") as handle:
+                    handle.write(data)
+                if self._size is not None:
+                    self._size += len(data)
+        except OSError:
+            pass  # logging is passive; never fail the logged work.
+
+    # -- rollover ---------------------------------------------------------
+
+    def _roll_if_needed(self, incoming: int) -> None:
+        if self.max_bytes <= 0:
+            return
+        if self._size is None:
+            try:
+                self._size = os.path.getsize(self.path)
+            except OSError:
+                self._size = 0
+        if self._size and self._size + incoming > self.max_bytes:
+            try:
+                os.replace(self.path, self.path + ".1")
+            except OSError:
+                pass
+            self._size = 0
+
+
+class NullLogger:
+    """Disabled logger: ``log`` is a no-op."""
+
+    enabled = False
+    path = None
+
+    def log(self, event: str, level: str = "info",
+            trace_id: Optional[str] = None, span_id: Optional[str] = None,
+            **fields: Any) -> None:
+        pass
+
+
+NULL_LOG = NullLogger()
+
+
+def read_log(path: Any) -> List[Dict[str, Any]]:
+    """Read a structured log back (current file only, not rollovers);
+    torn or foreign lines are skipped."""
+    records: List[Dict[str, Any]] = []
+    try:
+        with open(os.fspath(path), "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+    except FileNotFoundError:
+        return []
+    return records

@@ -1,0 +1,516 @@
+"""Distributed spans: one trace across service, store, workers, simulator.
+
+A *span* is a named, timed unit of work (an HTTP request, a job claim,
+one point's simulation) carrying a ``trace_id`` shared by every span in
+the same logical operation and a ``parent_id`` linking it to the span
+that caused it.  The sweep service mints a trace at submit time, the
+store persists it with the sweep, workers inherit it from the job row,
+and the runner hangs per-point spans underneath — so ``repro spans``
+can render one merged timeline of request → claim → execute → simulate.
+
+Context crosses process boundaries as a W3C-``traceparent``-style
+string (``00-<32 hex trace>-<16 hex span>-<flags>``), which survives
+HTTP headers, JSON bodies, and SQLite columns alike.
+
+Design points, mirroring the rest of ``repro.obsv``:
+
+* **Zero cost when off.**  ``NULL_SPANS`` is a module-level singleton
+  whose ``start_span``/``record`` are no-ops returning a reusable
+  no-op span; call sites guard on ``recorder.enabled`` so the disabled
+  path adds only attribute checks and golden dumps stay bit-identical.
+* **Wall clock for position, monotonic clock for duration.**  Spans
+  are placed on the timeline with ``time.time()`` but timed with
+  ``time.perf_counter()`` so durations never go negative under NTP
+  steps.
+* **Passive.**  Sinks swallow their own I/O errors; tracing must never
+  fail a sweep.
+
+Export is either JSONL (one record per line, torn-tail tolerant like
+the run ledger) or the Chrome ``trace_event`` format consumed by
+Perfetto / ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+#: bump when the span record shape changes incompatibly.
+SPAN_SCHEMA = 1
+
+#: the only traceparent version this codec understands.
+_TP_VERSION = "00"
+
+_HEX = set("0123456789abcdef")
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-digit trace id."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-digit span id."""
+    return uuid.uuid4().hex[:16]
+
+
+def _is_hex(text: str, width: int) -> bool:
+    return len(text) == width and set(text) <= _HEX
+
+
+class SpanContext:
+    """The portable part of a span: just ids and a sampled flag."""
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(self, trace_id: str, span_id: str, sampled: bool = True):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = sampled
+
+    def traceparent(self) -> str:
+        """Serialize as ``00-<trace>-<span>-<flags>``."""
+        flags = "01" if self.sampled else "00"
+        return f"{_TP_VERSION}-{self.trace_id}-{self.span_id}-{flags}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanContext({self.traceparent()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, SpanContext)
+                and other.trace_id == self.trace_id
+                and other.span_id == self.span_id
+                and other.sampled == self.sampled)
+
+
+def format_traceparent(trace_id: str, span_id: str,
+                       sampled: bool = True) -> str:
+    return SpanContext(trace_id, span_id, sampled).traceparent()
+
+
+def parse_traceparent(text: Optional[str]) -> Optional[SpanContext]:
+    """Decode a traceparent string; ``None`` on anything malformed.
+
+    Malformed context is *dropped*, not raised: a worker meeting a
+    corrupt traceparent should simply run untraced, exactly like the
+    W3C processing model.
+    """
+    if not text or not isinstance(text, str):
+        return None
+    parts = text.strip().lower().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id, flags = parts
+    if version != _TP_VERSION:
+        return None
+    if not _is_hex(trace_id, 32) or set(trace_id) == {"0"}:
+        return None
+    if not _is_hex(span_id, 16) or set(span_id) == {"0"}:
+        return None
+    if not _is_hex(flags, 2):
+        return None
+    return SpanContext(trace_id, span_id, sampled=bool(int(flags, 16) & 1))
+
+
+def _parent_context(parent: Any) -> Optional[SpanContext]:
+    """Coerce Span | SpanContext | traceparent str | None to a context."""
+    if parent is None:
+        return None
+    if isinstance(parent, SpanContext):
+        return parent
+    if isinstance(parent, Span):
+        return parent.context()
+    if isinstance(parent, str):
+        return parse_traceparent(parent)
+    return None
+
+
+class Span:
+    """A live span.  Use as a context manager or call ``end()``.
+
+    Instant events (``event()``) ride inside the span record — lease
+    heartbeats, cache decisions — and become Chrome ``i`` events on
+    export.
+    """
+
+    __slots__ = ("name", "component", "trace_id", "span_id", "parent_id",
+                 "ts", "attrs", "events", "status", "duration_s",
+                 "_t0", "_recorder", "_done")
+
+    def __init__(self, recorder: "SpanRecorder", name: str, component: str,
+                 trace_id: str, parent_id: Optional[str],
+                 attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.component = component
+        self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_id = parent_id
+        self.ts = time.time()
+        self.attrs = dict(attrs) if attrs else {}
+        self.events: List[Dict[str, Any]] = []
+        self.status = "ok"
+        self.duration_s: Optional[float] = None
+        self._t0 = time.perf_counter()
+        self._recorder = recorder
+        self._done = False
+
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def traceparent(self) -> str:
+        return self.context().traceparent()
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instant event inside this span."""
+        record: Dict[str, Any] = {"name": name, "ts": time.time()}
+        if attrs:
+            record["attrs"] = attrs
+        self.events.append(record)
+
+    def end(self, status: Optional[str] = None) -> None:
+        if self._done:
+            return
+        self._done = True
+        if status is not None:
+            self.status = status
+        self.duration_s = time.perf_counter() - self._t0
+        self._recorder._finish(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end(status="error" if exc_type is not None else None)
+
+    def to_record(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "schema": SPAN_SCHEMA,
+            "event": "span",
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "component": self.component,
+            "ts": self.ts,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attrs": self.attrs,
+            "events": self.events,
+        }
+        return record
+
+
+class _NullSpan:
+    """Reusable no-op span: absorbs every call the real one accepts."""
+
+    __slots__ = ()
+    name = ""
+    component = ""
+    trace_id = None
+    span_id = None
+    parent_id = None
+    status = "ok"
+    duration_s = None
+    attrs: Dict[str, Any] = {}
+    events: List[Dict[str, Any]] = []
+
+    def context(self) -> None:
+        return None
+
+    def traceparent(self) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def end(self, status: Optional[str] = None) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanRecorder:
+    """Creates spans and routes finished records to a sink.
+
+    ``sink`` is any callable taking one record dict — a
+    :class:`JsonlSpanSink`, a store-backed closure, a list's
+    ``append`` — or ``None`` to time spans without persisting them
+    (the service uses that for request spans whose ids only feed the
+    access log).
+    """
+
+    enabled = True
+
+    def __init__(self, sink: Optional[Callable[[Dict[str, Any]], None]] = None):
+        self.sink = sink
+
+    def start_span(self, name: str, component: str = "",
+                   parent: Any = None, trace_id: Optional[str] = None,
+                   attrs: Optional[Dict[str, Any]] = None) -> Span:
+        """Open a span.  ``parent`` may be a Span, SpanContext,
+        traceparent string, or None; an explicit ``trace_id`` wins,
+        otherwise the parent's is inherited, otherwise a fresh trace
+        starts here."""
+        ctx = _parent_context(parent)
+        resolved = trace_id or (ctx.trace_id if ctx else None) or new_trace_id()
+        parent_id = ctx.span_id if ctx else None
+        return Span(self, name, component, resolved, parent_id, attrs)
+
+    def record(self, name: str, component: str = "", parent: Any = None,
+               trace_id: Optional[str] = None, ts: Optional[float] = None,
+               duration_s: float = 0.0, status: str = "ok",
+               attrs: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Emit a pre-measured span in one shot (for work timed
+        externally, e.g. a claim RPC or a pool worker's elapsed)."""
+        ctx = _parent_context(parent)
+        resolved = trace_id or (ctx.trace_id if ctx else None) or new_trace_id()
+        record: Dict[str, Any] = {
+            "schema": SPAN_SCHEMA,
+            "event": "span",
+            "trace_id": resolved,
+            "span_id": new_span_id(),
+            "parent_id": ctx.span_id if ctx else None,
+            "name": name,
+            "component": component,
+            "ts": time.time() if ts is None else ts,
+            "duration_s": duration_s,
+            "status": status,
+            "attrs": dict(attrs) if attrs else {},
+            "events": [],
+        }
+        self._emit(record)
+        return record
+
+    def _finish(self, span: Span) -> None:
+        self._emit(span.to_record())
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        if self.sink is None:
+            return
+        try:
+            self.sink(record)
+        except Exception:
+            pass  # tracing is passive; never fail the traced work.
+
+
+class NullSpanRecorder:
+    """The disabled recorder: every operation is a no-op."""
+
+    enabled = False
+    sink = None
+
+    def start_span(self, name: str, component: str = "", parent: Any = None,
+                   trace_id: Optional[str] = None,
+                   attrs: Optional[Dict[str, Any]] = None) -> _NullSpan:
+        return NULL_SPAN
+
+    def record(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def _finish(self, span: Any) -> None:
+        pass
+
+
+NULL_SPANS = NullSpanRecorder()
+
+
+class JsonlSpanSink:
+    """Append span records to a JSONL file (one line per record)."""
+
+    def __init__(self, path: Any):
+        self.path = os.fspath(path)
+        self._lock = threading.Lock()
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+
+    def __call__(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+
+
+def read_spans(path: Any) -> List[Dict[str, Any]]:
+    """Read a span JSONL file; a torn final line (crash mid-write) is
+    skipped, same contract as ``read_ledger``."""
+    records: List[Dict[str, Any]] = []
+    try:
+        with open(os.fspath(path), "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+    except FileNotFoundError:
+        return []
+    return records
+
+
+# ---------------------------------------------------------------------------
+# export + rendering
+# ---------------------------------------------------------------------------
+
+
+def _component_lane(record: Dict[str, Any]) -> str:
+    return record.get("component") or "unknown"
+
+
+def spans_to_chrome(records: Sequence[Dict[str, Any]],
+                    meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Convert span records to a Chrome ``trace_event`` document.
+
+    Each component (service, worker:<id>, runner, …) gets its own lane
+    (tid); spans become ``X`` complete events placed at wall-clock
+    microseconds relative to the earliest span, and instant events
+    become ``i`` events inside their parent's lane.  The result loads
+    directly in Perfetto / ``chrome://tracing``.
+    """
+    events: List[Dict[str, Any]] = []
+    lanes: Dict[str, int] = {}
+
+    def lane(record: Dict[str, Any]) -> int:
+        name = _component_lane(record)
+        if name not in lanes:
+            tid = len(lanes) + 1
+            lanes[name] = tid
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+                "args": {"name": name},
+            })
+        return lanes[name]
+
+    starts = [r["ts"] for r in records if isinstance(r.get("ts"), (int, float))]
+    origin = min(starts) if starts else 0.0
+
+    for record in sorted(records, key=lambda r: (r.get("ts") or 0.0)):
+        ts = record.get("ts")
+        if not isinstance(ts, (int, float)):
+            continue
+        tid = lane(record)
+        duration = record.get("duration_s") or 0.0
+        args = {
+            "trace_id": record.get("trace_id"),
+            "span_id": record.get("span_id"),
+            "parent_id": record.get("parent_id"),
+            "status": record.get("status"),
+        }
+        args.update(record.get("attrs") or {})
+        events.append({
+            "name": record.get("name", "span"),
+            "cat": _component_lane(record),
+            "ph": "X",
+            "pid": 0,
+            "tid": tid,
+            "ts": round((ts - origin) * 1e6, 3),
+            "dur": round(duration * 1e6, 3),
+            "args": args,
+        })
+        for instant in record.get("events") or []:
+            its = instant.get("ts")
+            if not isinstance(its, (int, float)):
+                continue
+            events.append({
+                "name": instant.get("name", "event"),
+                "cat": _component_lane(record),
+                "ph": "i",
+                "s": "t",
+                "pid": 0,
+                "tid": tid,
+                "ts": round((its - origin) * 1e6, 3),
+                "args": dict(instant.get("attrs") or {},
+                             span_id=record.get("span_id")),
+            })
+
+    doc: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": SPAN_SCHEMA, "origin_ts": origin},
+    }
+    if meta:
+        doc["otherData"].update(meta)
+    return doc
+
+
+def span_tree(records: Sequence[Dict[str, Any]]) -> List[str]:
+    """Render span records as indented text lines, children under
+    parents, siblings in start order.  Orphans (parent span never
+    recorded, e.g. a store-only submission) surface as roots."""
+    by_id = {r.get("span_id"): r for r in records if r.get("span_id")}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for record in records:
+        parent = record.get("parent_id")
+        if parent not in by_id:
+            parent = None  # orphan → root
+        children.setdefault(parent, []).append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda r: (r.get("ts") or 0.0))
+
+    starts = [r["ts"] for r in records if isinstance(r.get("ts"), (int, float))]
+    origin = min(starts) if starts else 0.0
+    lines: List[str] = []
+
+    def walk(record: Dict[str, Any], depth: int) -> None:
+        offset = (record.get("ts") or origin) - origin
+        duration = record.get("duration_s") or 0.0
+        status = record.get("status", "ok")
+        flag = "" if status == "ok" else f"  [{status}]"
+        lines.append(
+            f"{'  ' * depth}{record.get('name', 'span')}"
+            f"  ({_component_lane(record)})"
+            f"  +{offset * 1e3:.1f}ms  {duration * 1e3:.2f}ms{flag}"
+        )
+        for child in children.get(record.get("span_id"), []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return lines
+
+
+def validate_links(
+    records: Iterable[Dict[str, Any]],
+    roots: Optional[Iterable[str]] = None,
+) -> List[str]:
+    """Return human-readable problems: mixed trace ids or dangling
+    parents.  Empty list means the trace is internally consistent.
+
+    ``roots`` names span ids that are legitimate parents despite having
+    no record of their own — e.g. the root span a store-direct
+    ``submit_sweep`` mints without an HTTP request span to persist.
+    """
+    records = list(records)
+    problems: List[str] = []
+    traces = {r.get("trace_id") for r in records if r.get("trace_id")}
+    if len(traces) > 1:
+        problems.append(f"multiple trace ids in one export: {sorted(traces)}")
+    ids = {r.get("span_id") for r in records} | set(roots or ())
+    for record in records:
+        parent = record.get("parent_id")
+        if parent and parent not in ids:
+            problems.append(
+                f"span {record.get('span_id')} ({record.get('name')}) has "
+                f"unrecorded parent {parent}"
+            )
+    return problems
